@@ -1,0 +1,39 @@
+"""Ablation: edge-based vs node-based recurrence for CNRW (paper Section 3.2).
+
+The paper chose the edge-based circulation rule and states that experiments
+(omitted for space) confirmed its superiority over the node-based variant.
+This benchmark regenerates that comparison on the clustered graph and also
+includes NB-CNRW, the Section 5 extension that composes circulation with the
+non-backtracking rule.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablation_recurrence, render_comparison, render_report
+
+
+def test_ablation_edge_vs_node_recurrence(benchmark):
+    report = benchmark.pedantic(
+        ablation_recurrence,
+        kwargs={"seed": 0, "scale": 1.0, "trials": 12, "budgets": (20, 40, 60, 80, 100, 120, 140)},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(render_report(report))
+    error_table = report.get("relative_error")
+    print()
+    print(
+        render_comparison(
+            error_table, baseline="SRW", challengers=["CNRW-edge", "CNRW-node", "NB-CNRW"]
+        )
+    )
+    # Both circulation variants improve on (or match) SRW, as does NB-CNRW.
+    # The paper states the edge-based rule beats the node-based one on its
+    # real crawls (data omitted there); on this 90-node clustered graph the
+    # node-based variant accumulates history faster and is at least as good,
+    # so the benchmark only asserts that neither variant loses to the
+    # baseline — see EXPERIMENTS.md for the measured comparison.
+    assert error_table.dominates("CNRW-edge", "SRW", tolerance=0.15)
+    assert error_table.dominates("CNRW-node", "SRW", tolerance=0.15)
+    assert error_table.dominates("NB-CNRW", "SRW", tolerance=0.15)

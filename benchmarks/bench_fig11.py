@@ -1,0 +1,29 @@
+"""Figure 11: barbell graphs of growing size.
+
+The paper varies the barbell graph from 20 to 56 nodes (clique sizes 10 to 28)
+and reports KL divergence, L2 distance and estimation error at a fixed budget
+for SRW, CNRW and GNRW.  The history-aware walks stay ahead of SRW across the
+whole size range.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure11, render_comparison, render_report
+
+
+def test_figure11_barbell_size_sweep(benchmark):
+    report = benchmark.pedantic(
+        figure11,
+        kwargs={"seed": 0, "sizes": (10, 14, 18, 22, 26), "budget": 80, "trials": 15},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(render_report(report))
+    error_table = report.get("relative_error")
+    kl_table = report.get("kl_divergence")
+    print()
+    print(render_comparison(error_table, baseline="SRW", challengers=["CNRW", "GNRW"]))
+    assert error_table.dominates("CNRW", "SRW", tolerance=0.15)
+    assert error_table.dominates("GNRW", "SRW", tolerance=0.15)
+    assert kl_table.dominates("CNRW", "SRW", tolerance=0.15)

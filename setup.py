@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so ``pip install -e .`` works in offline environments where the ``wheel``
+package (needed by the PEP 517 editable path) is unavailable; all project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,150 @@
+"""repro: history-aware random walks for sampling online social networks.
+
+A from-scratch reproduction of Zhou, Zhang & Das, *Leveraging History for
+Faster Sampling of Online Social Networks* (VLDB 2015).  The library provides:
+
+* :mod:`repro.graphs` — an in-memory graph substrate, loaders, synthetic
+  generators and the paper's experiment datasets;
+* :mod:`repro.api` — a simulator of the restrictive OSN access interface with
+  unique-query accounting, caches, rate limits and budgets;
+* :mod:`repro.walks` — the baseline samplers (SRW, MHRW, NB-SRW) and the
+  paper's contributions (CNRW, GNRW, NB-CNRW);
+* :mod:`repro.estimation` — aggregate queries, reweighted estimators and
+  variance diagnostics;
+* :mod:`repro.metrics` — sampling-bias and convergence metrics;
+* :mod:`repro.experiments` — the harness regenerating every paper table and
+  figure.
+
+Quickstart::
+
+    from repro import GraphAPI, QueryBudget, load_dataset, make_walker
+    from repro import AggregateQuery, estimate
+
+    graph = load_dataset("facebook_like", seed=1)
+    api = GraphAPI(graph, budget=QueryBudget(500))
+    walker = make_walker("cnrw", api=api, seed=1)
+    result = walker.run(api.random_node(seed=1), max_steps=None)
+    answer = estimate(result.samples, AggregateQuery.average_degree())
+    print(answer.value)
+"""
+
+from .api import (
+    GraphAPI,
+    InstrumentedAPI,
+    NodeView,
+    QueryBudget,
+    SocialNetworkAPI,
+    estimate_crawl_time,
+    twitter_policy,
+    yelp_policy,
+)
+from .estimation import (
+    AggregateKind,
+    AggregateQuery,
+    Estimate,
+    RunningEstimator,
+    estimate,
+    ground_truth,
+)
+from .exceptions import (
+    APIError,
+    EstimationError,
+    ExperimentError,
+    GraphError,
+    QueryBudgetExceededError,
+    ReproError,
+    WalkError,
+)
+from .graphs import (
+    Graph,
+    available_datasets,
+    barbell_graph,
+    clustered_cliques_graph,
+    load_dataset,
+    load_edge_list,
+    summarize,
+)
+from .metrics import (
+    empirical_distribution,
+    kl_divergence,
+    l2_distance,
+    relative_error,
+    symmetric_kl_divergence,
+    theoretical_distribution,
+)
+from .walks import (
+    CNRW,
+    GNRW,
+    MHRW,
+    NBCNRW,
+    NBSRW,
+    SRW,
+    CirculatedNeighborsRandomWalk,
+    GroupByNeighborsRandomWalk,
+    MetropolisHastingsRandomWalk,
+    NonBacktrackingCNRW,
+    NonBacktrackingRandomWalk,
+    RandomWalk,
+    SimpleRandomWalk,
+    WalkResult,
+    available_walkers,
+    make_grouping,
+    make_walker,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateKind",
+    "AggregateQuery",
+    "APIError",
+    "CNRW",
+    "CirculatedNeighborsRandomWalk",
+    "Estimate",
+    "EstimationError",
+    "ExperimentError",
+    "GNRW",
+    "Graph",
+    "GraphAPI",
+    "GraphError",
+    "GroupByNeighborsRandomWalk",
+    "InstrumentedAPI",
+    "MHRW",
+    "MetropolisHastingsRandomWalk",
+    "NBCNRW",
+    "NBSRW",
+    "NodeView",
+    "NonBacktrackingCNRW",
+    "NonBacktrackingRandomWalk",
+    "QueryBudget",
+    "QueryBudgetExceededError",
+    "RandomWalk",
+    "ReproError",
+    "RunningEstimator",
+    "SRW",
+    "SimpleRandomWalk",
+    "SocialNetworkAPI",
+    "WalkError",
+    "WalkResult",
+    "available_datasets",
+    "available_walkers",
+    "barbell_graph",
+    "clustered_cliques_graph",
+    "empirical_distribution",
+    "estimate",
+    "estimate_crawl_time",
+    "ground_truth",
+    "kl_divergence",
+    "l2_distance",
+    "load_dataset",
+    "load_edge_list",
+    "make_grouping",
+    "make_walker",
+    "relative_error",
+    "summarize",
+    "symmetric_kl_divergence",
+    "theoretical_distribution",
+    "twitter_policy",
+    "yelp_policy",
+    "__version__",
+]

@@ -1,0 +1,48 @@
+"""Simulated restrictive-access API for online social networks."""
+
+from .budget import QueryBudget
+from .cache import CacheStats, LRUCache, QueryCache, make_cache
+from .directed import (
+    DirectedGraphStore,
+    DirectedToUndirectedAPI,
+    mutual_undirected_edges,
+    store_from_edges,
+)
+from .instrumented import InstrumentedAPI, QueryRecord, QueryTrace
+from .interface import GraphAPI, NodeView, SocialNetworkAPI
+from .ratelimit import (
+    FixedWindowPolicy,
+    RateLimitPolicy,
+    SimulatedClock,
+    TokenBucketPolicy,
+    UnlimitedPolicy,
+    estimate_crawl_time,
+    twitter_policy,
+    yelp_policy,
+)
+
+__all__ = [
+    "CacheStats",
+    "DirectedGraphStore",
+    "DirectedToUndirectedAPI",
+    "FixedWindowPolicy",
+    "GraphAPI",
+    "InstrumentedAPI",
+    "LRUCache",
+    "NodeView",
+    "QueryBudget",
+    "QueryCache",
+    "QueryRecord",
+    "QueryTrace",
+    "RateLimitPolicy",
+    "SimulatedClock",
+    "SocialNetworkAPI",
+    "TokenBucketPolicy",
+    "UnlimitedPolicy",
+    "estimate_crawl_time",
+    "make_cache",
+    "mutual_undirected_edges",
+    "store_from_edges",
+    "twitter_policy",
+    "yelp_policy",
+]

@@ -1,0 +1,131 @@
+"""Query caches for the simulated social-network API.
+
+The paper defines query cost as the number of *unique* local-neighborhood
+queries, "as any duplicate query can be immediately retrieved from local cache
+without consuming the query rate limit" (Section 2.3).  The cache classes here
+implement that local cache explicitly so the accounting in
+:mod:`repro.api.interface` mirrors a real crawler.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Generic, Hashable, Iterator, Optional, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for a cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class QueryCache(Generic[K, V]):
+    """Unbounded dictionary cache with hit/miss statistics."""
+
+    def __init__(self) -> None:
+        self._store: Dict[K, V] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._store
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._store)
+
+    def get(self, key: K, default: Any = None) -> Any:
+        """Return the cached value for ``key`` and record a hit or miss."""
+        if key in self._store:
+            self.stats.hits += 1
+            return self._store[key]
+        self.stats.misses += 1
+        return default
+
+    def peek(self, key: K, default: Any = None) -> Any:
+        """Return the cached value without touching statistics or recency."""
+        return self._store.get(key, default)
+
+    def put(self, key: K, value: V) -> None:
+        """Store ``value`` under ``key``."""
+        self._store[key] = value
+
+    def get_or_compute(self, key: K, compute) -> V:
+        """Return the cached value or compute, store and return it."""
+        sentinel = self.get(key, _MISSING)
+        if sentinel is not _MISSING:
+            return sentinel  # type: ignore[return-value]
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries and reset statistics."""
+        self._store.clear()
+        self.stats.reset()
+
+
+class LRUCache(QueryCache[K, V]):
+    """Bounded cache with least-recently-used eviction.
+
+    A crawler with limited memory may not be able to remember every query it
+    ever issued; with an LRU cache some re-queries count against the budget
+    again.  The experiment harness uses the unbounded cache by default (the
+    paper's assumption) but the LRU variant lets users study the memory /
+    query-cost trade-off.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        super().__init__()
+        self.capacity = capacity
+        self._store: "OrderedDict[K, V]" = OrderedDict()
+
+    def get(self, key: K, default: Any = None) -> Any:
+        if key in self._store:
+            self.stats.hits += 1
+            self._store.move_to_end(key)
+            return self._store[key]
+        self.stats.misses += 1
+        return default
+
+    def put(self, key: K, value: V) -> None:
+        if key in self._store:
+            self._store.move_to_end(key)
+        self._store[key] = value
+        if len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+            self.stats.evictions += 1
+
+
+def make_cache(capacity: Optional[int] = None) -> QueryCache:
+    """Return an unbounded cache (``capacity=None``) or an LRU cache."""
+    if capacity is None:
+        return QueryCache()
+    return LRUCache(capacity)

@@ -1,0 +1,213 @@
+"""The restrictive social-network access interface and its simulator.
+
+Section 2.1 of the paper defines the access model precisely: the only query a
+third party can issue takes a user id ``u`` and returns (1) ``N(u)``, the set
+of ``u``'s neighbors, and (2) the other attributes of ``u``.  The full graph
+topology is never available.  Every sampler in :mod:`repro.walks` is written
+against the :class:`SocialNetworkAPI` interface here, so it genuinely cannot
+"cheat" by reading the underlying graph.
+
+:class:`GraphAPI` simulates that interface over an in-memory
+:class:`~repro.graphs.graph.Graph`, counting unique queries exactly as the
+paper's cost model prescribes (duplicate queries are served from a local
+cache for free), optionally enforcing a query budget and a rate-limit policy
+on a simulated clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..exceptions import NodeNotFoundError
+from ..graphs.graph import Graph
+from ..rng import SeedLike, make_rng
+from ..types import NodeId
+from .budget import QueryBudget
+from .cache import QueryCache, make_cache
+from .ratelimit import RateLimitPolicy, SimulatedClock, UnlimitedPolicy
+
+
+@dataclass(frozen=True)
+class NodeView:
+    """The response of one neighborhood query: neighbors plus attributes."""
+
+    node: NodeId
+    neighbors: Tuple[NodeId, ...]
+    attributes: Dict[str, Any]
+
+    @property
+    def degree(self) -> int:
+        return len(self.neighbors)
+
+
+class SocialNetworkAPI:
+    """Abstract restrictive-access interface (Section 2.1 of the paper).
+
+    Implementations must expose exactly one kind of query: given a node id,
+    return that node's neighbor list and attributes.  The query-cost counters
+    let callers reason about crawl budgets without knowing how the data is
+    actually served.
+    """
+
+    def query(self, node: NodeId) -> NodeView:
+        """Return the :class:`NodeView` of ``node`` (one API call)."""
+        raise NotImplementedError
+
+    def neighbors(self, node: NodeId) -> List[NodeId]:
+        """Convenience wrapper returning only the neighbor list."""
+        return list(self.query(node).neighbors)
+
+    def degree(self, node: NodeId) -> int:
+        """Convenience wrapper returning only the degree."""
+        return self.query(node).degree
+
+    def attributes(self, node: NodeId) -> Dict[str, Any]:
+        """Convenience wrapper returning only the attributes."""
+        return dict(self.query(node).attributes)
+
+    @property
+    def unique_queries(self) -> int:
+        """Number of distinct nodes queried so far (the paper's query cost)."""
+        raise NotImplementedError
+
+    @property
+    def total_queries(self) -> int:
+        """Total number of query calls, including cache hits."""
+        raise NotImplementedError
+
+    def reset_counters(self) -> None:
+        """Reset query counters (and caches) for a fresh crawl."""
+        raise NotImplementedError
+
+
+class GraphAPI(SocialNetworkAPI):
+    """Simulate the restrictive API over an in-memory graph.
+
+    Args:
+        graph: The underlying social graph.
+        budget: Optional :class:`QueryBudget` limiting *unique* queries.
+        rate_limit: Optional rate-limit policy applied to unique queries.
+        clock: Simulated clock used by the rate limiter (a fresh one is
+            created when omitted).
+        cache_capacity: ``None`` for the paper's unbounded local cache, or an
+            integer for an LRU cache (re-queries of evicted nodes are billed
+            again).
+        shuffle_neighbors: When true, the neighbor list returned by each
+            *fresh* query is stored in a random order.  Real APIs give no
+            ordering guarantees; the stored order is then fixed for all cache
+            hits, mimicking a deterministic pagination order per node.
+        seed: Seed for the neighbor shuffling.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        budget: Optional[QueryBudget] = None,
+        rate_limit: Optional[RateLimitPolicy] = None,
+        clock: Optional[SimulatedClock] = None,
+        cache_capacity: Optional[int] = None,
+        shuffle_neighbors: bool = False,
+        seed: SeedLike = None,
+    ) -> None:
+        self._graph = graph
+        self.budget = budget if budget is not None else QueryBudget(None)
+        self.rate_limit = rate_limit or UnlimitedPolicy()
+        self.clock = clock or SimulatedClock()
+        self._cache: QueryCache = make_cache(cache_capacity)
+        self._shuffle_neighbors = shuffle_neighbors
+        self._rng = make_rng(seed)
+        self._unique_queries = 0
+        self._total_queries = 0
+
+    # ------------------------------------------------------------------
+    # SocialNetworkAPI interface
+    # ------------------------------------------------------------------
+    def query(self, node: NodeId) -> NodeView:
+        self._total_queries += 1
+        cached = self._cache.get(node)
+        if cached is not None:
+            return cached
+        if not self._graph.has_node(node):
+            raise NodeNotFoundError(node)
+        # A fresh query is billable: consume budget and obey the rate limit.
+        self.budget.spend(1)
+        self.rate_limit.acquire(self.clock, blocking=True)
+        neighbors = self._graph.neighbors(node)
+        if self._shuffle_neighbors:
+            self._rng.shuffle(neighbors)
+        view = NodeView(
+            node=node,
+            neighbors=tuple(neighbors),
+            attributes=self._graph.attributes(node),
+        )
+        self._cache.put(node, view)
+        self._unique_queries += 1
+        return view
+
+    @property
+    def unique_queries(self) -> int:
+        return self._unique_queries
+
+    @property
+    def total_queries(self) -> int:
+        return self._total_queries
+
+    def reset_counters(self) -> None:
+        self._unique_queries = 0
+        self._total_queries = 0
+        self._cache.clear()
+        self.budget.reset()
+        self.rate_limit.reset()
+
+    def peek_metadata(self, node: NodeId) -> Optional[Dict[str, Any]]:
+        """Return the lightweight profile summary of ``node`` without billing.
+
+        Real OSN APIs return a profile summary (attributes, friend count) for
+        every neighbor listed in a neighborhood response, which is what makes
+        attribute- and degree-based GNRW grouping possible without extra
+        queries.  This method models that inline metadata: it exposes the
+        node's attributes and degree but *not* its neighbor list, and does not
+        consume the query budget.  Returns ``None`` for unknown nodes.
+        """
+        if not self._graph.has_node(node):
+            return None
+        return {
+            "degree": self._graph.degree(node),
+            "attributes": self._graph.attributes(node),
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (not part of the restricted interface)
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The underlying graph.
+
+        Exposed for ground-truth computation and tests only; samplers must not
+        touch it (and the ones in this library never do).
+        """
+        return self._graph
+
+    @property
+    def cache(self) -> QueryCache:
+        return self._cache
+
+    def random_node(self, seed: SeedLike = None) -> NodeId:
+        """Return a uniformly random node id to start a walk from.
+
+        Strictly speaking a third party cannot draw uniform nodes (that is the
+        whole point of the paper), but every random-walk paper still needs an
+        arbitrary starting node; a crawler would use any known account.  Using
+        the graph here does not leak information to the samplers because the
+        start node only affects the transient, not the stationary analysis.
+        """
+        rng = make_rng(seed) if seed is not None else self._rng
+        nodes = self._graph.nodes()
+        return nodes[int(rng.integers(0, len(nodes)))]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"GraphAPI(graph={self._graph.name!r}, unique={self._unique_queries}, "
+            f"total={self._total_queries})"
+        )

@@ -1,0 +1,193 @@
+"""Simulated query-rate limits.
+
+Real online social networks throttle third-party crawlers aggressively —
+Twitter allowed 15 neighborhood calls per 15 minutes and Yelp 25,000 calls per
+day at the time of the paper.  The random-walk algorithms never need to know
+about these limits (they only minimise unique queries), but a faithful
+substrate should let experiments measure *wall-clock crawl time*, so this
+module provides a simulated clock plus the two standard throttling policies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+from ..exceptions import RateLimitExceededError
+
+
+class SimulatedClock:
+    """A monotonically increasing virtual clock measured in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` (non-negative)."""
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock forward to ``timestamp`` if it is in the future."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+
+class RateLimitPolicy:
+    """Interface for rate-limit policies.
+
+    ``acquire`` is called once per billable query.  Policies either return the
+    simulated waiting time (possibly zero) or raise
+    :class:`RateLimitExceededError` when ``blocking`` is false and the query
+    would have to wait.
+    """
+
+    def acquire(self, clock: SimulatedClock, blocking: bool = True) -> float:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+
+class UnlimitedPolicy(RateLimitPolicy):
+    """No throttling at all (the default for pure algorithmic experiments)."""
+
+    def acquire(self, clock: SimulatedClock, blocking: bool = True) -> float:  # noqa: ARG002
+        return 0.0
+
+    def reset(self) -> None:
+        return None
+
+
+@dataclass
+class FixedWindowPolicy(RateLimitPolicy):
+    """At most ``max_calls`` per ``window_seconds`` rolling window.
+
+    ``FixedWindowPolicy(15, 900)`` reproduces the Twitter limit cited in the
+    paper (15 calls per 15 minutes); ``FixedWindowPolicy(25000, 86400)``
+    reproduces the Yelp limit.
+    """
+
+    max_calls: int
+    window_seconds: float
+    _timestamps: Deque[float] = field(default_factory=deque, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_calls < 1:
+            raise ValueError("max_calls must be at least 1")
+        if self.window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+
+    def acquire(self, clock: SimulatedClock, blocking: bool = True) -> float:
+        self._expire(clock.now)
+        if len(self._timestamps) < self.max_calls:
+            self._timestamps.append(clock.now)
+            return 0.0
+        # The window is full: the next slot opens when the oldest call expires.
+        wait_until = self._timestamps[0] + self.window_seconds
+        wait = max(0.0, wait_until - clock.now)
+        if not blocking:
+            raise RateLimitExceededError(retry_after=wait)
+        clock.advance(wait)
+        self._expire(clock.now)
+        self._timestamps.append(clock.now)
+        return wait
+
+    def _expire(self, now: float) -> None:
+        cutoff = now - self.window_seconds
+        while self._timestamps and self._timestamps[0] <= cutoff:
+            self._timestamps.popleft()
+
+    def reset(self) -> None:
+        self._timestamps.clear()
+
+    @property
+    def calls_in_window(self) -> int:
+        return len(self._timestamps)
+
+
+@dataclass
+class TokenBucketPolicy(RateLimitPolicy):
+    """Token-bucket throttling: ``rate_per_second`` refills up to ``capacity``."""
+
+    rate_per_second: float
+    capacity: float
+    _tokens: float = field(default=-1.0, repr=False)
+    _last_refill: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rate_per_second <= 0:
+            raise ValueError("rate_per_second must be positive")
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if self._tokens < 0:
+            self._tokens = self.capacity
+
+    def acquire(self, clock: SimulatedClock, blocking: bool = True) -> float:
+        self._refill(clock.now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0.0
+        deficit = 1.0 - self._tokens
+        wait = deficit / self.rate_per_second
+        if not blocking:
+            raise RateLimitExceededError(retry_after=wait)
+        clock.advance(wait)
+        self._refill(clock.now)
+        self._tokens = max(0.0, self._tokens - 1.0)
+        return wait
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._last_refill)
+        self._tokens = min(self.capacity, self._tokens + elapsed * self.rate_per_second)
+        self._last_refill = now
+
+    def reset(self) -> None:
+        self._tokens = self.capacity
+        self._last_refill = 0.0
+
+    @property
+    def available_tokens(self) -> float:
+        return self._tokens
+
+
+def twitter_policy() -> FixedWindowPolicy:
+    """Return the Twitter limit cited in the paper: 15 calls per 15 minutes."""
+    return FixedWindowPolicy(max_calls=15, window_seconds=15 * 60)
+
+
+def yelp_policy() -> FixedWindowPolicy:
+    """Return the Yelp limit cited in the paper: 25,000 calls per day."""
+    return FixedWindowPolicy(max_calls=25_000, window_seconds=24 * 60 * 60)
+
+
+def estimate_crawl_time(
+    unique_queries: int,
+    policy: Optional[RateLimitPolicy] = None,
+    seconds_per_query: float = 0.0,
+) -> float:
+    """Return the simulated wall-clock seconds needed for ``unique_queries``.
+
+    Replays the given number of billable queries against a fresh copy of the
+    policy on a fresh clock, adding ``seconds_per_query`` of processing time
+    per query.  With the Twitter policy this converts a query budget directly
+    into crawl days, the practical motivation of the paper.
+    """
+    if unique_queries < 0:
+        raise ValueError("unique_queries must be non-negative")
+    policy = policy or UnlimitedPolicy()
+    policy.reset()
+    clock = SimulatedClock()
+    for _ in range(unique_queries):
+        policy.acquire(clock, blocking=True)
+        if seconds_per_query:
+            clock.advance(seconds_per_query)
+    return clock.now

@@ -1,0 +1,158 @@
+"""Command-line interface for regenerating the paper's tables and figures.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli table1
+    python -m repro.cli figure6 --trials 10 --scale 0.3
+    python -m repro.cli figure9 --out results/
+    python -m repro.cli all --out results/
+
+Each figure command runs the corresponding experiment definition from
+:mod:`repro.experiments.figures`, prints the measured series in the paper's
+layout and, when ``--out`` is given, writes one CSV per result table into that
+directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .experiments import (
+    ablation_recurrence,
+    figure6,
+    figure7_facebook,
+    figure7_youtube,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    render_dataset_summaries,
+    render_report,
+    table1,
+    theorem3_escape,
+)
+from .experiments.results import ExperimentReport
+
+#: Experiment name -> callable returning a report or a list of reports.
+EXPERIMENTS: Dict[str, Callable] = {
+    "figure6": figure6,
+    "figure7_facebook": figure7_facebook,
+    "figure7_youtube": figure7_youtube,
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure10": figure10,
+    "figure11": figure11,
+    "theorem3": theorem3_escape,
+    "ablation_recurrence": ablation_recurrence,
+}
+
+
+def _print_and_save(reports, out_dir: Optional[Path]) -> None:
+    if isinstance(reports, ExperimentReport):
+        reports = [reports]
+    for report in reports:
+        print(render_report(report))
+        print()
+        if out_dir is not None:
+            paths = report.to_csv_files(out_dir)
+            for path in paths:
+                print(f"wrote {path}")
+
+
+def _run_table1(args: argparse.Namespace, out_dir: Optional[Path]) -> None:
+    summaries = table1(seed=args.seed, scale=args.scale)
+    print("Table 1: summary of the datasets")
+    print(render_dataset_summaries(summaries))
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / "table1.csv"
+        lines = ["name,nodes,edges,average_degree,average_clustering,triangles"]
+        for summary in summaries:
+            record = summary.as_dict()
+            lines.append(
+                ",".join(str(record[key]) for key in (
+                    "name", "nodes", "edges", "average_degree", "average_clustering", "triangles"
+                ))
+            )
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        print(f"wrote {path}")
+
+
+def _experiment_kwargs(name: str, args: argparse.Namespace) -> Dict[str, object]:
+    """Build the keyword arguments accepted by a given experiment function."""
+    kwargs: Dict[str, object] = {"seed": args.seed}
+    # figure11 / theorem3 have no scale parameter; everything else does.
+    if name not in ("figure11", "theorem3"):
+        kwargs["scale"] = args.scale
+    if args.trials is not None and name not in ("figure8",):
+        kwargs["trials"] = args.trials
+    return kwargs
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Regenerate the tables and figures of the VLDB 2015 paper "
+        "'Leveraging History for Faster Sampling of Online Social Networks'.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["list", "all", "table1", *EXPERIMENTS.keys()],
+        help="experiment to run ('list' prints the available names)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base random seed (default 0)")
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="dataset scale multiplier (default: each experiment's own default)",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=None,
+        help="number of independent trials per point (default: experiment default)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="directory to write result CSV files into"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        print("available experiments:")
+        for name in ("table1", *EXPERIMENTS.keys()):
+            print(f"  {name}")
+        return 0
+
+    out_dir: Optional[Path] = args.out
+    names: List[str]
+    if args.experiment == "all":
+        names = ["table1", *EXPERIMENTS.keys()]
+    else:
+        names = [args.experiment]
+
+    for name in names:
+        print(f"=== running {name} ===")
+        if name == "table1":
+            table_args = argparse.Namespace(
+                seed=args.seed, scale=args.scale if args.scale is not None else 0.5
+            )
+            _run_table1(table_args, out_dir)
+            print()
+            continue
+        function = EXPERIMENTS[name]
+        kwargs = _experiment_kwargs(name, args)
+        if args.scale is None:
+            kwargs.pop("scale", None)
+        reports = function(**kwargs)
+        _print_and_save(reports, out_dir)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Aggregate estimation from walk samples."""
+
+from .aggregates import DEGREE, AggregateKind, AggregateQuery
+from .estimators import Estimate, RunningEstimator, estimate, reweighted_mean, uniform_mean
+from .ground_truth import average_attribute, average_degree, ground_truth, ground_truth_table
+from .variance import (
+    asymptotic_variance_across_chains,
+    asymptotic_variance_estimate,
+    autocorrelation,
+    autocovariance,
+    batch_means_variance,
+    effective_sample_size,
+    integrated_autocorrelation_time,
+    mean_squared_error,
+    running_means,
+)
+
+__all__ = [
+    "AggregateKind",
+    "AggregateQuery",
+    "DEGREE",
+    "Estimate",
+    "RunningEstimator",
+    "asymptotic_variance_across_chains",
+    "asymptotic_variance_estimate",
+    "autocorrelation",
+    "autocovariance",
+    "average_attribute",
+    "average_degree",
+    "batch_means_variance",
+    "effective_sample_size",
+    "estimate",
+    "ground_truth",
+    "ground_truth_table",
+    "integrated_autocorrelation_time",
+    "mean_squared_error",
+    "reweighted_mean",
+    "running_means",
+    "uniform_mean",
+]

@@ -1,0 +1,122 @@
+"""Aggregate query specifications.
+
+The motivating workload of the paper is answering global and conditional
+aggregates (SUM, AVG, COUNT — e.g. "the average friend count of all users
+living in Texas") from sampled nodes.  An :class:`AggregateQuery` captures
+that specification declaratively: the aggregate kind, the measure attribute
+(or an arbitrary measure function) and an optional node-level filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Mapping, Optional
+
+from ..exceptions import InvalidConfigurationError
+from ..types import NodeId
+
+
+class AggregateKind(str, Enum):
+    """Supported aggregate types."""
+
+    AVERAGE = "average"
+    SUM = "sum"
+    COUNT = "count"
+    PROPORTION = "proportion"
+
+
+#: Special measure name meaning "the degree of the node as seen by the API".
+DEGREE = "__degree__"
+
+
+@dataclass(frozen=True)
+class AggregateQuery:
+    """A declarative aggregate query over the nodes of a social network.
+
+    Attributes:
+        kind: The aggregate type.
+        measure: Attribute name to aggregate (use :data:`DEGREE` for node
+            degree), or ``None`` for COUNT/PROPORTION queries that only need
+            the filter.
+        predicate: Optional filter ``f(node, attributes) -> bool`` restricting
+            the aggregate to matching nodes (conditional aggregates).
+        name: Optional human-readable label used in reports.
+
+    Example:
+        >>> avg_degree = AggregateQuery.average_degree()
+        >>> avg_texan_age = AggregateQuery(
+        ...     kind=AggregateKind.AVERAGE,
+        ...     measure="age",
+        ...     predicate=lambda node, attrs: attrs.get("state") == "TX",
+        ...     name="avg age in Texas",
+        ... )
+    """
+
+    kind: AggregateKind
+    measure: Optional[str] = None
+    predicate: Optional[Callable[[NodeId, Mapping[str, Any]], bool]] = None
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind in (AggregateKind.AVERAGE, AggregateKind.SUM) and self.measure is None:
+            raise InvalidConfigurationError(f"{self.kind.value} queries need a measure")
+        if self.kind is AggregateKind.PROPORTION and self.predicate is None:
+            raise InvalidConfigurationError("proportion queries need a predicate")
+
+    # ------------------------------------------------------------------
+    # Evaluation helpers
+    # ------------------------------------------------------------------
+    def matches(self, node: NodeId, attributes: Mapping[str, Any]) -> bool:
+        """Return whether the node passes the (optional) filter."""
+        if self.predicate is None:
+            return True
+        return bool(self.predicate(node, attributes))
+
+    def measure_value(
+        self, node: NodeId, attributes: Mapping[str, Any], degree: int
+    ) -> float:
+        """Return the numeric measure of a node (0.0 for missing values)."""
+        if self.measure is None:
+            return 1.0
+        if self.measure == DEGREE:
+            return float(degree)
+        raw = attributes.get(self.measure, 0.0)
+        try:
+            return float(raw)
+        except (TypeError, ValueError):
+            return 0.0
+
+    @property
+    def label(self) -> str:
+        """A printable label for reports."""
+        if self.name:
+            return self.name
+        measure = "degree" if self.measure == DEGREE else (self.measure or "*")
+        suffix = " (filtered)" if self.predicate is not None else ""
+        return f"{self.kind.value}({measure}){suffix}"
+
+    # ------------------------------------------------------------------
+    # Convenience constructors matching the paper's workloads
+    # ------------------------------------------------------------------
+    @classmethod
+    def average_degree(cls) -> "AggregateQuery":
+        """AVG(degree) — the Figure 6 / 7 workload."""
+        return cls(kind=AggregateKind.AVERAGE, measure=DEGREE, name="average degree")
+
+    @classmethod
+    def average_attribute(cls, attribute: str) -> "AggregateQuery":
+        """AVG(attribute) — e.g. average reviews count (Figure 9b)."""
+        return cls(kind=AggregateKind.AVERAGE, measure=attribute, name=f"average {attribute}")
+
+    @classmethod
+    def sum_attribute(cls, attribute: str) -> "AggregateQuery":
+        return cls(kind=AggregateKind.SUM, measure=attribute, name=f"sum {attribute}")
+
+    @classmethod
+    def count(cls, predicate=None, name: Optional[str] = None) -> "AggregateQuery":
+        return cls(kind=AggregateKind.COUNT, predicate=predicate, name=name or "count")
+
+    @classmethod
+    def proportion(cls, predicate, name: Optional[str] = None) -> "AggregateQuery":
+        return cls(kind=AggregateKind.PROPORTION, predicate=predicate, name=name or "proportion")

@@ -1,0 +1,55 @@
+"""Exact aggregate computation over the full graph.
+
+The experiments need the ground-truth value of every aggregate to measure
+relative estimation error.  These functions iterate the whole graph — they are
+only legal for the experiment harness, never for the samplers, which must go
+through the restrictive API.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..exceptions import EmptyGraphError
+from ..graphs.graph import Graph
+from .aggregates import AggregateKind, AggregateQuery
+
+
+def ground_truth(graph: Graph, query: AggregateQuery) -> float:
+    """Return the exact value of ``query`` over every node of ``graph``."""
+    if graph.number_of_nodes == 0:
+        raise EmptyGraphError("cannot evaluate an aggregate on an empty graph")
+    matching = 0
+    total_value = 0.0
+    for node in graph.nodes():
+        attributes = graph.attributes(node)
+        degree = graph.degree(node)
+        if not query.matches(node, attributes):
+            continue
+        matching += 1
+        total_value += query.measure_value(node, attributes, degree)
+    if query.kind is AggregateKind.COUNT:
+        return float(matching)
+    if query.kind is AggregateKind.PROPORTION:
+        return matching / graph.number_of_nodes
+    if query.kind is AggregateKind.SUM:
+        return total_value
+    # AVERAGE
+    if matching == 0:
+        raise EmptyGraphError("no node matches the aggregate filter")
+    return total_value / matching
+
+
+def ground_truth_table(graph: Graph, queries) -> Dict[str, float]:
+    """Return a label -> exact value mapping for several queries."""
+    return {query.label: ground_truth(graph, query) for query in queries}
+
+
+def average_degree(graph: Graph) -> float:
+    """Exact average degree (the Figure 6 / 7 target value)."""
+    return ground_truth(graph, AggregateQuery.average_degree())
+
+
+def average_attribute(graph: Graph, attribute: str) -> float:
+    """Exact average of a numeric attribute (the Figure 9 target value)."""
+    return ground_truth(graph, AggregateQuery.average_attribute(attribute))

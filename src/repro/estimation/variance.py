@@ -1,0 +1,139 @@
+"""Variance and effective-sample-size diagnostics for MCMC samples.
+
+Definition 3 of the paper measures a walk's efficiency by the *asymptotic
+variance* of the estimator built from its trajectory.  In practice that limit
+is estimated from a finite trace; this module implements the standard tooling
+(autocovariance, integrated autocorrelation time, batch means, effective
+sample size) plus a Monte-Carlo estimator of the asymptotic variance used by
+the theory-validation tests to confirm Theorem 2 / Theorem 4 empirically:
+``V_inf(CNRW) <= V_inf(SRW)`` and ``V_inf(GNRW) <= V_inf(SRW)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import InsufficientSamplesError
+
+
+def autocovariance(values: Sequence[float], lag: int) -> float:
+    """Return the lag-``lag`` autocovariance of ``values``."""
+    array = np.asarray(values, dtype=float)
+    n = len(array)
+    if lag < 0:
+        raise ValueError("lag must be non-negative")
+    if n <= lag:
+        raise InsufficientSamplesError("series too short for requested lag")
+    mean = array.mean()
+    front = array[: n - lag] - mean
+    back = array[lag:] - mean
+    return float((front * back).sum() / n)
+
+
+def autocorrelation(values: Sequence[float], lag: int) -> float:
+    """Return the lag-``lag`` autocorrelation of ``values`` (0 when var=0)."""
+    variance = autocovariance(values, 0)
+    if variance == 0:
+        return 0.0
+    return autocovariance(values, lag) / variance
+
+
+def integrated_autocorrelation_time(
+    values: Sequence[float], max_lag: Optional[int] = None
+) -> float:
+    """Return the integrated autocorrelation time via Geyer's initial-positive rule.
+
+    Sums consecutive-pair autocorrelations while the pair sums stay positive,
+    which avoids the noise blow-up of summing to arbitrary lags.
+    """
+    array = np.asarray(values, dtype=float)
+    n = len(array)
+    if n < 4:
+        raise InsufficientSamplesError("need at least 4 values")
+    if autocovariance(array, 0) == 0:
+        return 1.0
+    if max_lag is None:
+        max_lag = n // 2
+    tau = 1.0
+    lag = 1
+    while lag + 1 <= max_lag:
+        pair = autocorrelation(array, lag) + autocorrelation(array, lag + 1)
+        if pair <= 0:
+            break
+        tau += 2.0 * pair
+        lag += 2
+    return max(1.0, tau)
+
+
+def effective_sample_size(values: Sequence[float]) -> float:
+    """Return ``n / tau``: the number of effectively independent samples."""
+    array = np.asarray(values, dtype=float)
+    if len(array) == 0:
+        raise InsufficientSamplesError("empty series")
+    if len(array) < 4 or autocovariance(array, 0) == 0:
+        return float(len(array))
+    return len(array) / integrated_autocorrelation_time(array)
+
+
+def batch_means_variance(values: Sequence[float], num_batches: int = 20) -> float:
+    """Return the batch-means estimate of ``Var(mean)``.
+
+    Splits the trace into ``num_batches`` contiguous batches and uses the
+    variance of the batch means — the classic MCMC estimator that remains
+    valid under serial correlation.
+    """
+    array = np.asarray(values, dtype=float)
+    if num_batches < 2:
+        raise ValueError("need at least 2 batches")
+    if len(array) < 2 * num_batches:
+        raise InsufficientSamplesError("series too short for the requested batches")
+    batch_size = len(array) // num_batches
+    trimmed = array[: batch_size * num_batches]
+    batches = trimmed.reshape(num_batches, batch_size)
+    means = batches.mean(axis=1)
+    return float(means.var(ddof=1) / num_batches)
+
+
+def asymptotic_variance_estimate(values: Sequence[float], num_batches: int = 20) -> float:
+    """Return an estimate of the paper's asymptotic variance ``lim n*Var(mean)``.
+
+    Uses batch means: ``n * Var(mean_hat) ~= batch_size * Var(batch means)``.
+    """
+    array = np.asarray(values, dtype=float)
+    variance_of_mean = batch_means_variance(array, num_batches=num_batches)
+    return float(len(array) * variance_of_mean)
+
+
+def asymptotic_variance_across_chains(chain_means: Sequence[float], chain_length: int) -> float:
+    """Estimate ``lim n*Var(mean)`` from the means of many independent chains.
+
+    This is the estimator used by the theory-validation tests: run many
+    independent walks of equal length ``chain_length``, take the estimator
+    value of each, and scale the across-chain variance by the chain length.
+    It is unbiased for finite-``n`` ``n * Var`` and converges to the asymptotic
+    variance as ``chain_length`` grows.
+    """
+    means = np.asarray(chain_means, dtype=float)
+    if len(means) < 2:
+        raise InsufficientSamplesError("need at least 2 chains")
+    if chain_length < 1:
+        raise ValueError("chain_length must be positive")
+    return float(chain_length * means.var(ddof=1))
+
+
+def mean_squared_error(estimates: Sequence[float], truth: float) -> float:
+    """Return the MSE of a set of estimates against the ground truth."""
+    array = np.asarray(estimates, dtype=float)
+    if len(array) == 0:
+        raise InsufficientSamplesError("no estimates")
+    return float(((array - truth) ** 2).mean())
+
+
+def running_means(values: Sequence[float]) -> List[float]:
+    """Return the sequence of running (cumulative) means of ``values``."""
+    array = np.asarray(values, dtype=float)
+    if len(array) == 0:
+        return []
+    return list(np.cumsum(array) / np.arange(1, len(array) + 1))

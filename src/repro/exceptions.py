@@ -1,0 +1,113 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch library failures with a single ``except`` clause while still being able
+to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """Base class for graph-related errors."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """Raised when a node id is not present in a graph."""
+
+    def __init__(self, node):
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """Raised when an edge is not present in a graph."""
+
+    def __init__(self, u, v):
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class EmptyGraphError(GraphError):
+    """Raised when an operation requires a non-empty graph."""
+
+
+class DisconnectedGraphError(GraphError):
+    """Raised when an operation requires a connected graph."""
+
+
+class AttributeNotFoundError(GraphError, KeyError):
+    """Raised when a node attribute requested by name does not exist."""
+
+    def __init__(self, node, attribute):
+        super().__init__(f"node {node!r} has no attribute {attribute!r}")
+        self.node = node
+        self.attribute = attribute
+
+
+class LoaderError(GraphError):
+    """Raised when an edge-list file cannot be parsed."""
+
+
+class APIError(ReproError):
+    """Base class for simulated-API errors."""
+
+
+class QueryBudgetExceededError(APIError):
+    """Raised when the unique-query budget of a crawl is exhausted."""
+
+    def __init__(self, budget, spent=None):
+        detail = f"query budget of {budget} unique queries exhausted"
+        if spent is not None:
+            detail += f" (spent {spent})"
+        super().__init__(detail)
+        self.budget = budget
+        self.spent = spent
+
+
+class RateLimitExceededError(APIError):
+    """Raised when a rate-limit policy rejects a query instead of waiting."""
+
+    def __init__(self, retry_after=None):
+        detail = "rate limit exceeded"
+        if retry_after is not None:
+            detail += f"; retry after {retry_after:.3f}s (simulated)"
+        super().__init__(detail)
+        self.retry_after = retry_after
+
+
+class WalkError(ReproError):
+    """Base class for random-walk errors."""
+
+
+class DeadEndError(WalkError):
+    """Raised when a walk reaches a node with no neighbors."""
+
+    def __init__(self, node):
+        super().__init__(f"walk reached dead-end node {node!r} with no neighbors")
+        self.node = node
+
+
+class InvalidStartNodeError(WalkError):
+    """Raised when the requested start node is unusable (missing/isolated)."""
+
+
+class EstimationError(ReproError):
+    """Base class for estimation errors."""
+
+
+class InsufficientSamplesError(EstimationError):
+    """Raised when an estimator is asked for a value with no usable samples."""
+
+
+class ExperimentError(ReproError):
+    """Base class for experiment-harness errors."""
+
+
+class InvalidConfigurationError(ExperimentError, ValueError):
+    """Raised when an experiment configuration is inconsistent."""

@@ -1,0 +1,162 @@
+"""Experiment configuration objects.
+
+The experiment harness is configured declaratively so every paper figure is a
+small, inspectable configuration value rather than an ad-hoc script.  All
+configurations validate themselves eagerly, so a typo fails at construction
+time rather than hours into a sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..estimation.aggregates import AggregateQuery
+from ..exceptions import InvalidConfigurationError
+
+
+@dataclass(frozen=True)
+class WalkerSpec:
+    """One sampler to run: a factory name plus its keyword options.
+
+    Attributes:
+        name: A walker-registry name (e.g. ``"cnrw"``, ``"gnrw_by_degree"``).
+        label: Label used in result tables (defaults to the upper-case name).
+        options: Extra keyword arguments for :func:`repro.walks.make_walker`.
+        uniform_samples: Whether this sampler targets the uniform distribution
+            (MHRW) and therefore needs the un-reweighted estimator.
+    """
+
+    name: str
+    label: Optional[str] = None
+    options: Tuple[Tuple[str, object], ...] = ()
+    uniform_samples: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InvalidConfigurationError("walker name must be non-empty")
+
+    @property
+    def display_label(self) -> str:
+        return self.label or self.name.upper()
+
+    def options_dict(self) -> Dict[str, object]:
+        return dict(self.options)
+
+    @classmethod
+    def make(cls, name: str, label: Optional[str] = None, uniform_samples: bool = False, **options) -> "WalkerSpec":
+        """Convenience constructor accepting options as keyword arguments."""
+        return cls(
+            name=name,
+            label=label,
+            options=tuple(sorted(options.items())),
+            uniform_samples=uniform_samples,
+        )
+
+
+@dataclass(frozen=True)
+class CostSweepConfig:
+    """Configuration of an error-versus-query-cost experiment (Figures 6-10).
+
+    For every query budget and every walker, ``trials`` independent walks are
+    run; each walk keeps walking until its budget is exhausted, samples every
+    visited node, and produces one aggregate estimate.  The averaged error at
+    each budget forms one point of the curve.
+    """
+
+    walkers: Sequence[WalkerSpec]
+    query: AggregateQuery
+    budgets: Sequence[int]
+    trials: int = 20
+    burn_in: int = 0
+    thinning: int = 1
+    seed: Optional[int] = 0
+    compute_divergences: bool = False
+    divergence_smoothing: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.walkers:
+            raise InvalidConfigurationError("need at least one walker")
+        if not self.budgets:
+            raise InvalidConfigurationError("need at least one budget")
+        if any(budget < 2 for budget in self.budgets):
+            raise InvalidConfigurationError("budgets must be at least 2 queries")
+        if self.trials < 1:
+            raise InvalidConfigurationError("trials must be at least 1")
+        if self.burn_in < 0:
+            raise InvalidConfigurationError("burn_in must be non-negative")
+        if self.thinning < 1:
+            raise InvalidConfigurationError("thinning must be at least 1")
+
+
+@dataclass(frozen=True)
+class DistributionStudyConfig:
+    """Configuration of a sampling-distribution study (Figure 8).
+
+    Runs ``num_walks`` independent walks of ``steps`` steps for each walker
+    and accumulates visit counts into an empirical distribution, which is then
+    compared against the theoretical ``pi``.
+    """
+
+    walkers: Sequence[WalkerSpec]
+    num_walks: int = 20
+    steps: int = 2000
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if not self.walkers:
+            raise InvalidConfigurationError("need at least one walker")
+        if self.num_walks < 1:
+            raise InvalidConfigurationError("num_walks must be at least 1")
+        if self.steps < 1:
+            raise InvalidConfigurationError("steps must be at least 1")
+
+
+@dataclass(frozen=True)
+class SizeSweepConfig:
+    """Configuration of a graph-size sweep (Figure 11: barbell sizes).
+
+    ``sizes`` are passed to a graph-builder callable supplied at run time; the
+    per-size experiment is otherwise a cost experiment at a single budget.
+    """
+
+    walkers: Sequence[WalkerSpec]
+    query: AggregateQuery
+    sizes: Sequence[int]
+    budget: int
+    trials: int = 20
+    seed: Optional[int] = 0
+    compute_divergences: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.walkers:
+            raise InvalidConfigurationError("need at least one walker")
+        if not self.sizes:
+            raise InvalidConfigurationError("need at least one size")
+        if self.budget < 2:
+            raise InvalidConfigurationError("budget must be at least 2")
+        if self.trials < 1:
+            raise InvalidConfigurationError("trials must be at least 1")
+
+
+# Walker line-ups used repeatedly by the paper's figures.
+PAPER_FIVE_WALKERS = (
+    WalkerSpec.make("mhrw", label="MHRW", uniform_samples=True),
+    WalkerSpec.make("srw", label="SRW"),
+    WalkerSpec.make("nbsrw", label="NB-SRW"),
+    WalkerSpec.make("cnrw", label="CNRW"),
+    WalkerSpec.make("gnrw_by_degree", label="GNRW"),
+)
+
+PAPER_FOUR_WALKERS = (
+    WalkerSpec.make("srw", label="SRW"),
+    WalkerSpec.make("nbsrw", label="NB-SRW"),
+    WalkerSpec.make("cnrw", label="CNRW"),
+    WalkerSpec.make("gnrw_by_degree", label="GNRW"),
+)
+
+PAPER_THREE_WALKERS = (
+    WalkerSpec.make("srw", label="SRW"),
+    WalkerSpec.make("cnrw", label="CNRW"),
+    WalkerSpec.make("gnrw_by_degree", label="GNRW"),
+)

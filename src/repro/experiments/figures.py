@@ -1,0 +1,276 @@
+"""One experiment definition per table / figure of the paper.
+
+Every function here builds the workload (dataset + aggregate + walker line-up
++ budgets) of one paper figure and delegates execution to
+:mod:`repro.experiments.runner`.  The ``trials`` / ``scale`` parameters let
+the benchmark harness trade fidelity for runtime; the defaults are sized so
+the whole suite completes in minutes on a laptop while preserving the
+qualitative shape of the paper's results.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..estimation.aggregates import AggregateQuery
+from ..graphs.datasets import load_dataset
+from ..graphs.generators import barbell_graph
+from ..graphs.statistics import GraphSummary, summarize
+from .config import (
+    PAPER_FIVE_WALKERS,
+    PAPER_FOUR_WALKERS,
+    PAPER_THREE_WALKERS,
+    CostSweepConfig,
+    DistributionStudyConfig,
+    SizeSweepConfig,
+    WalkerSpec,
+)
+from .results import ExperimentReport
+from .runner import (
+    escape_probability_study,
+    run_cost_sweep,
+    run_distribution_study,
+    run_size_sweep,
+)
+
+#: Dataset names in the order of the paper's Table 1.
+TABLE1_DATASETS = (
+    "facebook_like",
+    "googleplus_like",
+    "yelp_like",
+    "youtube_like",
+    "clustered",
+    "barbell",
+)
+
+
+def table1(seed: int = 0, scale: float = 1.0, datasets: Optional[Sequence[str]] = None) -> List[GraphSummary]:
+    """Table 1: summary statistics of every experiment dataset."""
+    names = list(datasets) if datasets is not None else list(TABLE1_DATASETS)
+    return [summarize(load_dataset(name, seed=seed, scale=scale)) for name in names]
+
+
+def figure6(
+    seed: int = 0,
+    scale: float = 0.25,
+    trials: int = 10,
+    budgets: Sequence[int] = (200, 400, 600, 800, 1000),
+) -> ExperimentReport:
+    """Figure 6: average-degree estimation error on the Google-Plus-like graph.
+
+    All five walkers (MHRW, SRW, NB-SRW, CNRW, GNRW) are compared on the
+    relative error of the average-degree estimate as the query budget grows.
+    The paper's headline observations — CNRW/GNRW dominate, MHRW is far worse
+    — are asserted by the test suite on this report.
+    """
+    graph = load_dataset("googleplus_like", seed=seed, scale=scale)
+    config = CostSweepConfig(
+        walkers=PAPER_FIVE_WALKERS,
+        query=AggregateQuery.average_degree(),
+        budgets=tuple(budgets),
+        trials=trials,
+        seed=seed,
+    )
+    return run_cost_sweep(graph, config, title="figure6 googleplus average degree")
+
+
+def figure7_facebook(
+    seed: int = 0,
+    scale: float = 1.0,
+    trials: int = 10,
+    budgets: Sequence[int] = (20, 40, 60, 80, 100, 120, 140),
+) -> ExperimentReport:
+    """Figure 7(a-c): KL divergence, L2 distance and estimation error on Facebook."""
+    graph = load_dataset("facebook_like", seed=seed, scale=scale)
+    config = CostSweepConfig(
+        walkers=PAPER_FOUR_WALKERS,
+        query=AggregateQuery.average_degree(),
+        budgets=tuple(budgets),
+        trials=trials,
+        seed=seed,
+        compute_divergences=True,
+    )
+    return run_cost_sweep(graph, config, title="figure7 facebook")
+
+
+def figure7_youtube(
+    seed: int = 0,
+    scale: float = 1.0,
+    trials: int = 8,
+    budgets: Sequence[int] = (100, 250, 500, 750, 1000),
+) -> ExperimentReport:
+    """Figure 7(d): estimation error on the Youtube-like graph (SRW/CNRW/GNRW)."""
+    graph = load_dataset("youtube_like", seed=seed, scale=scale)
+    config = CostSweepConfig(
+        walkers=PAPER_THREE_WALKERS,
+        query=AggregateQuery.average_degree(),
+        budgets=tuple(budgets),
+        trials=trials,
+        seed=seed,
+    )
+    return run_cost_sweep(graph, config, title="figure7 youtube")
+
+
+def figure8(
+    seed: int = 0,
+    scale: float = 0.4,
+    num_walks: int = 20,
+    steps: int = 2000,
+) -> ExperimentReport:
+    """Figure 8: sampling distributions of SRW, CNRW and GNRW vs theoretical pi.
+
+    The paper runs 100 walks of 10,000 steps on two Facebook ego networks; the
+    defaults here are scaled down but the assertion is identical: all three
+    walkers' empirical visit distributions converge to ``pi(v) = deg(v)/2|E|``.
+    """
+    graph = load_dataset("facebook_like", seed=seed, scale=scale)
+    config = DistributionStudyConfig(
+        walkers=PAPER_THREE_WALKERS,
+        num_walks=num_walks,
+        steps=steps,
+        seed=seed,
+    )
+    return run_distribution_study(graph, config, title="figure8 sampling distribution")
+
+
+def figure9(
+    seed: int = 0,
+    scale: float = 1.0,
+    trials: int = 10,
+    budgets: Sequence[int] = (100, 250, 500, 750, 1000),
+    attribute: str = "reviews_count",
+) -> List[ExperimentReport]:
+    """Figure 9: GNRW grouping strategies on the Yelp-like graph.
+
+    Two sub-experiments, matching Figures 9(a) and 9(b): estimating the
+    average degree and the average ``reviews_count``, each with SRW as the
+    baseline and GNRW grouped by degree, by MD5 and by ``reviews_count``.
+    Returns a list of two reports (average degree first).
+    """
+    graph = load_dataset("yelp_like", seed=seed, scale=scale)
+    walkers = (
+        WalkerSpec.make("srw", label="SRW"),
+        WalkerSpec.make("gnrw_by_degree", label="GNRW_By_Degree"),
+        WalkerSpec.make("gnrw_by_md5", label="GNRW_By_MD5"),
+        WalkerSpec.make(
+            "gnrw_by_attribute", label="GNRW_By_ReviewsCount", group_attribute=attribute
+        ),
+    )
+    reports: List[ExperimentReport] = []
+    for query, label in (
+        (AggregateQuery.average_degree(), "figure9a yelp average degree"),
+        (AggregateQuery.average_attribute(attribute), "figure9b yelp average reviews count"),
+    ):
+        config = CostSweepConfig(
+            walkers=walkers,
+            query=query,
+            budgets=tuple(budgets),
+            trials=trials,
+            seed=seed,
+        )
+        reports.append(run_cost_sweep(graph, config, title=label))
+    return reports
+
+
+def figure10(
+    seed: int = 0,
+    scale: float = 1.0,
+    trials: int = 10,
+    budgets: Sequence[int] = (20, 40, 60, 80, 100, 120, 140),
+) -> ExperimentReport:
+    """Figure 10: clustered graph (cliques of 10/30/50) with all bias measures."""
+    graph = load_dataset("clustered", seed=seed, scale=scale)
+    config = CostSweepConfig(
+        walkers=PAPER_FOUR_WALKERS,
+        query=AggregateQuery.average_attribute("age"),
+        budgets=tuple(budgets),
+        trials=trials,
+        seed=seed,
+        compute_divergences=True,
+    )
+    return run_cost_sweep(graph, config, title="figure10 clustered graph")
+
+
+def figure11(
+    seed: int = 0,
+    sizes: Sequence[int] = (10, 14, 18, 22, 26),
+    budget: int = 80,
+    trials: int = 10,
+) -> ExperimentReport:
+    """Figure 11: metrics vs barbell graph size (total nodes = 2 * clique size).
+
+    The paper varies the barbell size from 20 to 56 nodes; ``sizes`` here are
+    clique sizes, so the default range covers 20 to 52 total nodes.
+    """
+    config = SizeSweepConfig(
+        walkers=PAPER_THREE_WALKERS,
+        query=AggregateQuery.average_attribute("age"),
+        sizes=tuple(sizes),
+        budget=budget,
+        trials=trials,
+        seed=seed,
+    )
+
+    def builder(clique_size: int):
+        graph = barbell_graph(clique_size)
+        # Attach the community-correlated "age" attribute like the dataset
+        # builder does, so the aggregate has real between-clique variance.
+        from ..graphs.attributes import assign_community_correlated_attribute
+
+        assign_community_correlated_attribute(
+            graph, name="age", base=25.0, spread=20.0, noise=1.0, seed=seed
+        )
+        return graph
+
+    return run_size_sweep(builder, config, title="figure11 barbell size sweep")
+
+
+def theorem3_escape(
+    seed: int = 0,
+    clique_sizes: Sequence[int] = (10, 20, 30, 40, 50),
+    steps: int = 300,
+    trials: int = 60,
+) -> ExperimentReport:
+    """Theorem 3 ablation: barbell bridge-crossing probability, CNRW vs SRW."""
+    walkers = (
+        WalkerSpec.make("srw", label="SRW"),
+        WalkerSpec.make("cnrw", label="CNRW"),
+    )
+    return escape_probability_study(
+        clique_sizes=clique_sizes,
+        walkers=walkers,
+        steps=steps,
+        trials=trials,
+        seed=seed,
+        title="theorem3 barbell escape",
+    )
+
+
+def ablation_recurrence(
+    seed: int = 0,
+    scale: float = 1.0,
+    trials: int = 10,
+    budgets: Sequence[int] = (20, 40, 60, 80, 100, 120, 140),
+) -> ExperimentReport:
+    """Section 3.2 ablation: edge-based vs node-based circulation for CNRW.
+
+    The paper states (without showing the data) that the edge-based design
+    outperforms the node-based one; this experiment regenerates that
+    comparison on the clustered graph, alongside SRW for reference.
+    """
+    graph = load_dataset("clustered", seed=seed, scale=scale)
+    walkers = (
+        WalkerSpec.make("srw", label="SRW"),
+        WalkerSpec.make("cnrw", label="CNRW-edge"),
+        WalkerSpec.make("cnrw_node", label="CNRW-node"),
+        WalkerSpec.make("nbcnrw", label="NB-CNRW"),
+    )
+    config = CostSweepConfig(
+        walkers=walkers,
+        query=AggregateQuery.average_attribute("age"),
+        budgets=tuple(budgets),
+        trials=trials,
+        seed=seed,
+        compute_divergences=True,
+    )
+    return run_cost_sweep(graph, config, title="ablation recurrence design")

@@ -1,0 +1,125 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows / series the paper reports, in a
+format that is readable in a terminal and easy to paste into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..graphs.statistics import GraphSummary
+from .results import ExperimentReport, ResultTable
+
+
+def format_number(value: object, precision: int = 4) -> str:
+    """Format a number compactly (integers without decimals)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def render_table(rows: Sequence[Sequence[object]], precision: int = 4) -> str:
+    """Render rows (first row = header) as an aligned text table."""
+    if not rows:
+        return ""
+    formatted = [[format_number(cell, precision) for cell in row] for row in rows]
+    widths = [max(len(row[col]) for row in formatted) for col in range(len(formatted[0]))]
+    lines: List[str] = []
+    for index, row in enumerate(formatted):
+        line = "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        lines.append(line)
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def render_result_table(table: ResultTable, precision: int = 4) -> str:
+    """Render a :class:`ResultTable` in wide format with a title header."""
+    body = render_table(table.to_wide_rows(), precision=precision)
+    header = f"{table.title}\n({table.y_label} vs {table.x_label})"
+    return f"{header}\n{body}"
+
+
+def render_report(report: ExperimentReport, precision: int = 4) -> str:
+    """Render every table of an :class:`ExperimentReport`."""
+    sections: List[str] = [f"=== {report.name} ==="]
+    if report.metadata:
+        meta = ", ".join(f"{key}={format_number(value)}" for key, value in report.metadata.items())
+        sections.append(meta)
+    for key in report.keys():
+        sections.append("")
+        sections.append(render_result_table(report.get(key), precision=precision))
+    return "\n".join(sections)
+
+
+def render_dataset_summaries(summaries: Sequence[GraphSummary], precision: int = 4) -> str:
+    """Render Table 1: one row per dataset."""
+    rows: List[Sequence[object]] = [
+        ["dataset", "nodes", "edges", "avg degree", "avg clustering", "triangles"]
+    ]
+    for summary in summaries:
+        rows.append(list(summary.as_row()))
+    return render_table(rows, precision=precision)
+
+
+def render_comparison(
+    table: ResultTable,
+    baseline: str,
+    challengers: Sequence[str],
+    precision: int = 4,
+) -> str:
+    """Summarise how challengers compare to a baseline on curve means.
+
+    Produces lines like ``CNRW vs SRW: 0.034 vs 0.051 (improvement 33%)`` —
+    the "who wins, by roughly what factor" statement EXPERIMENTS.md records.
+    """
+    lines: List[str] = []
+    base_mean = table.mean_of(baseline)
+    for challenger in challengers:
+        if challenger not in table.series:
+            continue
+        challenger_mean = table.mean_of(challenger)
+        if base_mean > 0:
+            improvement = 100.0 * (base_mean - challenger_mean) / base_mean
+        else:
+            improvement = 0.0
+        lines.append(
+            f"{challenger} vs {baseline}: "
+            f"{format_number(challenger_mean, precision)} vs {format_number(base_mean, precision)} "
+            f"(improvement {improvement:.1f}%)"
+        )
+    return "\n".join(lines)
+
+
+def markdown_table(rows: Sequence[Sequence[object]], precision: int = 4) -> str:
+    """Render rows (first row = header) as a GitHub-flavoured markdown table."""
+    if not rows:
+        return ""
+    formatted = [[format_number(cell, precision) for cell in row] for row in rows]
+    header = "| " + " | ".join(formatted[0]) + " |"
+    divider = "|" + "|".join("---" for _ in formatted[0]) + "|"
+    body = ["| " + " | ".join(row) + " |" for row in formatted[1:]]
+    return "\n".join([header, divider, *body])
+
+
+def report_to_markdown(report: ExperimentReport, precision: int = 4) -> str:
+    """Render an :class:`ExperimentReport` as markdown (for EXPERIMENTS.md)."""
+    sections: List[str] = [f"### {report.name}", ""]
+    if report.metadata:
+        for key, value in report.metadata.items():
+            sections.append(f"- {key}: {format_number(value, precision)}")
+        sections.append("")
+    for key in report.keys():
+        table = report.get(key)
+        sections.append(f"**{table.title}** ({table.y_label} vs {table.x_label})")
+        sections.append("")
+        sections.append(markdown_table(table.to_wide_rows(), precision=precision))
+        sections.append("")
+    return "\n".join(sections)

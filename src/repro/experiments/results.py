@@ -1,0 +1,162 @@
+"""Result containers for the experiment harness.
+
+The harness produces *series* (metric value as a function of query cost,
+graph size, ...) per sampler, plus flat tables for CSV export.  No plotting
+dependency is used; the benchmark scripts print the series in the same layout
+as the paper's figures and EXPERIMENTS.md records them.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+
+@dataclass
+class Series:
+    """One curve: ``y`` values indexed by ``x`` values for one sampler."""
+
+    label: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+
+    def add_point(self, x: float, y: float) -> None:
+        self.x.append(float(x))
+        self.y.append(float(y))
+
+    def as_dict(self) -> Dict[float, float]:
+        return dict(zip(self.x, self.y))
+
+    def final_value(self) -> float:
+        if not self.y:
+            raise ValueError("series is empty")
+        return self.y[-1]
+
+    def mean_value(self) -> float:
+        if not self.y:
+            raise ValueError("series is empty")
+        return sum(self.y) / len(self.y)
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+
+@dataclass
+class ResultTable:
+    """A collection of named series sharing the same x-axis meaning.
+
+    Attributes:
+        title: Table/figure title (e.g. ``"Figure 6: Google Plus"``).
+        x_label: Meaning of the x values (``"query cost"``, ``"graph size"``).
+        y_label: Meaning of the y values (``"relative error"``, ...).
+        series: Mapping label -> :class:`Series`.
+        metadata: Free-form extra information (dataset name, trials, seed...).
+    """
+
+    title: str
+    x_label: str = "query cost"
+    y_label: str = "value"
+    series: Dict[str, Series] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def add_point(self, label: str, x: float, y: float) -> None:
+        """Append a point to the series named ``label`` (created on demand)."""
+        if label not in self.series:
+            self.series[label] = Series(label=label)
+        self.series[label].add_point(x, y)
+
+    def labels(self) -> List[str]:
+        return list(self.series)
+
+    def get(self, label: str) -> Series:
+        return self.series[label]
+
+    def x_values(self) -> List[float]:
+        """Return the union of x values across series, sorted."""
+        values = set()
+        for series in self.series.values():
+            values.update(series.x)
+        return sorted(values)
+
+    # ------------------------------------------------------------------
+    # Comparisons (used by tests and EXPERIMENTS.md generation)
+    # ------------------------------------------------------------------
+    def mean_of(self, label: str) -> float:
+        return self.get(label).mean_value()
+
+    def dominates(self, better: str, worse: str, tolerance: float = 0.0) -> bool:
+        """Return whether ``better``'s mean y value is <= ``worse``'s.
+
+        This is the headline comparison of the paper ("CNRW/GNRW achieve lower
+        error than SRW at equal query cost"), evaluated on curve averages to
+        be robust to per-point noise.  ``tolerance`` allows a small slack.
+        """
+        return self.mean_of(better) <= self.mean_of(worse) * (1.0 + tolerance)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def rows(self) -> List[Dict[str, object]]:
+        """Return long-format rows: one per (series, point)."""
+        rows: List[Dict[str, object]] = []
+        for label, series in self.series.items():
+            for x, y in zip(series.x, series.y):
+                rows.append({"series": label, self.x_label: x, self.y_label: y})
+        return rows
+
+    def to_csv(self, path: Optional[Union[str, Path]] = None) -> str:
+        """Render the table as CSV text; also write it to ``path`` if given."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=["series", self.x_label, self.y_label])
+        writer.writeheader()
+        for row in self.rows():
+            writer.writerow(row)
+        text = buffer.getvalue()
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    def to_wide_rows(self) -> List[List[object]]:
+        """Return wide-format rows: header + one row per x value."""
+        labels = self.labels()
+        header: List[object] = [self.x_label] + labels
+        rows: List[List[object]] = [header]
+        lookup = {label: self.get(label).as_dict() for label in labels}
+        for x in self.x_values():
+            row: List[object] = [x]
+            for label in labels:
+                row.append(lookup[label].get(x, ""))
+            rows.append(row)
+        return rows
+
+
+@dataclass
+class ExperimentReport:
+    """A bundle of result tables produced by one experiment (one figure)."""
+
+    name: str
+    tables: Dict[str, ResultTable] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def add_table(self, key: str, table: ResultTable) -> None:
+        self.tables[key] = table
+
+    def get(self, key: str) -> ResultTable:
+        return self.tables[key]
+
+    def keys(self) -> List[str]:
+        return list(self.tables)
+
+    def to_csv_files(self, directory: Union[str, Path]) -> List[Path]:
+        """Write one CSV per table into ``directory`` and return the paths."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths: List[Path] = []
+        for key, table in self.tables.items():
+            path = directory / f"{self.name}_{key}.csv"
+            table.to_csv(path)
+            paths.append(path)
+        return paths

@@ -1,0 +1,325 @@
+"""Experiment runner: turns configurations into result tables.
+
+The runner owns the repetition / seeding / accounting logic shared by every
+paper figure:
+
+* :func:`run_cost_sweep` — error (and optionally KL / L2 bias) as a function
+  of the unique-query budget (Figures 6, 7, 9, 10).
+* :func:`run_distribution_study` — empirical sampling distribution vs the
+  theoretical stationary distribution (Figure 8).
+* :func:`run_size_sweep` — metrics as a function of graph size for a
+  parametrised graph family (Figure 11).
+* :func:`escape_probability_study` — the Theorem 3 barbell-crossing ablation.
+
+Each trial gets its own :class:`~repro.api.interface.GraphAPI` wrapped around
+the same graph so query accounting is isolated, and its own derived seed so
+the whole sweep is reproducible from a single integer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..api.budget import QueryBudget
+from ..api.interface import GraphAPI
+from ..estimation.aggregates import AggregateQuery
+from ..estimation.estimators import estimate as estimate_aggregate
+from ..estimation.ground_truth import ground_truth
+from ..exceptions import InsufficientSamplesError
+from ..graphs.graph import Graph
+from ..metrics.bias import relative_error
+from ..metrics.distributions import Distribution, empirical_distribution, theoretical_distribution
+from ..metrics.divergence import l2_distance, symmetric_kl_divergence
+from ..rng import derive_seed, make_rng
+from ..walks.factory import make_walker
+from .config import CostSweepConfig, DistributionStudyConfig, SizeSweepConfig, WalkerSpec
+from .results import ExperimentReport, ResultTable
+
+
+def _pick_start_node(graph: Graph, seed: Optional[int]) -> object:
+    """Choose a start node uniformly (but never an isolated node)."""
+    rng = make_rng(seed)
+    nodes = graph.nodes()
+    for _ in range(len(nodes)):
+        node = nodes[int(rng.integers(0, len(nodes)))]
+        if graph.degree(node) > 0:
+            return node
+    raise InsufficientSamplesError("graph has no node with degree >= 1")
+
+
+def _build_walker(spec: WalkerSpec, api: GraphAPI, seed: Optional[int]):
+    return make_walker(spec.name, api=api, seed=seed, **spec.options_dict())
+
+
+def run_single_trial(
+    graph: Graph,
+    spec: WalkerSpec,
+    query: AggregateQuery,
+    budget: int,
+    seed: Optional[int],
+    burn_in: int = 0,
+    thinning: int = 1,
+) -> Dict[str, object]:
+    """Run one walk under a query budget and return its estimate and path.
+
+    Returns a dictionary with keys ``estimate`` (float or None when the walk
+    produced no usable sample), ``samples`` (list of :class:`Sample`),
+    ``path`` (visited nodes) and ``unique_queries``.
+    """
+    api = GraphAPI(graph, budget=QueryBudget(budget))
+    walker = _build_walker(spec, api, derive_seed(seed, 1))
+    start = _pick_start_node(graph, derive_seed(seed, 2))
+    result = walker.run(start, max_steps=None, burn_in=burn_in, thinning=thinning)
+    value: Optional[float] = None
+    if result.samples:
+        try:
+            value = estimate_aggregate(
+                result.samples, query, uniform_samples=spec.uniform_samples
+            ).value
+        except InsufficientSamplesError:
+            value = None
+    return {
+        "estimate": value,
+        "samples": result.samples,
+        "path": result.path,
+        "unique_queries": result.unique_queries,
+    }
+
+
+def run_cost_sweep(graph: Graph, config: CostSweepConfig, title: str = "cost sweep") -> ExperimentReport:
+    """Run the error-versus-query-cost experiment of Figures 6, 7, 9 and 10.
+
+    The report always contains a ``relative_error`` table; when
+    ``config.compute_divergences`` is true it additionally contains
+    ``kl_divergence`` and ``l2_distance`` tables computed from the visit
+    distribution of the walks against the theoretical stationary
+    distribution (the small-graph bias measures of the paper).
+    """
+    truth = ground_truth(graph, config.query)
+    error_table = ResultTable(title=f"{title}: relative error", y_label="relative error")
+    kl_table = ResultTable(title=f"{title}: KL divergence", y_label="KL divergence")
+    l2_table = ResultTable(title=f"{title}: L2 distance", y_label="L2 distance")
+    theoretical = theoretical_distribution(graph) if config.compute_divergences else None
+    support = graph.nodes() if config.compute_divergences else None
+
+    for budget_index, budget in enumerate(config.budgets):
+        for walker_index, spec in enumerate(config.walkers):
+            errors: List[float] = []
+            kls: List[float] = []
+            l2s: List[float] = []
+            visits_all: List[object] = []
+            for trial in range(config.trials):
+                seed = derive_seed(config.seed, budget_index, walker_index, trial)
+                outcome = run_single_trial(
+                    graph,
+                    spec,
+                    config.query,
+                    budget,
+                    seed,
+                    burn_in=config.burn_in,
+                    thinning=config.thinning,
+                )
+                if outcome["estimate"] is not None:
+                    errors.append(relative_error(outcome["estimate"], truth))
+                if config.compute_divergences:
+                    visits_all.extend(outcome["path"])
+            if errors:
+                error_table.add_point(spec.display_label, budget, sum(errors) / len(errors))
+            if config.compute_divergences and visits_all:
+                empirical = empirical_distribution(
+                    visits_all, support=support, smoothing=config.divergence_smoothing
+                )
+                kls.append(symmetric_kl_divergence(theoretical, empirical, support=support))
+                l2s.append(l2_distance(theoretical, empirical, support=support))
+                kl_table.add_point(spec.display_label, budget, sum(kls) / len(kls))
+                l2_table.add_point(spec.display_label, budget, sum(l2s) / len(l2s))
+
+    report = ExperimentReport(name=title.replace(" ", "_"))
+    report.metadata.update(
+        {
+            "graph": graph.name,
+            "nodes": graph.number_of_nodes,
+            "edges": graph.number_of_edges,
+            "query": config.query.label,
+            "ground_truth": truth,
+            "trials": config.trials,
+            "seed": config.seed,
+        }
+    )
+    report.add_table("relative_error", error_table)
+    if config.compute_divergences:
+        report.add_table("kl_divergence", kl_table)
+        report.add_table("l2_distance", l2_table)
+    return report
+
+
+def run_distribution_study(
+    graph: Graph, config: DistributionStudyConfig, title: str = "distribution study"
+) -> ExperimentReport:
+    """Run the sampling-distribution experiment of Figure 8.
+
+    For each walker the report's ``distribution`` table holds, per node
+    (ordered by degree, x = rank), the empirical visit probability; the
+    ``theoretical`` series holds the stationary distribution.  A second table
+    ``divergence`` summarises the distance of each walker's empirical
+    distribution from the theoretical one.
+    """
+    from ..metrics.distributions import nodes_by_degree
+
+    ordering = nodes_by_degree(graph)
+    support = graph.nodes()
+    theoretical = theoretical_distribution(graph)
+
+    distribution_table = ResultTable(
+        title=f"{title}: sampling distribution",
+        x_label="node rank (by degree)",
+        y_label="probability",
+    )
+    theo_vector = theoretical.vector(ordering)
+    for rank, probability in enumerate(theo_vector):
+        distribution_table.add_point("Theoretical", rank, float(probability))
+
+    divergence_table = ResultTable(
+        title=f"{title}: distance to stationary distribution",
+        x_label="walker",
+        y_label="divergence",
+    )
+
+    empirical_by_walker: Dict[str, Distribution] = {}
+    for walker_index, spec in enumerate(config.walkers):
+        visits: List[object] = []
+        for walk_index in range(config.num_walks):
+            seed = derive_seed(config.seed, walker_index, walk_index)
+            api = GraphAPI(graph)
+            walker = _build_walker(spec, api, derive_seed(seed, 1))
+            start = _pick_start_node(graph, derive_seed(seed, 2))
+            result = walker.run(start, max_steps=config.steps)
+            visits.extend(result.path)
+        empirical = empirical_distribution(visits, support=support)
+        empirical_by_walker[spec.display_label] = empirical
+        vector = empirical.vector(ordering)
+        for rank, probability in enumerate(vector):
+            distribution_table.add_point(spec.display_label, rank, float(probability))
+        divergence_table.add_point(
+            "KL", walker_index, symmetric_kl_divergence(theoretical, empirical, support=support)
+        )
+        divergence_table.add_point(
+            "L2", walker_index, l2_distance(theoretical, empirical, support=support)
+        )
+
+    report = ExperimentReport(name=title.replace(" ", "_"))
+    report.metadata.update(
+        {
+            "graph": graph.name,
+            "walkers": [spec.display_label for spec in config.walkers],
+            "num_walks": config.num_walks,
+            "steps": config.steps,
+        }
+    )
+    report.add_table("distribution", distribution_table)
+    report.add_table("divergence", divergence_table)
+    return report
+
+
+def run_size_sweep(
+    graph_builder: Callable[[int], Graph],
+    config: SizeSweepConfig,
+    title: str = "size sweep",
+) -> ExperimentReport:
+    """Run a metric-versus-graph-size experiment (Figure 11).
+
+    ``graph_builder`` maps a size parameter to a graph (e.g. a barbell graph
+    with that clique size).  For each size the runner performs a single-budget
+    cost experiment and records the mean relative error plus, optionally, the
+    KL / L2 bias of the visit distribution.
+    """
+    error_table = ResultTable(
+        title=f"{title}: relative error", x_label="graph size", y_label="relative error"
+    )
+    kl_table = ResultTable(
+        title=f"{title}: KL divergence", x_label="graph size", y_label="KL divergence"
+    )
+    l2_table = ResultTable(
+        title=f"{title}: L2 distance", x_label="graph size", y_label="L2 distance"
+    )
+
+    for size_index, size in enumerate(config.sizes):
+        graph = graph_builder(size)
+        truth = ground_truth(graph, config.query)
+        theoretical = theoretical_distribution(graph) if config.compute_divergences else None
+        support = graph.nodes() if config.compute_divergences else None
+        for walker_index, spec in enumerate(config.walkers):
+            errors: List[float] = []
+            visits_all: List[object] = []
+            for trial in range(config.trials):
+                seed = derive_seed(config.seed, size_index, walker_index, trial)
+                outcome = run_single_trial(graph, spec, config.query, config.budget, seed)
+                if outcome["estimate"] is not None:
+                    errors.append(relative_error(outcome["estimate"], truth))
+                if config.compute_divergences:
+                    visits_all.extend(outcome["path"])
+            if errors:
+                error_table.add_point(spec.display_label, size, sum(errors) / len(errors))
+            if config.compute_divergences and visits_all:
+                empirical = empirical_distribution(visits_all, support=support)
+                kl_table.add_point(
+                    spec.display_label,
+                    size,
+                    symmetric_kl_divergence(theoretical, empirical, support=support),
+                )
+                l2_table.add_point(
+                    spec.display_label, size, l2_distance(theoretical, empirical, support=support)
+                )
+
+    report = ExperimentReport(name=title.replace(" ", "_"))
+    report.metadata.update({"sizes": list(config.sizes), "budget": config.budget, "trials": config.trials})
+    report.add_table("relative_error", error_table)
+    if config.compute_divergences:
+        report.add_table("kl_divergence", kl_table)
+        report.add_table("l2_distance", l2_table)
+    return report
+
+
+def escape_probability_study(
+    clique_sizes: Sequence[int],
+    walkers: Sequence[WalkerSpec],
+    steps: int = 200,
+    trials: int = 100,
+    seed: Optional[int] = 0,
+    title: str = "barbell escape",
+) -> ExperimentReport:
+    """Measure how often each walker crosses a barbell bridge within ``steps``.
+
+    Theorem 3 of the paper lower-bounds the ratio of the CNRW and SRW
+    bridge-crossing probabilities by ``|G1| ln|G1| / (|G1| - 1)``.  This study
+    estimates the crossing probability empirically: a walk starts inside the
+    first clique and we record whether it ever reaches the second clique
+    within ``steps`` transitions.
+    """
+    from ..graphs.generators import barbell_graph
+
+    table = ResultTable(
+        title=f"{title}: crossing probability",
+        x_label="clique size",
+        y_label="crossing probability",
+    )
+    for size_index, clique_size in enumerate(clique_sizes):
+        graph = barbell_graph(clique_size)
+        other_side = set(range(clique_size, 2 * clique_size))
+        for walker_index, spec in enumerate(walkers):
+            crossings = 0
+            for trial in range(trials):
+                trial_seed = derive_seed(seed, size_index, walker_index, trial)
+                api = GraphAPI(graph)
+                walker = _build_walker(spec, api, derive_seed(trial_seed, 1))
+                start_rng = make_rng(derive_seed(trial_seed, 2))
+                start = int(start_rng.integers(0, clique_size))
+                result = walker.run(start, max_steps=steps)
+                if any(node in other_side for node in result.path):
+                    crossings += 1
+            table.add_point(spec.display_label, clique_size, crossings / trials)
+
+    report = ExperimentReport(name=title.replace(" ", "_"))
+    report.metadata.update({"steps": steps, "trials": trials, "seed": seed})
+    report.add_table("crossing_probability", table)
+    return report

@@ -1,0 +1,449 @@
+"""Synthetic graph generators.
+
+The paper evaluates on real social graphs plus two families of "ill-formed"
+synthetic graphs: barbell graphs (two cliques joined by one bridge edge) and
+clustered graphs (several cliques chained by single bridge edges).  For the
+laptop-scale reproduction we additionally need generators whose output mimics
+the structural features of the real datasets (heavy-tailed degrees, high
+clustering, community structure), so this module also implements classic
+random-graph models from scratch: Erdos-Renyi, Barabasi-Albert,
+Watts-Strogatz, and a planted-partition community model.
+
+All generators take a ``seed`` so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..exceptions import GraphError
+from ..rng import SeedLike, make_rng
+from .graph import Graph
+
+
+def complete_graph(n: int, name: str = "complete") -> Graph:
+    """Return the complete graph on ``n`` nodes labelled ``0..n-1``."""
+    if n < 1:
+        raise GraphError("complete graph needs at least one node")
+    graph = Graph(name=name)
+    graph.add_nodes(range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            graph.add_edge(u, v)
+    return graph
+
+
+def star_graph(n_leaves: int, name: str = "star") -> Graph:
+    """Return a star: node 0 connected to ``n_leaves`` leaf nodes."""
+    if n_leaves < 1:
+        raise GraphError("star graph needs at least one leaf")
+    graph = Graph(name=name)
+    for leaf in range(1, n_leaves + 1):
+        graph.add_edge(0, leaf)
+    return graph
+
+
+def cycle_graph(n: int, name: str = "cycle") -> Graph:
+    """Return a cycle on ``n >= 3`` nodes."""
+    if n < 3:
+        raise GraphError("cycle graph needs at least three nodes")
+    graph = Graph(name=name)
+    for i in range(n):
+        graph.add_edge(i, (i + 1) % n)
+    return graph
+
+
+def path_graph(n: int, name: str = "path") -> Graph:
+    """Return a path on ``n >= 2`` nodes."""
+    if n < 2:
+        raise GraphError("path graph needs at least two nodes")
+    graph = Graph(name=name)
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1)
+    return graph
+
+
+def grid_graph(rows: int, cols: int, name: str = "grid") -> Graph:
+    """Return a ``rows x cols`` 2-D lattice graph."""
+    if rows < 1 or cols < 1:
+        raise GraphError("grid dimensions must be positive")
+    graph = Graph(name=name)
+
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    graph.add_nodes(range(rows * cols))
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                graph.add_edge(node(r, c), node(r, c + 1))
+            if r + 1 < rows:
+                graph.add_edge(node(r, c), node(r + 1, c))
+    return graph
+
+
+def barbell_graph(clique_size: int, name: Optional[str] = None) -> Graph:
+    """Return a barbell graph: two ``clique_size``-cliques joined by one edge.
+
+    This is the topology of Theorem 3 and Figure 11 in the paper: the single
+    bridge edge makes the graph extremely hard for a memoryless random walk to
+    traverse, which is exactly the regime where CNRW's circulation pays off.
+    Nodes ``0..clique_size-1`` form the first clique (``G1``) and nodes
+    ``clique_size..2*clique_size-1`` the second (``G2``); the bridge connects
+    node ``clique_size - 1`` with node ``clique_size``.
+    """
+    if clique_size < 2:
+        raise GraphError("barbell cliques need at least two nodes each")
+    graph = Graph(name=name or f"barbell-{clique_size}")
+    for offset in (0, clique_size):
+        for u in range(clique_size):
+            for v in range(u + 1, clique_size):
+                graph.add_edge(offset + u, offset + v)
+    graph.add_edge(clique_size - 1, clique_size)
+    for node in range(clique_size):
+        graph.set_attributes(node, community=0)
+    for node in range(clique_size, 2 * clique_size):
+        graph.set_attributes(node, community=1)
+    return graph
+
+
+def clustered_cliques_graph(
+    clique_sizes: Sequence[int] = (10, 30, 50),
+    bridges_per_pair: int = 1,
+    name: Optional[str] = None,
+    seed: SeedLike = None,
+) -> Graph:
+    """Return a graph made of cliques chained together by bridge edges.
+
+    This reproduces the paper's "clustered graph" (Section 6.1): three
+    complete subgraphs of sizes 10, 30 and 50 connected so the whole graph is
+    connected but has tiny conductance.  Consecutive cliques are joined by
+    ``bridges_per_pair`` randomly chosen bridge edges (1 by default, matching
+    the near-0.99 clustering coefficient in Table 1).
+    """
+    if len(clique_sizes) < 1:
+        raise GraphError("need at least one clique")
+    if any(size < 2 for size in clique_sizes):
+        raise GraphError("each clique needs at least two nodes")
+    if bridges_per_pair < 1:
+        raise GraphError("bridges_per_pair must be at least 1")
+    rng = make_rng(seed)
+    graph = Graph(name=name or "clustered-" + "x".join(str(s) for s in clique_sizes))
+    offsets: List[int] = []
+    offset = 0
+    for community, size in enumerate(clique_sizes):
+        offsets.append(offset)
+        for u in range(size):
+            graph.add_node(offset + u, community=community)
+        for u in range(size):
+            for v in range(u + 1, size):
+                graph.add_edge(offset + u, offset + v)
+        offset += size
+    for index in range(len(clique_sizes) - 1):
+        size_a = clique_sizes[index]
+        size_b = clique_sizes[index + 1]
+        used = set()
+        for _ in range(bridges_per_pair):
+            a = offsets[index] + int(rng.integers(0, size_a))
+            b = offsets[index + 1] + int(rng.integers(0, size_b))
+            if (a, b) in used:
+                continue
+            used.add((a, b))
+            graph.add_edge(a, b)
+    return graph
+
+
+def erdos_renyi_graph(
+    n: int,
+    probability: float,
+    seed: SeedLike = None,
+    name: Optional[str] = None,
+) -> Graph:
+    """Return a G(n, p) Erdos-Renyi random graph."""
+    if n < 1:
+        raise GraphError("graph needs at least one node")
+    if not 0.0 <= probability <= 1.0:
+        raise GraphError("probability must be within [0, 1]")
+    rng = make_rng(seed)
+    graph = Graph(name=name or f"er-{n}-{probability}")
+    graph.add_nodes(range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+def barabasi_albert_graph(
+    n: int,
+    attachment: int,
+    seed: SeedLike = None,
+    name: Optional[str] = None,
+) -> Graph:
+    """Return a Barabasi-Albert preferential-attachment graph.
+
+    Produces the heavy-tailed degree distribution characteristic of online
+    social networks; used as the backbone of the "Google-Plus-like" and
+    "Youtube-like" synthetic datasets.
+
+    Args:
+        n: Total number of nodes (must exceed ``attachment``).
+        attachment: Number of edges each new node attaches with.
+    """
+    if attachment < 1:
+        raise GraphError("attachment must be at least 1")
+    if n <= attachment:
+        raise GraphError("n must exceed the attachment parameter")
+    rng = make_rng(seed)
+    graph = Graph(name=name or f"ba-{n}-{attachment}")
+    # Seed with a small clique so early targets have non-zero degree.
+    initial = attachment + 1
+    graph.add_nodes(range(initial))
+    for u in range(initial):
+        for v in range(u + 1, initial):
+            graph.add_edge(u, v)
+    # Repeated-nodes list implements preferential attachment in O(1) per draw.
+    repeated: List[int] = []
+    for node in range(initial):
+        repeated.extend([node] * graph.degree(node))
+    for new_node in range(initial, n):
+        targets = set()
+        while len(targets) < attachment:
+            target = repeated[int(rng.integers(0, len(repeated)))]
+            targets.add(target)
+        graph.add_node(new_node)
+        for target in targets:
+            graph.add_edge(new_node, target)
+            repeated.append(target)
+        repeated.extend([new_node] * attachment)
+    return graph
+
+
+def powerlaw_cluster_graph(
+    n: int,
+    attachment: int,
+    triangle_probability: float,
+    seed: SeedLike = None,
+    name: Optional[str] = None,
+) -> Graph:
+    """Return a Holme-Kim powerlaw-cluster graph.
+
+    Preferential attachment (like Barabasi-Albert) plus a triad-formation
+    step: after attaching to a preferentially chosen target, each additional
+    edge closes a triangle with one of the target's neighbors with probability
+    ``triangle_probability``.  The result combines the heavy-tailed degree
+    distribution and the high clustering coefficient that real social graphs
+    (the paper's Facebook and Google Plus crawls) exhibit simultaneously —
+    exactly the regime in which random walks revisit edges often enough for
+    CNRW's circulation to pay off.
+
+    Args:
+        n: Total number of nodes (must exceed ``attachment``).
+        attachment: Edges added per new node.
+        triangle_probability: Probability of closing a triangle per extra edge.
+    """
+    if attachment < 1:
+        raise GraphError("attachment must be at least 1")
+    if n <= attachment:
+        raise GraphError("n must exceed the attachment parameter")
+    if not 0.0 <= triangle_probability <= 1.0:
+        raise GraphError("triangle_probability must be within [0, 1]")
+    rng = make_rng(seed)
+    graph = Graph(name=name or f"plc-{n}-{attachment}-{triangle_probability}")
+    initial = attachment + 1
+    graph.add_nodes(range(initial))
+    for u in range(initial):
+        for v in range(u + 1, initial):
+            graph.add_edge(u, v)
+    repeated: List[int] = []
+    for node in range(initial):
+        repeated.extend([node] * graph.degree(node))
+    for new_node in range(initial, n):
+        graph.add_node(new_node)
+        targets: List[int] = []
+        # First edge: pure preferential attachment.
+        while True:
+            candidate = repeated[int(rng.integers(0, len(repeated)))]
+            if candidate != new_node and not graph.has_edge(new_node, candidate):
+                break
+        graph.add_edge(new_node, candidate)
+        targets.append(candidate)
+        while len(targets) < attachment:
+            closed = False
+            if rng.random() < triangle_probability:
+                # Triad formation: attach to a random neighbor of the last target.
+                anchor = targets[int(rng.integers(0, len(targets)))]
+                neighbors = [
+                    node
+                    for node in graph.neighbors(anchor)
+                    if node != new_node and not graph.has_edge(new_node, node)
+                ]
+                if neighbors:
+                    friend = neighbors[int(rng.integers(0, len(neighbors)))]
+                    graph.add_edge(new_node, friend)
+                    targets.append(friend)
+                    closed = True
+            if not closed:
+                for _ in range(10 * len(repeated)):
+                    candidate = repeated[int(rng.integers(0, len(repeated)))]
+                    if candidate != new_node and not graph.has_edge(new_node, candidate):
+                        graph.add_edge(new_node, candidate)
+                        targets.append(candidate)
+                        break
+                else:
+                    break  # graph saturated; cannot place more edges
+        for target in targets:
+            repeated.append(target)
+        repeated.extend([new_node] * len(targets))
+    return graph
+
+
+def watts_strogatz_graph(
+    n: int,
+    k: int,
+    rewire_probability: float,
+    seed: SeedLike = None,
+    name: Optional[str] = None,
+) -> Graph:
+    """Return a Watts-Strogatz small-world graph.
+
+    High clustering plus short paths; used as the backbone of the
+    "Facebook-like" synthetic dataset where Table 1 reports a clustering
+    coefficient of 0.47.
+
+    Args:
+        n: Number of nodes.
+        k: Each node is joined to its ``k`` nearest ring neighbours (``k``
+            must be even and smaller than ``n``).
+        rewire_probability: Probability of rewiring each ring edge.
+    """
+    if k % 2 != 0:
+        raise GraphError("k must be even")
+    if k >= n:
+        raise GraphError("k must be smaller than n")
+    if not 0.0 <= rewire_probability <= 1.0:
+        raise GraphError("rewire_probability must be within [0, 1]")
+    rng = make_rng(seed)
+    graph = Graph(name=name or f"ws-{n}-{k}-{rewire_probability}")
+    graph.add_nodes(range(n))
+    for node in range(n):
+        for offset in range(1, k // 2 + 1):
+            graph.add_edge(node, (node + offset) % n)
+    for node in range(n):
+        for offset in range(1, k // 2 + 1):
+            neighbor = (node + offset) % n
+            if rng.random() < rewire_probability and graph.has_edge(node, neighbor):
+                candidates = [
+                    target
+                    for target in range(n)
+                    if target != node and not graph.has_edge(node, target)
+                ]
+                if not candidates:
+                    continue
+                new_target = candidates[int(rng.integers(0, len(candidates)))]
+                graph.remove_edge(node, neighbor)
+                graph.add_edge(node, new_target)
+    return graph
+
+
+def planted_partition_graph(
+    community_sizes: Sequence[int],
+    p_in: float,
+    p_out: float,
+    seed: SeedLike = None,
+    name: Optional[str] = None,
+) -> Graph:
+    """Return a planted-partition (stochastic block model) graph.
+
+    Nodes within the same community connect with probability ``p_in`` and
+    across communities with probability ``p_out``.  Each node carries a
+    ``community`` attribute, which the attribute-synthesis module uses to
+    create homophilous attributes (the property GNRW exploits).
+    """
+    if not community_sizes:
+        raise GraphError("need at least one community")
+    if not (0.0 <= p_out <= p_in <= 1.0):
+        raise GraphError("probabilities must satisfy 0 <= p_out <= p_in <= 1")
+    rng = make_rng(seed)
+    graph = Graph(name=name or "planted-partition")
+    memberships: List[int] = []
+    node = 0
+    for community, size in enumerate(community_sizes):
+        for _ in range(size):
+            graph.add_node(node, community=community)
+            memberships.append(community)
+            node += 1
+    total = node
+    for u in range(total):
+        for v in range(u + 1, total):
+            probability = p_in if memberships[u] == memberships[v] else p_out
+            if rng.random() < probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+def heterogeneous_community_graph(
+    community_sizes: Sequence[int],
+    intra_probabilities: Sequence[float],
+    inter_probability: float = 0.002,
+    seed: SeedLike = None,
+    name: Optional[str] = None,
+) -> Graph:
+    """Return a community graph whose communities have different densities.
+
+    A generalisation of the planted-partition model: community ``i`` uses its
+    own intra-community edge probability, so dense communities produce
+    high-degree nodes and sparse communities low-degree ones.  The result has
+    positive degree assortativity and visible clustering at low average degree
+    — the regime of the paper's Youtube graph — which is what makes
+    neighbor-degree (and attribute) grouping informative for GNRW.
+    """
+    if not community_sizes:
+        raise GraphError("need at least one community")
+    if len(community_sizes) != len(intra_probabilities):
+        raise GraphError("community_sizes and intra_probabilities must align")
+    if any(not 0.0 <= p <= 1.0 for p in intra_probabilities):
+        raise GraphError("intra probabilities must lie in [0, 1]")
+    if not 0.0 <= inter_probability <= 1.0:
+        raise GraphError("inter_probability must lie in [0, 1]")
+    rng = make_rng(seed)
+    graph = Graph(name=name or "heterogeneous-community")
+    memberships: List[int] = []
+    node = 0
+    for community, size in enumerate(community_sizes):
+        for _ in range(size):
+            graph.add_node(node, community=community)
+            memberships.append(community)
+            node += 1
+    total = node
+    for u in range(total):
+        for v in range(u + 1, total):
+            if memberships[u] == memberships[v]:
+                probability = intra_probabilities[memberships[u]]
+            else:
+                probability = inter_probability
+            if rng.random() < probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+def connect_components(graph: Graph, seed: SeedLike = None) -> Graph:
+    """Return a connected copy of ``graph`` by bridging its components.
+
+    Components are chained in decreasing-size order with one random bridge
+    edge per consecutive pair.  Useful after sparse random generation where a
+    few isolated nodes would otherwise break walk-based experiments.
+    """
+    components = sorted(graph.connected_components(), key=len, reverse=True)
+    if len(components) <= 1:
+        return graph.copy()
+    rng = make_rng(seed)
+    connected = graph.copy()
+    anchor_pool = list(components[0])
+    for component in components[1:]:
+        a = anchor_pool[int(rng.integers(0, len(anchor_pool)))]
+        members = list(component)
+        b = members[int(rng.integers(0, len(members)))]
+        connected.add_edge(a, b)
+        anchor_pool.extend(members)
+    return connected

@@ -1,0 +1,154 @@
+"""Graph summary statistics (the quantities reported in Table 1 of the paper).
+
+Table 1 lists, for each dataset: number of nodes, number of edges, average
+degree, average clustering coefficient, and number of triangles.  This module
+computes those plus a few extras (degree distribution, density, assortativity)
+used by the test suite to validate the synthetic dataset builders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..exceptions import EmptyGraphError
+from .graph import Graph
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Summary statistics of one graph, mirroring a row of Table 1."""
+
+    name: str
+    nodes: int
+    edges: int
+    average_degree: float
+    average_clustering: float
+    triangles: int
+
+    def as_row(self) -> Tuple[str, int, int, float, float, int]:
+        """Return the summary as a plain tuple (used by the report printer)."""
+        return (
+            self.name,
+            self.nodes,
+            self.edges,
+            self.average_degree,
+            self.average_clustering,
+            self.triangles,
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return the summary as a dictionary (used for CSV export)."""
+        return {
+            "name": self.name,
+            "nodes": self.nodes,
+            "edges": self.edges,
+            "average_degree": self.average_degree,
+            "average_clustering": self.average_clustering,
+            "triangles": self.triangles,
+        }
+
+
+def summarize(graph: Graph) -> GraphSummary:
+    """Compute the Table 1 statistics for ``graph``."""
+    if graph.number_of_nodes == 0:
+        raise EmptyGraphError("cannot summarise an empty graph")
+    return GraphSummary(
+        name=graph.name,
+        nodes=graph.number_of_nodes,
+        edges=graph.number_of_edges,
+        average_degree=graph.average_degree(),
+        average_clustering=graph.average_clustering(),
+        triangles=graph.triangle_count(),
+    )
+
+
+def degree_histogram(graph: Graph) -> Dict[int, int]:
+    """Return a mapping ``degree -> number of nodes with that degree``."""
+    histogram: Dict[int, int] = {}
+    for degree in graph.degrees().values():
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram
+
+
+def degree_sequence(graph: Graph) -> List[int]:
+    """Return the sorted (descending) degree sequence."""
+    return sorted(graph.degrees().values(), reverse=True)
+
+
+def density(graph: Graph) -> float:
+    """Return the edge density ``2|E| / (|V| (|V|-1))``."""
+    n = graph.number_of_nodes
+    if n < 2:
+        return 0.0
+    return 2.0 * graph.number_of_edges / (n * (n - 1))
+
+
+def degree_assortativity(graph: Graph) -> float:
+    """Return the degree assortativity (Pearson correlation over edges).
+
+    Computed as the correlation between the degrees at the two endpoints of
+    every edge, counting each edge in both orientations (the standard Newman
+    definition).  Returns 0.0 for degenerate cases (no variance).
+    """
+    if graph.number_of_edges == 0:
+        raise EmptyGraphError("graph has no edges")
+    degrees = graph.degrees()
+    xs: List[int] = []
+    ys: List[int] = []
+    for u, v in graph.edges():
+        xs.extend((degrees[u], degrees[v]))
+        ys.extend((degrees[v], degrees[u]))
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    x_std = x.std()
+    y_std = y.std()
+    if x_std == 0 or y_std == 0:
+        return 0.0
+    return float(((x - x.mean()) * (y - y.mean())).mean() / (x_std * y_std))
+
+
+def average_attribute(graph: Graph, attribute: str, default: float = 0.0) -> float:
+    """Return the exact population mean of a numeric node attribute."""
+    if graph.number_of_nodes == 0:
+        raise EmptyGraphError("cannot average over an empty graph")
+    total = 0.0
+    for node in graph.nodes():
+        raw = graph.attribute(node, attribute, default=default)
+        try:
+            total += float(raw)
+        except (TypeError, ValueError):
+            total += default
+    return total / graph.number_of_nodes
+
+
+def conductance_of_cut(graph: Graph, community_attribute: str = "community") -> float:
+    """Return the conductance of the partition induced by a community label.
+
+    Used by tests to confirm that barbell / clustered graphs are genuinely
+    "ill-formed" (tiny conductance), which is the regime where the paper's
+    algorithms show the largest gains.  The conductance is computed for the
+    cut separating community 0 from the rest.
+    """
+    inside = {node for node in graph.nodes() if graph.attribute(node, community_attribute, default=0) == 0}
+    outside = set(graph.nodes()) - inside
+    if not inside or not outside:
+        raise EmptyGraphError("community cut is degenerate")
+    cut_edges = 0
+    volume_inside = 0
+    volume_outside = 0
+    for u, v in graph.edges():
+        u_in = u in inside
+        v_in = v in inside
+        if u_in != v_in:
+            cut_edges += 1
+    for node in inside:
+        volume_inside += graph.degree(node)
+    for node in outside:
+        volume_outside += graph.degree(node)
+    denominator = min(volume_inside, volume_outside)
+    if denominator == 0:
+        return 1.0
+    return cut_edges / denominator

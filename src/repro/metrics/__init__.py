@@ -1,0 +1,49 @@
+"""Sampling-bias and convergence metrics."""
+
+from .bias import (
+    absolute_error,
+    bias_of_estimates,
+    mean_relative_error,
+    median_relative_error,
+    normalized_rmse,
+    relative_error,
+)
+from .convergence import burn_in_estimate, gelman_rubin, geweke_zscore
+from .distributions import (
+    Distribution,
+    distribution_series,
+    empirical_distribution,
+    nodes_by_degree,
+    theoretical_distribution,
+    uniform_distribution,
+)
+from .divergence import (
+    jensen_shannon_divergence,
+    kl_divergence,
+    l2_distance,
+    symmetric_kl_divergence,
+    total_variation_distance,
+)
+
+__all__ = [
+    "Distribution",
+    "absolute_error",
+    "bias_of_estimates",
+    "burn_in_estimate",
+    "distribution_series",
+    "empirical_distribution",
+    "gelman_rubin",
+    "geweke_zscore",
+    "jensen_shannon_divergence",
+    "kl_divergence",
+    "l2_distance",
+    "mean_relative_error",
+    "median_relative_error",
+    "nodes_by_degree",
+    "normalized_rmse",
+    "relative_error",
+    "symmetric_kl_divergence",
+    "theoretical_distribution",
+    "total_variation_distance",
+    "uniform_distribution",
+]

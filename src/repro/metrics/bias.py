@@ -1,0 +1,62 @@
+"""Estimation-error metrics.
+
+For large graphs the paper measures bias indirectly through the relative error
+of aggregate estimates against the ground truth ("the golden measure").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import InsufficientSamplesError
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """Return ``|estimate - truth| / |truth|`` (absolute error when truth=0)."""
+    if truth == 0:
+        return abs(estimate)
+    return abs(estimate - truth) / abs(truth)
+
+
+def absolute_error(estimate: float, truth: float) -> float:
+    """Return ``|estimate - truth|``."""
+    return abs(estimate - truth)
+
+
+def mean_relative_error(estimates: Sequence[float], truth: float) -> float:
+    """Return the average relative error over repeated trials.
+
+    This is how each point of the paper's error-vs-cost curves is produced:
+    many independent walks are run with the same budget and their errors are
+    averaged.
+    """
+    if len(estimates) == 0:
+        raise InsufficientSamplesError("no estimates")
+    return float(np.mean([relative_error(value, truth) for value in estimates]))
+
+
+def median_relative_error(estimates: Sequence[float], truth: float) -> float:
+    """Return the median relative error over repeated trials."""
+    if len(estimates) == 0:
+        raise InsufficientSamplesError("no estimates")
+    return float(np.median([relative_error(value, truth) for value in estimates]))
+
+
+def normalized_rmse(estimates: Sequence[float], truth: float) -> float:
+    """Return RMSE of the estimates divided by ``|truth|`` (RMSE when truth=0)."""
+    if len(estimates) == 0:
+        raise InsufficientSamplesError("no estimates")
+    array = np.asarray(estimates, dtype=float)
+    rmse = float(np.sqrt(((array - truth) ** 2).mean()))
+    if truth == 0:
+        return rmse
+    return rmse / abs(truth)
+
+
+def bias_of_estimates(estimates: Sequence[float], truth: float) -> float:
+    """Return the signed bias ``mean(estimates) - truth``."""
+    if len(estimates) == 0:
+        raise InsufficientSamplesError("no estimates")
+    return float(np.mean(estimates) - truth)

@@ -1,0 +1,95 @@
+"""MCMC convergence diagnostics.
+
+The burn-in period the paper sets out to shorten is, operationally, the number
+of steps after which standard convergence diagnostics stop flagging the chain.
+Two classic diagnostics are provided: Geweke's Z-score (compares the means of
+an early and a late window of one chain) and the Gelman-Rubin potential scale
+reduction factor (compares within-chain and between-chain variance over
+multiple chains).  They are used by tests and by the ablation benchmarks to
+show CNRW/GNRW converge in fewer steps than SRW.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import InsufficientSamplesError
+
+
+def geweke_zscore(
+    values: Sequence[float], first_fraction: float = 0.1, last_fraction: float = 0.5
+) -> float:
+    """Return Geweke's convergence Z-score for one chain.
+
+    Compares the mean of the first ``first_fraction`` of the chain against the
+    mean of the last ``last_fraction``; values within roughly +/-2 indicate
+    the two windows agree (the chain has likely passed burn-in).
+    """
+    if not 0 < first_fraction < 1 or not 0 < last_fraction < 1:
+        raise ValueError("fractions must lie in (0, 1)")
+    if first_fraction + last_fraction > 1:
+        raise ValueError("windows must not overlap")
+    array = np.asarray(values, dtype=float)
+    n = len(array)
+    if n < 10:
+        raise InsufficientSamplesError("need at least 10 values")
+    first = array[: max(1, int(n * first_fraction))]
+    last = array[n - max(1, int(n * last_fraction)):]
+    var_first = first.var(ddof=1) / len(first) if len(first) > 1 else 0.0
+    var_last = last.var(ddof=1) / len(last) if len(last) > 1 else 0.0
+    denom = np.sqrt(var_first + var_last)
+    if denom == 0:
+        return 0.0
+    return float((first.mean() - last.mean()) / denom)
+
+
+def gelman_rubin(chains: Sequence[Sequence[float]]) -> float:
+    """Return the Gelman-Rubin potential scale reduction factor (R-hat).
+
+    Values close to 1.0 indicate the chains have mixed; the conventional
+    threshold for convergence is R-hat < 1.1.
+    """
+    if len(chains) < 2:
+        raise InsufficientSamplesError("need at least 2 chains")
+    lengths = {len(chain) for chain in chains}
+    if len(lengths) != 1:
+        raise ValueError("all chains must have the same length")
+    n = lengths.pop()
+    if n < 2:
+        raise InsufficientSamplesError("chains must have at least 2 values")
+    arrays = np.asarray([np.asarray(chain, dtype=float) for chain in chains])
+    m = arrays.shape[0]
+    chain_means = arrays.mean(axis=1)
+    chain_vars = arrays.var(axis=1, ddof=1)
+    within = chain_vars.mean()
+    between = n * chain_means.var(ddof=1)
+    if within == 0:
+        return 1.0
+    var_estimate = (n - 1) / n * within + between / n
+    return float(np.sqrt(var_estimate / within))
+
+
+def burn_in_estimate(
+    values: Sequence[float], truth: float, tolerance: float = 0.1
+) -> int:
+    """Return the first index whose running mean stays within ``tolerance``.
+
+    A pragmatic "how long is the burn-in" measure: the smallest prefix length
+    after which the running estimate never strays more than ``tolerance``
+    (relative) from the ground truth.  Returns ``len(values)`` when the chain
+    never settles.
+    """
+    array = np.asarray(values, dtype=float)
+    if len(array) == 0:
+        raise InsufficientSamplesError("empty series")
+    running = np.cumsum(array) / np.arange(1, len(array) + 1)
+    scale = abs(truth) if truth != 0 else 1.0
+    errors = np.abs(running - truth) / scale
+    within = errors <= tolerance
+    # Find the earliest index from which every subsequent running mean is ok.
+    for index in range(len(array)):
+        if within[index:].all():
+            return index
+    return len(array)

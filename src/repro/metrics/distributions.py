@@ -1,0 +1,128 @@
+"""Empirical and theoretical sampling distributions.
+
+Figure 8 of the paper compares the empirical sampling distribution of SRW,
+CNRW and GNRW (estimated by counting visits over long walks) with the
+theoretical stationary distribution ``pi(v) = deg(v)/2|E|``, with nodes
+ordered by degree.  This module provides the distribution containers and the
+conversions the figure needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import EmptyGraphError, InsufficientSamplesError
+from ..graphs.graph import Graph
+from ..types import NodeId
+
+
+class Distribution:
+    """A probability distribution over a fixed set of nodes."""
+
+    def __init__(self, probabilities: Dict[NodeId, float]) -> None:
+        if not probabilities:
+            raise InsufficientSamplesError("distribution needs at least one node")
+        total = float(sum(probabilities.values()))
+        if total <= 0:
+            raise ValueError("probabilities must sum to a positive value")
+        self._probabilities = {node: value / total for node, value in probabilities.items()}
+
+    def probability(self, node: NodeId, default: float = 0.0) -> float:
+        return self._probabilities.get(node, default)
+
+    def nodes(self) -> List[NodeId]:
+        return list(self._probabilities)
+
+    def as_dict(self) -> Dict[NodeId, float]:
+        return dict(self._probabilities)
+
+    def support_size(self) -> int:
+        return len(self._probabilities)
+
+    def vector(self, ordering: Sequence[NodeId]) -> np.ndarray:
+        """Return the probabilities aligned to ``ordering`` (missing -> 0)."""
+        return np.array([self._probabilities.get(node, 0.0) for node in ordering], dtype=float)
+
+    def __len__(self) -> int:
+        return len(self._probabilities)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Distribution(support={len(self._probabilities)})"
+
+
+def theoretical_distribution(graph: Graph) -> Distribution:
+    """Return the SRW/CNRW/GNRW stationary distribution of ``graph``."""
+    if graph.number_of_edges == 0:
+        raise EmptyGraphError("graph has no edges")
+    return Distribution(graph.stationary_distribution())
+
+
+def uniform_distribution(graph: Graph) -> Distribution:
+    """Return the uniform distribution (MHRW's target)."""
+    nodes = graph.nodes()
+    if not nodes:
+        raise EmptyGraphError("graph has no nodes")
+    return Distribution({node: 1.0 for node in nodes})
+
+
+def empirical_distribution(
+    visited_nodes: Iterable[NodeId],
+    support: Optional[Sequence[NodeId]] = None,
+    smoothing: float = 0.0,
+) -> Distribution:
+    """Estimate a distribution from visit counts.
+
+    Args:
+        visited_nodes: The nodes visited/sampled (with repetition).
+        support: Full node set to include (unvisited nodes get probability 0,
+            or ``smoothing`` pseudo-counts when provided).  When omitted the
+            support is the set of visited nodes.
+        smoothing: Additive pseudo-count per support node, useful for the
+            KL-divergence which is undefined on empty cells.
+    """
+    counts: Dict[NodeId, float] = {}
+    total = 0
+    for node in visited_nodes:
+        counts[node] = counts.get(node, 0.0) + 1.0
+        total += 1
+    if total == 0 and not support:
+        raise InsufficientSamplesError("no visits to build a distribution from")
+    if support is not None:
+        full: Dict[NodeId, float] = {node: smoothing for node in support}
+        for node, count in counts.items():
+            full[node] = full.get(node, smoothing) + count
+        counts = full
+    if sum(counts.values()) <= 0:
+        raise InsufficientSamplesError("all counts are zero; increase smoothing")
+    return Distribution(counts)
+
+
+def nodes_by_degree(graph: Graph, ascending: bool = True) -> List[NodeId]:
+    """Return the nodes ordered by degree (ties broken by repr for stability)."""
+    return sorted(
+        graph.nodes(),
+        key=lambda node: (graph.degree(node), repr(node)),
+        reverse=not ascending,
+    )
+
+
+def distribution_series(
+    graph: Graph,
+    distributions: Dict[str, Distribution],
+    ascending: bool = True,
+) -> Tuple[List[NodeId], Dict[str, np.ndarray]]:
+    """Return the Figure 8 series: per-sampler probabilities ordered by degree.
+
+    Returns the node ordering plus, for each named distribution, the vector of
+    probabilities aligned to that ordering.  The theoretical distribution is
+    always included under the key ``"theoretical"``.
+    """
+    ordering = nodes_by_degree(graph, ascending=ascending)
+    series: Dict[str, np.ndarray] = {
+        "theoretical": theoretical_distribution(graph).vector(ordering)
+    }
+    for name, distribution in distributions.items():
+        series[name] = distribution.vector(ordering)
+    return ordering, series

@@ -1,0 +1,85 @@
+"""Distribution-distance measures used as sampling-bias metrics.
+
+Section 2.3 / 6.1 of the paper measures sampling bias on small graphs with two
+distances between the ideal distribution ``P`` and the measured one ``P_sam``:
+
+* symmetric KL divergence ``D_KL(P || P_sam) + D_KL(P_sam || P)``, and
+* the L2 norm ``|| P - P_sam ||_2``.
+
+Total variation distance is included as an extra diagnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..types import NodeId
+from .distributions import Distribution
+
+
+def _aligned_vectors(
+    p: Distribution, q: Distribution, support: Optional[Sequence[NodeId]] = None
+):
+    if support is None:
+        support = sorted(set(p.nodes()) | set(q.nodes()), key=repr)
+    return p.vector(support), q.vector(support)
+
+
+def kl_divergence(
+    p: Distribution,
+    q: Distribution,
+    support: Optional[Sequence[NodeId]] = None,
+    epsilon: float = 1e-12,
+) -> float:
+    """Return ``D_KL(P || Q)`` in nats, with epsilon-smoothing of empty cells.
+
+    The empirical distribution of a finite walk can assign zero probability to
+    nodes the theoretical distribution supports; the standard fix (used here)
+    is to clamp probabilities at ``epsilon`` before taking logarithms.
+    """
+    p_vec, q_vec = _aligned_vectors(p, q, support)
+    p_safe = np.clip(p_vec, epsilon, None)
+    q_safe = np.clip(q_vec, epsilon, None)
+    # Terms with p == 0 contribute 0 by convention.
+    terms = np.where(p_vec > 0, p_safe * np.log(p_safe / q_safe), 0.0)
+    return float(terms.sum())
+
+
+def symmetric_kl_divergence(
+    p: Distribution,
+    q: Distribution,
+    support: Optional[Sequence[NodeId]] = None,
+    epsilon: float = 1e-12,
+) -> float:
+    """Return the paper's bias measure ``D_KL(P||Q) + D_KL(Q||P)``."""
+    return kl_divergence(p, q, support, epsilon) + kl_divergence(q, p, support, epsilon)
+
+
+def l2_distance(
+    p: Distribution, q: Distribution, support: Optional[Sequence[NodeId]] = None
+) -> float:
+    """Return the Euclidean distance ``|| P - Q ||_2``."""
+    p_vec, q_vec = _aligned_vectors(p, q, support)
+    return float(np.linalg.norm(p_vec - q_vec))
+
+
+def total_variation_distance(
+    p: Distribution, q: Distribution, support: Optional[Sequence[NodeId]] = None
+) -> float:
+    """Return the total variation distance ``0.5 * || P - Q ||_1``."""
+    p_vec, q_vec = _aligned_vectors(p, q, support)
+    return float(0.5 * np.abs(p_vec - q_vec).sum())
+
+
+def jensen_shannon_divergence(
+    p: Distribution, q: Distribution, support: Optional[Sequence[NodeId]] = None
+) -> float:
+    """Return the Jensen-Shannon divergence (symmetric, bounded by ln 2)."""
+    if support is None:
+        support = sorted(set(p.nodes()) | set(q.nodes()), key=repr)
+    p_vec, q_vec = _aligned_vectors(p, q, support)
+    m_vec = 0.5 * (p_vec + q_vec)
+    mixture = Distribution({node: float(value) for node, value in zip(support, m_vec) if value > 0})
+    return 0.5 * kl_divergence(p, mixture, support) + 0.5 * kl_divergence(q, mixture, support)

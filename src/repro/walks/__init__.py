@@ -1,0 +1,60 @@
+"""Random-walk samplers: baselines and the paper's history-aware algorithms."""
+
+from .base import RandomWalk, WalkResult
+from .cnrw import CirculatedNeighborsRandomWalk
+from .factory import available_walkers, make_walker, register_walker
+from .gnrw import GroupByNeighborsRandomWalk
+from .grouping import (
+    AttributeValueGrouping,
+    CallableGrouping,
+    DegreeGrouping,
+    ExplicitGrouping,
+    GroupingStrategy,
+    HashGrouping,
+    NumericBinGrouping,
+    make_grouping,
+)
+from .history import EdgeHistory, GroupedEdgeHistory
+from .mhrw import MetropolisHastingsRandomWalk
+from .nbcnrw import NonBacktrackingCNRW
+from .nbsrw import NonBacktrackingRandomWalk
+from .srw import SimpleRandomWalk, WeightedRandomWalk
+
+# Short aliases matching the paper's acronyms.
+SRW = SimpleRandomWalk
+MHRW = MetropolisHastingsRandomWalk
+NBSRW = NonBacktrackingRandomWalk
+CNRW = CirculatedNeighborsRandomWalk
+GNRW = GroupByNeighborsRandomWalk
+NBCNRW = NonBacktrackingCNRW
+
+__all__ = [
+    "AttributeValueGrouping",
+    "CNRW",
+    "CallableGrouping",
+    "CirculatedNeighborsRandomWalk",
+    "DegreeGrouping",
+    "EdgeHistory",
+    "ExplicitGrouping",
+    "GNRW",
+    "GroupByNeighborsRandomWalk",
+    "GroupedEdgeHistory",
+    "GroupingStrategy",
+    "HashGrouping",
+    "MHRW",
+    "MetropolisHastingsRandomWalk",
+    "NBCNRW",
+    "NBSRW",
+    "NonBacktrackingCNRW",
+    "NonBacktrackingRandomWalk",
+    "NumericBinGrouping",
+    "RandomWalk",
+    "SRW",
+    "SimpleRandomWalk",
+    "WalkResult",
+    "WeightedRandomWalk",
+    "available_walkers",
+    "make_grouping",
+    "make_walker",
+    "register_walker",
+]

@@ -1,0 +1,292 @@
+"""Random-walk base class and walk execution machinery.
+
+Every sampler in the library (SRW, MHRW, NB-SRW, CNRW, GNRW, NB-CNRW) derives
+from :class:`RandomWalk` and only overrides :meth:`RandomWalk._choose_next`,
+the rule that maps the walk history seen so far to the next node.  Everything
+else — talking to the restrictive API, counting query cost, collecting samples
+with burn-in and thinning, stopping at a query budget — lives here, so the
+algorithms differ *only* in their transition design, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..api.interface import NodeView, SocialNetworkAPI
+from ..exceptions import DeadEndError, InvalidStartNodeError, QueryBudgetExceededError
+from ..rng import SeedLike, make_rng
+from ..types import NodeId, Sample, Transition
+
+
+@dataclass
+class WalkResult:
+    """Everything produced by one walk execution.
+
+    Attributes:
+        path: The full node sequence visited by the walk (including the start).
+        samples: Samples emitted after burn-in / thinning.
+        transitions: The individual transitions of the walk.
+        unique_queries: Unique query cost at the end of the walk.
+        total_queries: Total query calls (cache hits included).
+        stopped_by_budget: Whether the walk ended because the budget ran out
+            (as opposed to reaching the requested number of steps).
+    """
+
+    path: List[NodeId] = field(default_factory=list)
+    samples: List[Sample] = field(default_factory=list)
+    transitions: List[Transition] = field(default_factory=list)
+    unique_queries: int = 0
+    total_queries: int = 0
+    stopped_by_budget: bool = False
+
+    @property
+    def steps(self) -> int:
+        """Number of transitions performed."""
+        return len(self.transitions)
+
+    def sample_nodes(self) -> List[NodeId]:
+        """Return the node ids of the collected samples."""
+        return [sample.node for sample in self.samples]
+
+    def visit_counts(self) -> Dict[NodeId, int]:
+        """Return how many times each node appears in the path."""
+        counts: Dict[NodeId, int] = {}
+        for node in self.path:
+            counts[node] = counts.get(node, 0) + 1
+        return counts
+
+
+class RandomWalk:
+    """Base class for all random-walk samplers.
+
+    Args:
+        api: The restrictive-access API the walk queries.
+        seed: Seed (or generator) driving the walk's randomness.
+
+    Subclasses override :meth:`_choose_next` and may override
+    :meth:`_on_transition` to update their history structures.
+    """
+
+    #: Human-readable algorithm name, overridden by subclasses.
+    name = "random-walk"
+
+    def __init__(self, api: SocialNetworkAPI, seed: SeedLike = None) -> None:
+        self.api = api
+        self.rng = make_rng(seed)
+        self._current: Optional[NodeId] = None
+        self._previous: Optional[NodeId] = None
+        self._step_index = 0
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Optional[NodeId]:
+        """The node the walk is currently at (``None`` before ``start``)."""
+        return self._current
+
+    @property
+    def previous(self) -> Optional[NodeId]:
+        """The node visited immediately before the current one."""
+        return self._previous
+
+    @property
+    def step_index(self) -> int:
+        """Number of transitions performed so far."""
+        return self._step_index
+
+    def reset(self) -> None:
+        """Forget the walk position and any subclass history."""
+        self._current = None
+        self._previous = None
+        self._step_index = 0
+        self._reset_history()
+
+    def _reset_history(self) -> None:
+        """Hook for subclasses to clear their history structures."""
+
+    # ------------------------------------------------------------------
+    # Walking
+    # ------------------------------------------------------------------
+    def start(self, node: NodeId) -> NodeView:
+        """Place the walk at ``node`` and query its neighborhood."""
+        view = self.api.query(node)
+        if view.degree == 0:
+            raise InvalidStartNodeError(
+                f"start node {node!r} has no neighbors; walks require degree >= 1"
+            )
+        self._current = node
+        self._previous = None
+        self._step_index = 0
+        return view
+
+    def step(self) -> Transition:
+        """Perform one transition and return it."""
+        if self._current is None:
+            raise InvalidStartNodeError("walk has not been started; call start() first")
+        view = self.api.query(self._current)
+        if view.degree == 0:
+            raise DeadEndError(self._current)
+        next_node = self._choose_next(view)
+        transition = Transition(
+            source=self._current, target=next_node, step_index=self._step_index
+        )
+        self._on_transition(self._current, next_node, view)
+        self._previous = self._current
+        self._current = next_node
+        self._step_index += 1
+        return transition
+
+    def walk(self, start_node: NodeId, steps: int) -> WalkResult:
+        """Run ``steps`` transitions from ``start_node`` (budget permitting)."""
+        return self.run(start_node, max_steps=steps)
+
+    def run(
+        self,
+        start_node: NodeId,
+        max_steps: Optional[int] = None,
+        burn_in: int = 0,
+        thinning: int = 1,
+        max_samples: Optional[int] = None,
+    ) -> WalkResult:
+        """Execute the walk and collect samples.
+
+        Args:
+            start_node: Node to start from.
+            max_steps: Stop after this many transitions (``None`` = only stop
+                on budget exhaustion or ``max_samples``).
+            burn_in: Number of initial transitions to discard before emitting
+                samples.
+            thinning: Emit one sample every ``thinning`` transitions after the
+                burn-in (1 = every visited node is a sample).
+            max_samples: Stop once this many samples have been collected.
+
+        The walk always stops gracefully when the API's query budget runs out;
+        the partial result is returned with ``stopped_by_budget=True``.  When
+        ``max_steps`` is omitted, walking stops as soon as the budget is
+        exhausted; an implicit step cap (a generous multiple of the budget)
+        guards against the pathological case where the budget exceeds the size
+        of the reachable component and could therefore never be spent.
+        """
+        if thinning < 1:
+            raise ValueError("thinning must be at least 1")
+        if burn_in < 0:
+            raise ValueError("burn_in must be non-negative")
+        if max_steps is None and max_samples is None and self._budget_is_unlimited():
+            raise ValueError(
+                "walk would never terminate: provide max_steps, max_samples, "
+                "or an API with a finite query budget"
+            )
+        implicit_cap = None
+        if max_steps is None:
+            budget_limit = self._budget_limit()
+            if budget_limit is not None:
+                implicit_cap = max(1000, 20 * budget_limit)
+        self.reset()
+        result = WalkResult()
+        try:
+            start_view = self.start(start_node)
+        except QueryBudgetExceededError:
+            result.stopped_by_budget = True
+            self._finalize(result)
+            return result
+        result.path.append(start_node)
+        if burn_in == 0:
+            result.samples.append(self._make_sample(start_view, step_index=0))
+        while True:
+            if max_steps is not None and self._step_index >= max_steps:
+                break
+            if implicit_cap is not None and self._step_index >= implicit_cap:
+                break
+            if max_samples is not None and len(result.samples) >= max_samples:
+                break
+            if max_steps is None and self._budget_exhausted():
+                result.stopped_by_budget = True
+                break
+            try:
+                transition = self.step()
+            except QueryBudgetExceededError:
+                result.stopped_by_budget = True
+                break
+            result.transitions.append(transition)
+            result.path.append(transition.target)
+            step = transition.step_index + 1
+            if step >= burn_in and (step - burn_in) % thinning == 0:
+                try:
+                    view = self.api.query(transition.target)
+                except QueryBudgetExceededError:
+                    result.stopped_by_budget = True
+                    break
+                result.samples.append(self._make_sample(view, step_index=step))
+        self._finalize(result)
+        return result
+
+    def iter_steps(self, start_node: NodeId) -> Iterator[Transition]:
+        """Yield transitions indefinitely (until budget exhaustion).
+
+        Useful for streaming consumers; the iterator stops silently when the
+        query budget runs out.
+        """
+        self.reset()
+        try:
+            self.start(start_node)
+        except QueryBudgetExceededError:
+            return
+        while True:
+            try:
+                yield self.step()
+            except QueryBudgetExceededError:
+                return
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def _choose_next(self, view: NodeView) -> NodeId:
+        """Return the next node given the current node's :class:`NodeView`."""
+        raise NotImplementedError
+
+    def _on_transition(self, source: NodeId, target: NodeId, view: NodeView) -> None:
+        """Hook called after the next node has been chosen (before moving)."""
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _make_sample(self, view: NodeView, step_index: int) -> Sample:
+        return Sample(
+            node=view.node,
+            degree=view.degree,
+            attributes=dict(view.attributes),
+            step_index=step_index,
+            query_cost=self.api.unique_queries,
+        )
+
+    def _finalize(self, result: WalkResult) -> None:
+        result.unique_queries = self.api.unique_queries
+        result.total_queries = self.api.total_queries
+
+    def _budget_is_unlimited(self) -> bool:
+        budget = getattr(self.api, "budget", None)
+        if budget is None:
+            return True
+        return bool(getattr(budget, "unlimited", False))
+
+    def _budget_limit(self) -> Optional[int]:
+        budget = getattr(self.api, "budget", None)
+        if budget is None:
+            return None
+        return getattr(budget, "limit", None)
+
+    def _budget_exhausted(self) -> bool:
+        budget = getattr(self.api, "budget", None)
+        if budget is None:
+            return False
+        return bool(getattr(budget, "exhausted", False))
+
+    def _uniform_choice(self, items: Sequence[NodeId]) -> NodeId:
+        if not items:
+            raise ValueError("cannot choose from an empty neighbor set")
+        return items[int(self.rng.integers(0, len(items)))]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}(current={self._current!r}, steps={self._step_index})"

@@ -1,0 +1,141 @@
+"""Name-based construction of walkers.
+
+The experiment harness and the benchmark scripts refer to samplers by short
+string names (``"srw"``, ``"cnrw"``, ``"gnrw"``...), matching the labels used
+in the paper's figures.  This registry maps those names to constructors so a
+figure definition is just a list of names plus per-walker options.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..api.interface import SocialNetworkAPI
+from ..exceptions import InvalidConfigurationError
+from ..rng import SeedLike
+from .base import RandomWalk
+from .cnrw import CirculatedNeighborsRandomWalk
+from .gnrw import GroupByNeighborsRandomWalk
+from .grouping import (
+    DegreeGrouping,
+    GroupingStrategy,
+    HashGrouping,
+    NumericBinGrouping,
+)
+from .mhrw import MetropolisHastingsRandomWalk
+from .nbcnrw import NonBacktrackingCNRW
+from .nbsrw import NonBacktrackingRandomWalk
+from .srw import SimpleRandomWalk
+
+WalkerBuilder = Callable[..., RandomWalk]
+
+_WALKERS: Dict[str, WalkerBuilder] = {}
+
+
+def register_walker(name: str) -> Callable[[WalkerBuilder], WalkerBuilder]:
+    """Register a builder under a (lower-case) name."""
+
+    def decorator(builder: WalkerBuilder) -> WalkerBuilder:
+        _WALKERS[name.lower()] = builder
+        return builder
+
+    return decorator
+
+
+def available_walkers() -> List[str]:
+    """Return the sorted names of every registered walker."""
+    return sorted(_WALKERS)
+
+
+def make_walker(
+    name: str,
+    api: SocialNetworkAPI,
+    seed: SeedLike = None,
+    grouping: Optional[GroupingStrategy] = None,
+    group_attribute: Optional[str] = None,
+    **kwargs,
+) -> RandomWalk:
+    """Build a walker by name.
+
+    Args:
+        name: One of :func:`available_walkers` (case-insensitive).  The GNRW
+            variants of Figure 9 are available as ``gnrw_by_md5``,
+            ``gnrw_by_degree`` and ``gnrw_by_attribute``.
+        api: The restrictive API the walker will query.
+        seed: Randomness seed.
+        grouping: Explicit grouping strategy (GNRW only); overrides the
+            name-derived default.
+        group_attribute: Attribute name for ``gnrw_by_attribute``.
+        kwargs: Extra keyword arguments passed to the walker constructor.
+    """
+    key = name.lower()
+    if key not in _WALKERS:
+        raise InvalidConfigurationError(
+            f"unknown walker {name!r}; available: {', '.join(available_walkers())}"
+        )
+    return _WALKERS[key](
+        api=api, seed=seed, grouping=grouping, group_attribute=group_attribute, **kwargs
+    )
+
+
+@register_walker("srw")
+def _build_srw(api, seed=None, **_) -> RandomWalk:
+    return SimpleRandomWalk(api, seed=seed)
+
+
+@register_walker("mhrw")
+def _build_mhrw(api, seed=None, **_) -> RandomWalk:
+    return MetropolisHastingsRandomWalk(api, seed=seed)
+
+
+@register_walker("nbsrw")
+def _build_nbsrw(api, seed=None, **_) -> RandomWalk:
+    return NonBacktrackingRandomWalk(api, seed=seed)
+
+
+@register_walker("nb-srw")
+def _build_nbsrw_alias(api, seed=None, **_) -> RandomWalk:
+    return NonBacktrackingRandomWalk(api, seed=seed)
+
+
+@register_walker("cnrw")
+def _build_cnrw(api, seed=None, recurrence: str = "edge", **_) -> RandomWalk:
+    return CirculatedNeighborsRandomWalk(api, recurrence=recurrence, seed=seed)
+
+
+@register_walker("cnrw_node")
+def _build_cnrw_node(api, seed=None, **_) -> RandomWalk:
+    return CirculatedNeighborsRandomWalk(api, recurrence="node", seed=seed)
+
+
+@register_walker("nbcnrw")
+def _build_nbcnrw(api, seed=None, **_) -> RandomWalk:
+    return NonBacktrackingCNRW(api, seed=seed)
+
+
+@register_walker("gnrw")
+def _build_gnrw(api, seed=None, grouping=None, group_attribute=None, **_) -> RandomWalk:
+    if grouping is None:
+        if group_attribute is not None:
+            grouping = NumericBinGrouping(attribute=group_attribute)
+        else:
+            grouping = HashGrouping()
+    return GroupByNeighborsRandomWalk(api, grouping=grouping, seed=seed)
+
+
+@register_walker("gnrw_by_md5")
+def _build_gnrw_md5(api, seed=None, num_groups: int = 3, **_) -> RandomWalk:
+    return GroupByNeighborsRandomWalk(api, grouping=HashGrouping(num_groups), seed=seed)
+
+
+@register_walker("gnrw_by_degree")
+def _build_gnrw_degree(api, seed=None, **_) -> RandomWalk:
+    return GroupByNeighborsRandomWalk(api, grouping=DegreeGrouping(), seed=seed)
+
+
+@register_walker("gnrw_by_attribute")
+def _build_gnrw_attribute(api, seed=None, group_attribute: Optional[str] = None, bin_width: float = 10.0, **_) -> RandomWalk:
+    if group_attribute is None:
+        raise InvalidConfigurationError("gnrw_by_attribute requires group_attribute")
+    grouping = NumericBinGrouping(attribute=group_attribute, bin_width=bin_width)
+    return GroupByNeighborsRandomWalk(api, grouping=grouping, seed=seed)

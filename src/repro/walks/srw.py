@@ -1,0 +1,51 @@
+"""Simple Random Walk (SRW) — the memoryless order-1 baseline.
+
+Definition 2 of the paper: at node ``v`` the next node is chosen uniformly at
+random from ``N(v)``.  Its stationary distribution is
+``pi(v) = deg(v) / 2|E|`` on a connected non-bipartite graph.
+"""
+
+from __future__ import annotations
+
+from ..api.interface import NodeView
+from ..types import NodeId
+from .base import RandomWalk
+
+
+class SimpleRandomWalk(RandomWalk):
+    """Memoryless uniform-neighbor random walk (the paper's SRW baseline)."""
+
+    name = "SRW"
+
+    def _choose_next(self, view: NodeView) -> NodeId:
+        return self._uniform_choice(view.neighbors)
+
+
+class WeightedRandomWalk(RandomWalk):
+    """Random walk with transition probability proportional to an edge weight.
+
+    Not evaluated in the paper, but several of the sampling designs the paper
+    aims to be a drop-in replacement for (e.g. stratified weighted walks) use
+    non-uniform neighbor selection.  The weight of moving to neighbor ``w`` is
+    ``weight_fn(current_view, w)``; uniform weights reduce to SRW.
+    """
+
+    name = "WRW"
+
+    def __init__(self, api, weight_fn, seed=None) -> None:
+        super().__init__(api, seed=seed)
+        self._weight_fn = weight_fn
+
+    def _choose_next(self, view: NodeView) -> NodeId:
+        neighbors = view.neighbors
+        weights = [max(0.0, float(self._weight_fn(view, node))) for node in neighbors]
+        total = sum(weights)
+        if total <= 0:
+            return self._uniform_choice(neighbors)
+        threshold = self.rng.random() * total
+        cumulative = 0.0
+        for node, weight in zip(neighbors, weights):
+            cumulative += weight
+            if threshold < cumulative:
+                return node
+        return neighbors[-1]

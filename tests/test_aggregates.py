@@ -1,0 +1,106 @@
+"""Unit tests for aggregate query specifications and ground truth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.estimation import DEGREE, AggregateKind, AggregateQuery, ground_truth, ground_truth_table
+from repro.estimation.ground_truth import average_attribute, average_degree
+from repro.exceptions import EmptyGraphError, InvalidConfigurationError
+from repro.graphs import Graph, complete_graph
+
+
+class TestAggregateQuery:
+    def test_average_degree_constructor(self):
+        query = AggregateQuery.average_degree()
+        assert query.kind is AggregateKind.AVERAGE
+        assert query.measure == DEGREE
+        assert query.label == "average degree"
+
+    def test_average_attribute_constructor(self):
+        query = AggregateQuery.average_attribute("age")
+        assert query.measure == "age"
+        assert "age" in query.label
+
+    def test_sum_count_proportion_constructors(self):
+        assert AggregateQuery.sum_attribute("x").kind is AggregateKind.SUM
+        assert AggregateQuery.count().kind is AggregateKind.COUNT
+        assert AggregateQuery.proportion(lambda n, a: True).kind is AggregateKind.PROPORTION
+
+    def test_validation(self):
+        with pytest.raises(InvalidConfigurationError):
+            AggregateQuery(kind=AggregateKind.AVERAGE, measure=None)
+        with pytest.raises(InvalidConfigurationError):
+            AggregateQuery(kind=AggregateKind.SUM, measure=None)
+        with pytest.raises(InvalidConfigurationError):
+            AggregateQuery(kind=AggregateKind.PROPORTION)
+
+    def test_matches(self):
+        query = AggregateQuery.proportion(lambda node, attrs: attrs.get("city") == "austin")
+        assert query.matches(0, {"city": "austin"})
+        assert not query.matches(0, {"city": "dallas"})
+        unfiltered = AggregateQuery.average_degree()
+        assert unfiltered.matches(0, {})
+
+    def test_measure_value(self):
+        query = AggregateQuery.average_attribute("age")
+        assert query.measure_value(0, {"age": 33}, degree=5) == 33.0
+        assert query.measure_value(0, {}, degree=5) == 0.0
+        assert query.measure_value(0, {"age": "bad"}, degree=5) == 0.0
+        degree_query = AggregateQuery.average_degree()
+        assert degree_query.measure_value(0, {}, degree=7) == 7.0
+        count_query = AggregateQuery.count()
+        assert count_query.measure_value(0, {}, degree=7) == 1.0
+
+    def test_default_label(self):
+        query = AggregateQuery(
+            kind=AggregateKind.AVERAGE, measure="age", predicate=lambda n, a: True
+        )
+        assert query.label == "average(age) (filtered)"
+
+
+class TestGroundTruth:
+    def test_average_degree(self, attributed_graph):
+        expected = attributed_graph.average_degree()
+        assert ground_truth(attributed_graph, AggregateQuery.average_degree()) == pytest.approx(expected)
+        assert average_degree(attributed_graph) == pytest.approx(expected)
+
+    def test_average_attribute(self, attributed_graph):
+        assert average_attribute(attributed_graph, "age") == pytest.approx(30.0)
+
+    def test_sum(self, attributed_graph):
+        assert ground_truth(attributed_graph, AggregateQuery.sum_attribute("age")) == pytest.approx(150.0)
+
+    def test_count_and_proportion(self, attributed_graph):
+        is_austin = lambda node, attrs: attrs.get("city") == "austin"  # noqa: E731
+        assert ground_truth(attributed_graph, AggregateQuery.count(is_austin)) == 2
+        assert ground_truth(attributed_graph, AggregateQuery.proportion(is_austin)) == pytest.approx(0.4)
+
+    def test_conditional_average(self, attributed_graph):
+        query = AggregateQuery(
+            kind=AggregateKind.AVERAGE,
+            measure="age",
+            predicate=lambda node, attrs: attrs.get("city") == "dallas",
+        )
+        assert ground_truth(attributed_graph, query) == pytest.approx(32.5)
+
+    def test_empty_graph(self):
+        with pytest.raises(EmptyGraphError):
+            ground_truth(Graph(), AggregateQuery.average_degree())
+
+    def test_filter_matches_nothing(self, attributed_graph):
+        query = AggregateQuery(
+            kind=AggregateKind.AVERAGE, measure="age", predicate=lambda n, a: False
+        )
+        with pytest.raises(EmptyGraphError):
+            ground_truth(attributed_graph, query)
+
+    def test_ground_truth_table(self, attributed_graph):
+        table = ground_truth_table(
+            attributed_graph,
+            [AggregateQuery.average_degree(), AggregateQuery.average_attribute("age")],
+        )
+        assert set(table) == {"average degree", "average age"}
+
+    def test_clique_degree(self):
+        assert average_degree(complete_graph(10)) == pytest.approx(9.0)

@@ -1,0 +1,170 @@
+"""Unit tests for synthetic attribute generation and homophily measurement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    assign_categorical_attribute,
+    assign_community_correlated_attribute,
+    assign_degree_correlated_attribute,
+    assign_homophilous_numeric_attribute,
+    attribute_values,
+    clustered_cliques_graph,
+    complete_graph,
+    make_attribute_measure,
+    measured_homophily,
+    planted_partition_graph,
+    star_graph,
+)
+
+
+class TestDegreeCorrelatedAttribute:
+    def test_values_scale_with_degree(self, small_star):
+        values = assign_degree_correlated_attribute(small_star, name="score", scale=2.0, noise=0.0)
+        assert values[0] == pytest.approx(2.0 * small_star.degree(0))
+        assert values[1] == pytest.approx(2.0 * small_star.degree(1))
+        assert small_star.attribute(0, "score") == values[0]
+
+    def test_noise_reproducible(self, small_clique):
+        a = assign_degree_correlated_attribute(small_clique.copy(), seed=3)
+        b = assign_degree_correlated_attribute(small_clique.copy(), seed=3)
+        assert a == b
+
+    def test_minimum_clipping(self, small_star):
+        values = assign_degree_correlated_attribute(
+            small_star, scale=-5.0, noise=0.0, minimum=0.0
+        )
+        assert all(value >= 0.0 for value in values.values())
+
+    def test_negative_noise_rejected(self, small_star):
+        with pytest.raises(GraphError):
+            assign_degree_correlated_attribute(small_star, noise=-1.0)
+
+
+class TestCommunityCorrelatedAttribute:
+    def test_community_means_separate(self):
+        graph = clustered_cliques_graph((6, 6), seed=0)
+        values = assign_community_correlated_attribute(
+            graph, name="age", base=20.0, spread=30.0, noise=0.0, seed=1
+        )
+        community0 = [values[node] for node in graph.nodes() if graph.attribute(node, "community") == 0]
+        community1 = [values[node] for node in graph.nodes() if graph.attribute(node, "community") == 1]
+        assert max(community0) < min(community1)
+
+    def test_missing_community_defaults_to_zero(self, small_clique):
+        values = assign_community_correlated_attribute(small_clique, base=10.0, spread=5.0, noise=0.0)
+        assert all(value == pytest.approx(10.0) for value in values.values())
+
+
+class TestHomophilousAttribute:
+    def test_smoothing_increases_homophily(self):
+        graph = planted_partition_graph((25, 25), p_in=0.4, p_out=0.02, seed=7)
+        rough = graph.copy()
+        smooth = graph.copy()
+        assign_homophilous_numeric_attribute(rough, name="x", smoothing_rounds=0, noise=0.0, seed=1)
+        assign_homophilous_numeric_attribute(smooth, name="x", smoothing_rounds=5, noise=0.0, seed=1)
+        assert measured_homophily(smooth, "x") > measured_homophily(rough, "x")
+
+    def test_invalid_rounds(self, small_clique):
+        with pytest.raises(GraphError):
+            assign_homophilous_numeric_attribute(small_clique, smoothing_rounds=-1)
+
+
+class TestCategoricalAttribute:
+    def test_alignment_with_communities(self):
+        graph = clustered_cliques_graph((10, 10), seed=0)
+        values = assign_categorical_attribute(
+            graph, name="city", categories=("a", "b"), homophily=1.0, seed=2
+        )
+        for node in graph.nodes():
+            community = graph.attribute(node, "community")
+            assert values[node] == ("a" if community == 0 else "b")
+
+    def test_zero_homophily_uses_all_categories(self):
+        graph = complete_graph(200)
+        values = assign_categorical_attribute(
+            graph, categories=("x", "y", "z"), community_attribute=None, homophily=0.0, seed=3
+        )
+        assert set(values.values()) == {"x", "y", "z"}
+
+    def test_invalid_parameters(self, small_clique):
+        with pytest.raises(GraphError):
+            assign_categorical_attribute(small_clique, categories=())
+        with pytest.raises(GraphError):
+            assign_categorical_attribute(small_clique, homophily=1.5)
+
+
+class TestCombineAttributes:
+    def test_weighted_sum(self, attributed_graph):
+        from repro.graphs import combine_attributes
+
+        for node in attributed_graph.nodes():
+            attributed_graph.set_attributes(node, base=10.0)
+        values = combine_attributes(
+            attributed_graph, name="blend", sources=("age", "base"), weights=(1.0, 2.0)
+        )
+        assert values[0] == pytest.approx(20 + 2 * 10)
+        assert attributed_graph.attribute(0, "blend") == values[0]
+
+    def test_missing_source_counts_as_zero(self, attributed_graph):
+        from repro.graphs import combine_attributes
+
+        values = combine_attributes(attributed_graph, name="c", sources=("age", "nope"))
+        assert values[1] == pytest.approx(25.0)
+
+    def test_minimum_clip(self, attributed_graph):
+        from repro.graphs import combine_attributes
+
+        values = combine_attributes(
+            attributed_graph, name="neg", sources=("age",), weights=(-1.0,), minimum=0.0
+        )
+        assert all(value == 0.0 for value in values.values())
+
+    def test_validation(self, attributed_graph):
+        from repro.graphs import combine_attributes
+
+        with pytest.raises(GraphError):
+            combine_attributes(attributed_graph, name="x", sources=())
+        with pytest.raises(GraphError):
+            combine_attributes(attributed_graph, name="x", sources=("age",), weights=(1.0, 2.0))
+
+
+class TestHomophilyMeasure:
+    def test_perfect_homophily_on_clustered_graph(self):
+        graph = clustered_cliques_graph((8, 8), seed=0)
+        assign_community_correlated_attribute(graph, name="v", base=0.0, spread=100.0, noise=0.0)
+        assert measured_homophily(graph, "v") > 0.9
+
+    def test_no_homophily_on_constant_attribute(self, small_clique):
+        for node in small_clique.nodes():
+            small_clique.set_attributes(node, v=1.0)
+        assert measured_homophily(small_clique, "v") == 0.0
+
+    def test_requires_edges(self):
+        from repro.graphs import Graph
+
+        graph = Graph()
+        graph.add_node(1, v=1.0)
+        with pytest.raises(GraphError):
+            measured_homophily(graph, "v")
+
+
+class TestHelpers:
+    def test_attribute_values_with_default(self, attributed_graph):
+        values = attribute_values(attributed_graph, "age")
+        assert values[0] == 20.0
+        missing = attribute_values(attributed_graph, "height", default=-1.0)
+        assert all(value == -1.0 for value in missing.values())
+
+    def test_attribute_values_non_numeric(self, attributed_graph):
+        values = attribute_values(attributed_graph, "city", default=0.0)
+        assert all(value == 0.0 for value in values.values())
+
+    def test_make_attribute_measure(self):
+        measure = make_attribute_measure("age", default=-1.0)
+        assert measure(0, {"age": 33}) == 33.0
+        assert measure(0, {}) == -1.0
+        assert measure(0, {"age": "not-a-number"}) == -1.0
+        assert measure.__name__ == "measure_age"

@@ -1,0 +1,113 @@
+"""Unit tests for the query caches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import LRUCache, QueryCache, make_cache
+
+
+class TestQueryCache:
+    def test_put_get(self):
+        cache = QueryCache()
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", default=-1) == -1
+
+    def test_stats(self):
+        cache = QueryCache()
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.lookups == 2
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_without_lookups(self):
+        assert QueryCache().stats.hit_rate == 0.0
+
+    def test_peek_does_not_touch_stats(self):
+        cache = QueryCache()
+        cache.put("a", 1)
+        assert cache.peek("a") == 1
+        assert cache.peek("b") is None
+        assert cache.stats.lookups == 0
+
+    def test_get_or_compute(self):
+        cache = QueryCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "value"
+
+        assert cache.get_or_compute("k", compute) == "value"
+        assert cache.get_or_compute("k", compute) == "value"
+        assert len(calls) == 1
+
+    def test_get_or_compute_with_none_value(self):
+        cache = QueryCache()
+        cache.put("k", None)
+        # A cached None must not trigger recomputation.
+        assert cache.get_or_compute("k", lambda: "recomputed") is None
+
+    def test_clear(self):
+        cache = QueryCache()
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.lookups == 0
+
+    def test_contains_and_iter(self):
+        cache = QueryCache()
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert "a" in cache
+        assert sorted(cache) == ["a", "b"]
+
+
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.peek("a") is None
+        assert cache.peek("b") == 2
+        assert cache.stats.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        cache.put("c", 3)
+        assert cache.peek("a") == 1
+        assert cache.peek("b") is None
+
+    def test_put_existing_key_does_not_evict(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert len(cache) == 2
+        assert cache.peek("a") == 10
+        assert cache.stats.evictions == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(capacity=0)
+
+
+class TestMakeCache:
+    def test_unbounded_by_default(self):
+        assert isinstance(make_cache(None), QueryCache)
+        assert not isinstance(make_cache(None), LRUCache)
+
+    def test_lru_when_capacity_given(self):
+        cache = make_cache(5)
+        assert isinstance(cache, LRUCache)
+        assert cache.capacity == 5

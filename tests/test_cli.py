@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_known_experiments_listed(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure6"])
+        assert args.experiment == "figure6"
+        assert args.seed == 0
+
+    def test_rejects_unknown_experiment(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figure99"])
+
+    def test_all_figures_have_cli_entries(self):
+        for name in (
+            "figure6",
+            "figure7_facebook",
+            "figure7_youtube",
+            "figure8",
+            "figure9",
+            "figure10",
+            "figure11",
+            "theorem3",
+            "ablation_recurrence",
+        ):
+            assert name in EXPERIMENTS
+
+
+class TestMain:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "figure6" in out
+
+    def test_table1_with_csv_output(self, tmp_path, capsys):
+        assert main(["table1", "--scale", "0.2", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        csv_path = tmp_path / "table1.csv"
+        assert csv_path.exists()
+        assert csv_path.read_text().startswith("name,nodes,edges")
+
+    def test_small_figure_run_with_csv(self, tmp_path, capsys):
+        code = main([
+            "figure11", "--trials", "2", "--seed", "1", "--out", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "figure11" in out
+        assert any(path.suffix == ".csv" for path in tmp_path.iterdir())
+
+    def test_theorem3_runs(self, capsys):
+        assert main(["theorem3", "--trials", "5", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "crossing probability" in out

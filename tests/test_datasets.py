@@ -1,0 +1,107 @@
+"""Unit tests for the paper-dataset registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidConfigurationError
+from repro.graphs import available_datasets, load_dataset, register_dataset, summarize
+from repro.graphs.statistics import conductance_of_cut
+
+
+class TestRegistry:
+    def test_all_paper_datasets_registered(self):
+        names = available_datasets()
+        for expected in (
+            "facebook_like",
+            "googleplus_like",
+            "yelp_like",
+            "youtube_like",
+            "clustered",
+            "barbell",
+        ):
+            assert expected in names
+
+    def test_unknown_dataset(self):
+        with pytest.raises(InvalidConfigurationError):
+            load_dataset("does_not_exist")
+
+    def test_register_custom_dataset(self):
+        @register_dataset("tiny_test_dataset")
+        def _build(seed=0, scale=1.0, **_):
+            from repro.graphs import complete_graph
+
+            return complete_graph(4)
+
+        graph = load_dataset("tiny_test_dataset")
+        assert graph.number_of_nodes == 4
+
+    def test_reproducible_with_seed(self):
+        a = load_dataset("yelp_like", seed=11, scale=0.1)
+        b = load_dataset("yelp_like", seed=11, scale=0.1)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = load_dataset("googleplus_like", seed=1, scale=0.1)
+        b = load_dataset("googleplus_like", seed=2, scale=0.1)
+        assert set(a.edges()) != set(b.edges())
+
+
+class TestDatasetShape:
+    @pytest.mark.parametrize(
+        "name", ["facebook_like", "googleplus_like", "yelp_like", "youtube_like"]
+    )
+    def test_real_graph_standins_are_connected(self, name):
+        graph = load_dataset(name, seed=0, scale=0.1)
+        assert graph.is_connected()
+        assert graph.number_of_nodes >= 20
+
+    def test_facebook_like_has_high_clustering(self):
+        graph = load_dataset("facebook_like", seed=0, scale=0.5)
+        assert graph.average_clustering() > 0.2
+
+    def test_googleplus_like_has_heavy_tail(self):
+        graph = load_dataset("googleplus_like", seed=0, scale=0.2)
+        degrees = sorted(graph.degrees().values(), reverse=True)
+        assert degrees[0] > 3 * degrees[len(degrees) // 2]
+
+    def test_youtube_like_is_sparse(self):
+        graph = load_dataset("youtube_like", seed=0, scale=0.2)
+        assert graph.average_degree() < 10
+
+    def test_yelp_like_has_reviews_count(self):
+        graph = load_dataset("yelp_like", seed=0, scale=0.1)
+        assert "reviews_count" in graph.attribute_names()
+        assert "age" in graph.attribute_names()
+
+    def test_scale_changes_size(self):
+        small = load_dataset("youtube_like", seed=0, scale=0.1)
+        large = load_dataset("youtube_like", seed=0, scale=0.3)
+        assert large.number_of_nodes > small.number_of_nodes
+
+    def test_clustered_matches_paper(self):
+        graph = load_dataset("clustered", seed=0)
+        assert graph.number_of_nodes == 90
+        assert graph.average_clustering() > 0.95
+
+    def test_barbell_matches_paper(self):
+        graph = load_dataset("barbell", seed=0)
+        assert graph.number_of_nodes == 100
+        assert graph.number_of_edges == 2451
+
+    def test_barbell_explicit_clique_size(self):
+        graph = load_dataset("barbell", seed=0, clique_size=7)
+        assert graph.number_of_nodes == 14
+
+    def test_ill_formed_graphs_have_tiny_conductance(self):
+        for name in ("clustered", "barbell"):
+            graph = load_dataset(name, seed=0)
+            assert conductance_of_cut(graph) < 0.05
+
+    def test_summaries_have_sane_fields(self):
+        summary = summarize(load_dataset("facebook_like", seed=0, scale=0.2))
+        assert summary.nodes > 0
+        assert summary.edges > 0
+        assert summary.average_degree > 0
+        assert 0 <= summary.average_clustering <= 1
+        assert summary.triangles >= 0

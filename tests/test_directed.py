@@ -1,0 +1,115 @@
+"""Unit tests for the directed-to-undirected API adapter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    DirectedGraphStore,
+    DirectedToUndirectedAPI,
+    QueryBudget,
+    mutual_undirected_edges,
+    store_from_edges,
+)
+from repro.exceptions import NodeNotFoundError, QueryBudgetExceededError
+
+
+@pytest.fixture
+def store() -> DirectedGraphStore:
+    """Twitter-style store: some mutual follows, some one-way."""
+    edges = [
+        ("a", "b"), ("b", "a"),           # mutual
+        ("a", "c"),                        # one-way
+        ("c", "d"), ("d", "c"),           # mutual
+        ("d", "a"),                        # one-way
+    ]
+    store = store_from_edges(edges, attributes={"a": {"followers": 100}})
+    return store
+
+
+class TestDirectedGraphStore:
+    def test_successors_and_predecessors(self, store):
+        assert set(store.successors("a")) == {"b", "c"}
+        assert set(store.predecessors("a")) == {"b", "d"}
+
+    def test_attributes(self, store):
+        assert store.attributes("a") == {"followers": 100}
+        assert store.attributes("b") == {}
+
+    def test_missing_node(self, store):
+        with pytest.raises(NodeNotFoundError):
+            store.successors("zzz")
+
+    def test_self_loops_rejected(self):
+        store = DirectedGraphStore()
+        with pytest.raises(ValueError):
+            store.add_edge("x", "x")
+
+    def test_store_from_edges_skips_self_loops(self):
+        store = store_from_edges([("x", "x"), ("x", "y")])
+        assert store.number_of_edges() == 1
+
+
+class TestMutualConversion:
+    def test_mutual_only_view(self, store):
+        api = DirectedToUndirectedAPI(store, mutual_only=True)
+        assert set(api.query("a").neighbors) == {"b"}
+        assert set(api.query("c").neighbors) == {"d"}
+
+    def test_either_direction_view(self, store):
+        api = DirectedToUndirectedAPI(store, mutual_only=False)
+        assert set(api.query("a").neighbors) == {"b", "c", "d"}
+
+    def test_mutual_edge_list_helper(self, store):
+        edges = {frozenset(edge) for edge in mutual_undirected_edges(store)}
+        assert edges == {frozenset(("a", "b")), frozenset(("c", "d"))}
+
+    def test_symmetry_of_mutual_view(self, store):
+        api = DirectedToUndirectedAPI(store, mutual_only=True)
+        for node in store.nodes():
+            for neighbor in api.query(node).neighbors:
+                assert node in api.query(neighbor).neighbors
+
+
+class TestQueryCost:
+    def test_each_node_costs_two_calls(self, store):
+        api = DirectedToUndirectedAPI(store, queries_per_node=2)
+        api.query("a")
+        assert api.unique_queries == 2
+        api.query("a")
+        assert api.unique_queries == 2
+        assert api.total_queries == 2
+
+    def test_budget_counts_billable_calls(self, store):
+        api = DirectedToUndirectedAPI(store, queries_per_node=2, budget=QueryBudget(3))
+        api.query("a")
+        with pytest.raises(QueryBudgetExceededError):
+            api.query("b")
+
+    def test_reset_counters(self, store):
+        api = DirectedToUndirectedAPI(store)
+        api.query("a")
+        api.reset_counters()
+        assert api.unique_queries == 0
+        assert api.total_queries == 0
+
+    def test_invalid_queries_per_node(self, store):
+        with pytest.raises(ValueError):
+            DirectedToUndirectedAPI(store, queries_per_node=0)
+
+    def test_edge_existence_helper(self, store):
+        api = DirectedToUndirectedAPI(store, mutual_only=True)
+        assert api.undirected_edge_exists("a", "b")
+        assert not api.undirected_edge_exists("a", "c")
+
+
+class TestWalkOverDirectedStore:
+    def test_srw_runs_on_mutual_view(self, store):
+        from repro.walks import SimpleRandomWalk
+
+        api = DirectedToUndirectedAPI(store, mutual_only=True)
+        walk = SimpleRandomWalk(api, seed=1)
+        result = walk.run("a", max_steps=20)
+        # The mutual view of this store is two disjoint edges, so the walk
+        # oscillates between a and b.
+        assert set(result.path) == {"a", "b"}

@@ -1,0 +1,175 @@
+"""Unit tests for the sample-based aggregate estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.estimation import (
+    AggregateKind,
+    AggregateQuery,
+    RunningEstimator,
+    estimate,
+    reweighted_mean,
+    uniform_mean,
+)
+from repro.exceptions import InsufficientSamplesError, InvalidConfigurationError
+from repro.types import Sample
+
+
+def make_samples(spec):
+    """Build Sample objects from (node, degree, attrs) triples."""
+    return [Sample(node=node, degree=degree, attributes=attrs) for node, degree, attrs in spec]
+
+
+class TestReweightedMean:
+    def test_corrects_degree_bias_exactly(self):
+        """If each node appears proportionally to its degree, the reweighted
+        mean recovers the plain population mean exactly."""
+        population = {1: (2, 10.0), 2: (4, 20.0), 3: (6, 30.0)}  # node: (degree, value)
+        spec = []
+        for node, (degree, value) in population.items():
+            spec.extend([(node, degree, {"v": value})] * degree)
+        samples = make_samples(spec)
+        result = reweighted_mean(samples, AggregateQuery.average_attribute("v"))
+        assert result.value == pytest.approx(20.0)
+        assert result.sample_size == len(samples)
+
+    def test_average_degree_estimator(self):
+        # Degree-proportional sampling of degrees: E[deg] under pi is
+        # sum(deg^2)/sum(deg); the reweighted estimator must instead recover
+        # the plain average degree sum(deg)/n.
+        degrees = [1, 1, 2, 4]
+        spec = []
+        for node, degree in enumerate(degrees):
+            spec.extend([(node, degree, {})] * degree)
+        samples = make_samples(spec)
+        result = reweighted_mean(samples, AggregateQuery.average_degree())
+        assert result.value == pytest.approx(np.mean(degrees))
+
+    def test_proportion_query(self):
+        spec = [(1, 2, {"c": "x"})] * 2 + [(2, 2, {"c": "y"})] * 2
+        samples = make_samples(spec)
+        query = AggregateQuery.proportion(lambda n, a: a.get("c") == "x")
+        assert reweighted_mean(samples, query).value == pytest.approx(0.5)
+
+    def test_conditional_average_ignores_non_matching(self):
+        spec = [(1, 2, {"v": 10.0, "c": "x"}), (2, 2, {"v": 99.0, "c": "y"})]
+        samples = make_samples(spec)
+        query = AggregateQuery(
+            kind=AggregateKind.AVERAGE, measure="v", predicate=lambda n, a: a.get("c") == "x"
+        )
+        assert reweighted_mean(samples, query).value == pytest.approx(10.0)
+
+    def test_zero_degree_samples_skipped(self):
+        samples = make_samples([(1, 0, {"v": 5.0}), (2, 2, {"v": 7.0})])
+        result = reweighted_mean(samples, AggregateQuery.average_attribute("v"))
+        assert result.value == pytest.approx(7.0)
+
+    def test_no_samples(self):
+        with pytest.raises(InsufficientSamplesError):
+            reweighted_mean([], AggregateQuery.average_degree())
+
+    def test_all_samples_filtered_out(self):
+        samples = make_samples([(1, 2, {"c": "y"})])
+        query = AggregateQuery(
+            kind=AggregateKind.AVERAGE, measure="v", predicate=lambda n, a: a.get("c") == "x"
+        )
+        with pytest.raises(InsufficientSamplesError):
+            reweighted_mean(samples, query)
+
+    def test_standard_error_present(self):
+        samples = make_samples([(1, 2, {"v": 10.0}), (2, 3, {"v": 20.0}), (3, 4, {"v": 30.0})])
+        result = reweighted_mean(samples, AggregateQuery.average_attribute("v"))
+        assert result.standard_error is not None
+        low, high = result.confidence_interval()
+        assert low <= result.value <= high
+
+    def test_single_sample_has_no_standard_error(self):
+        samples = make_samples([(1, 2, {"v": 10.0})])
+        result = reweighted_mean(samples, AggregateQuery.average_attribute("v"))
+        assert result.standard_error is None
+        assert result.confidence_interval() == (result.value, result.value)
+
+
+class TestUniformMean:
+    def test_plain_mean(self):
+        samples = make_samples([(1, 5, {"v": 10.0}), (2, 1, {"v": 20.0})])
+        result = uniform_mean(samples, AggregateQuery.average_attribute("v"))
+        assert result.value == pytest.approx(15.0)
+
+    def test_proportion(self):
+        samples = make_samples([(1, 1, {"c": "x"}), (2, 1, {"c": "y"}), (3, 1, {"c": "x"})])
+        query = AggregateQuery.proportion(lambda n, a: a.get("c") == "x")
+        assert uniform_mean(samples, query).value == pytest.approx(2 / 3)
+
+    def test_no_samples(self):
+        with pytest.raises(InsufficientSamplesError):
+            uniform_mean([], AggregateQuery.average_degree())
+
+
+class TestEstimateDispatcher:
+    def test_uniform_flag_switches_estimator(self):
+        samples = make_samples([(1, 5, {"v": 10.0}), (2, 1, {"v": 20.0})])
+        query = AggregateQuery.average_attribute("v")
+        weighted = estimate(samples, query, uniform_samples=False).value
+        plain = estimate(samples, query, uniform_samples=True).value
+        assert plain == pytest.approx(15.0)
+        assert weighted != pytest.approx(15.0)
+
+    def test_sum_requires_population_size(self):
+        samples = make_samples([(1, 2, {"v": 10.0})])
+        query = AggregateQuery.sum_attribute("v")
+        with pytest.raises(InvalidConfigurationError):
+            estimate(samples, query)
+        scaled = estimate(samples, query, population_size=100)
+        assert scaled.value == pytest.approx(100 * 10.0)
+
+    def test_count_scaling(self):
+        samples = make_samples([(1, 2, {"c": "x"}), (2, 2, {"c": "y"})])
+        query = AggregateQuery.count(lambda n, a: a.get("c") == "x")
+        result = estimate(samples, query, population_size=50)
+        assert result.value == pytest.approx(25.0)
+
+
+class TestRunningEstimator:
+    def test_matches_batch_estimator(self):
+        samples = make_samples(
+            [(1, 2, {"v": 10.0}), (2, 4, {"v": 20.0}), (3, 8, {"v": 40.0}), (1, 2, {"v": 10.0})]
+        )
+        query = AggregateQuery.average_attribute("v")
+        runner = RunningEstimator(query)
+        runner.update_many(samples)
+        assert runner.value == pytest.approx(reweighted_mean(samples, query).value)
+        assert runner.sample_size == 4
+
+    def test_uniform_mode(self):
+        samples = make_samples([(1, 5, {"v": 10.0}), (2, 1, {"v": 20.0})])
+        query = AggregateQuery.average_attribute("v")
+        runner = RunningEstimator(query, uniform_samples=True)
+        runner.update_many(samples)
+        assert runner.value == pytest.approx(15.0)
+
+    def test_skips_zero_degree_and_filtered(self):
+        query = AggregateQuery(
+            kind=AggregateKind.AVERAGE, measure="v", predicate=lambda n, a: a.get("keep", False)
+        )
+        runner = RunningEstimator(query)
+        runner.update(Sample(node=1, degree=0, attributes={"v": 1.0, "keep": True}))
+        runner.update(Sample(node=2, degree=2, attributes={"v": 5.0, "keep": False}))
+        with pytest.raises(InsufficientSamplesError):
+            _ = runner.value
+        runner.update(Sample(node=3, degree=2, attributes={"v": 7.0, "keep": True}))
+        assert runner.value == pytest.approx(7.0)
+
+    def test_rejects_sum_queries(self):
+        with pytest.raises(InvalidConfigurationError):
+            RunningEstimator(AggregateQuery.sum_attribute("v"))
+
+    def test_estimate_wrapper(self):
+        query = AggregateQuery.average_attribute("v")
+        runner = RunningEstimator(query)
+        runner.update(Sample(node=1, degree=2, attributes={"v": 3.0}))
+        wrapped = runner.estimate()
+        assert wrapped.value == pytest.approx(3.0)
+        assert wrapped.sample_size == 1

@@ -1,0 +1,303 @@
+"""Unit tests for experiment configuration, runner, results and reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.estimation import AggregateQuery
+from repro.exceptions import InvalidConfigurationError
+from repro.experiments import (
+    CostSweepConfig,
+    DistributionStudyConfig,
+    ExperimentReport,
+    ResultTable,
+    Series,
+    SizeSweepConfig,
+    WalkerSpec,
+    escape_probability_study,
+    markdown_table,
+    render_comparison,
+    render_dataset_summaries,
+    render_report,
+    render_result_table,
+    render_table,
+    report_to_markdown,
+    run_cost_sweep,
+    run_distribution_study,
+    run_single_trial,
+    run_size_sweep,
+)
+from repro.graphs import barbell_graph, load_dataset, summarize
+
+
+@pytest.fixture(scope="module")
+def tiny_graph():
+    return load_dataset("facebook_like", seed=3, scale=0.1)
+
+
+class TestWalkerSpec:
+    def test_display_label(self):
+        assert WalkerSpec.make("srw").display_label == "SRW"
+        assert WalkerSpec.make("srw", label="Simple").display_label == "Simple"
+
+    def test_options_dict(self):
+        spec = WalkerSpec.make("gnrw_by_attribute", group_attribute="age", bin_width=5.0)
+        assert spec.options_dict() == {"group_attribute": "age", "bin_width": 5.0}
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidConfigurationError):
+            WalkerSpec(name="")
+
+    def test_specs_are_hashable(self):
+        assert len({WalkerSpec.make("srw"), WalkerSpec.make("srw")}) == 1
+
+
+class TestConfigValidation:
+    def test_cost_sweep_validation(self):
+        query = AggregateQuery.average_degree()
+        walkers = (WalkerSpec.make("srw"),)
+        with pytest.raises(InvalidConfigurationError):
+            CostSweepConfig(walkers=(), query=query, budgets=(10,))
+        with pytest.raises(InvalidConfigurationError):
+            CostSweepConfig(walkers=walkers, query=query, budgets=())
+        with pytest.raises(InvalidConfigurationError):
+            CostSweepConfig(walkers=walkers, query=query, budgets=(1,))
+        with pytest.raises(InvalidConfigurationError):
+            CostSweepConfig(walkers=walkers, query=query, budgets=(10,), trials=0)
+        with pytest.raises(InvalidConfigurationError):
+            CostSweepConfig(walkers=walkers, query=query, budgets=(10,), burn_in=-1)
+        with pytest.raises(InvalidConfigurationError):
+            CostSweepConfig(walkers=walkers, query=query, budgets=(10,), thinning=0)
+
+    def test_distribution_study_validation(self):
+        walkers = (WalkerSpec.make("srw"),)
+        with pytest.raises(InvalidConfigurationError):
+            DistributionStudyConfig(walkers=(), num_walks=1, steps=10)
+        with pytest.raises(InvalidConfigurationError):
+            DistributionStudyConfig(walkers=walkers, num_walks=0)
+        with pytest.raises(InvalidConfigurationError):
+            DistributionStudyConfig(walkers=walkers, steps=0)
+
+    def test_size_sweep_validation(self):
+        query = AggregateQuery.average_degree()
+        walkers = (WalkerSpec.make("srw"),)
+        with pytest.raises(InvalidConfigurationError):
+            SizeSweepConfig(walkers=walkers, query=query, sizes=(), budget=10)
+        with pytest.raises(InvalidConfigurationError):
+            SizeSweepConfig(walkers=walkers, query=query, sizes=(5,), budget=1)
+        with pytest.raises(InvalidConfigurationError):
+            SizeSweepConfig(walkers=walkers, query=query, sizes=(5,), budget=10, trials=0)
+
+
+class TestSeriesAndTables:
+    def test_series_basics(self):
+        series = Series(label="x")
+        series.add_point(1, 2.0)
+        series.add_point(2, 4.0)
+        assert len(series) == 2
+        assert series.as_dict() == {1.0: 2.0, 2.0: 4.0}
+        assert series.final_value() == 4.0
+        assert series.mean_value() == 3.0
+
+    def test_empty_series_errors(self):
+        with pytest.raises(ValueError):
+            Series(label="x").final_value()
+        with pytest.raises(ValueError):
+            Series(label="x").mean_value()
+
+    def test_result_table_points_and_rows(self):
+        table = ResultTable(title="t", x_label="cost", y_label="error")
+        table.add_point("SRW", 10, 0.5)
+        table.add_point("SRW", 20, 0.4)
+        table.add_point("CNRW", 10, 0.3)
+        assert table.labels() == ["SRW", "CNRW"]
+        assert table.x_values() == [10.0, 20.0]
+        rows = table.rows()
+        assert {"series": "CNRW", "cost": 10.0, "error": 0.3} in rows
+        wide = table.to_wide_rows()
+        assert wide[0] == ["cost", "SRW", "CNRW"]
+        assert wide[1] == [10.0, 0.5, 0.3]
+        assert wide[2] == [20.0, 0.4, ""]
+
+    def test_dominates(self):
+        table = ResultTable(title="t")
+        table.add_point("SRW", 1, 0.5)
+        table.add_point("CNRW", 1, 0.3)
+        assert table.dominates("CNRW", "SRW")
+        assert not table.dominates("SRW", "CNRW")
+        assert table.dominates("SRW", "CNRW", tolerance=1.0)
+
+    def test_csv_export(self, tmp_path):
+        table = ResultTable(title="t", x_label="cost", y_label="error")
+        table.add_point("SRW", 10, 0.5)
+        path = tmp_path / "out.csv"
+        text = table.to_csv(path)
+        assert "SRW" in text
+        assert path.read_text().startswith("series,cost,error")
+
+    def test_experiment_report(self, tmp_path):
+        report = ExperimentReport(name="demo")
+        table = ResultTable(title="t")
+        table.add_point("SRW", 1, 1.0)
+        report.add_table("main", table)
+        assert report.keys() == ["main"]
+        assert report.get("main") is table
+        paths = report.to_csv_files(tmp_path)
+        assert len(paths) == 1
+        assert paths[0].exists()
+
+
+class TestRunner:
+    def test_run_single_trial(self, tiny_graph):
+        outcome = run_single_trial(
+            tiny_graph, WalkerSpec.make("cnrw"), AggregateQuery.average_degree(), budget=40, seed=1
+        )
+        assert outcome["unique_queries"] <= 40
+        assert outcome["estimate"] is not None
+        assert len(outcome["path"]) >= 1
+
+    def test_run_single_trial_reproducible(self, tiny_graph):
+        a = run_single_trial(tiny_graph, WalkerSpec.make("srw"), AggregateQuery.average_degree(), 30, seed=9)
+        b = run_single_trial(tiny_graph, WalkerSpec.make("srw"), AggregateQuery.average_degree(), 30, seed=9)
+        assert a["path"] == b["path"]
+        assert a["estimate"] == b["estimate"]
+
+    def test_cost_sweep_structure(self, tiny_graph):
+        config = CostSweepConfig(
+            walkers=(WalkerSpec.make("srw"), WalkerSpec.make("cnrw")),
+            query=AggregateQuery.average_degree(),
+            budgets=(20, 40),
+            trials=3,
+            seed=0,
+            compute_divergences=True,
+        )
+        report = run_cost_sweep(tiny_graph, config, title="unit sweep")
+        assert set(report.keys()) == {"relative_error", "kl_divergence", "l2_distance"}
+        error_table = report.get("relative_error")
+        assert set(error_table.labels()) == {"SRW", "CNRW"}
+        assert error_table.x_values() == [20.0, 40.0]
+        assert all(y >= 0 for series in error_table.series.values() for y in series.y)
+        assert report.metadata["trials"] == 3
+
+    def test_cost_sweep_without_divergences(self, tiny_graph):
+        config = CostSweepConfig(
+            walkers=(WalkerSpec.make("srw"),),
+            query=AggregateQuery.average_degree(),
+            budgets=(20,),
+            trials=2,
+            seed=0,
+        )
+        report = run_cost_sweep(tiny_graph, config)
+        assert report.keys() == ["relative_error"]
+
+    def test_mhrw_uses_uniform_estimator(self, tiny_graph):
+        config = CostSweepConfig(
+            walkers=(WalkerSpec.make("mhrw", uniform_samples=True),),
+            query=AggregateQuery.average_degree(),
+            budgets=(30,),
+            trials=2,
+            seed=0,
+        )
+        report = run_cost_sweep(tiny_graph, config)
+        assert "MHRW" in report.get("relative_error").labels()
+
+    def test_distribution_study(self, tiny_graph):
+        config = DistributionStudyConfig(
+            walkers=(WalkerSpec.make("srw"), WalkerSpec.make("cnrw")),
+            num_walks=3,
+            steps=150,
+            seed=0,
+        )
+        report = run_distribution_study(tiny_graph, config)
+        table = report.get("distribution")
+        assert "Theoretical" in table.labels()
+        assert "SRW" in table.labels()
+        # Each series has one probability per node and sums to ~1.
+        for label in table.labels():
+            series = table.get(label)
+            assert len(series) == tiny_graph.number_of_nodes
+            assert sum(series.y) == pytest.approx(1.0, abs=1e-6)
+        assert "divergence" in report.keys()
+
+    def test_size_sweep(self):
+        config = SizeSweepConfig(
+            walkers=(WalkerSpec.make("srw"), WalkerSpec.make("cnrw")),
+            query=AggregateQuery.average_degree(),
+            sizes=(4, 6),
+            budget=16,
+            trials=3,
+            seed=0,
+        )
+        report = run_size_sweep(lambda size: barbell_graph(size), config)
+        error_table = report.get("relative_error")
+        assert error_table.x_values() == [4.0, 6.0]
+        assert set(error_table.labels()) == {"SRW", "CNRW"}
+        assert "kl_divergence" in report.keys()
+
+    def test_escape_probability_study(self):
+        report = escape_probability_study(
+            clique_sizes=(5,),
+            walkers=(WalkerSpec.make("srw"), WalkerSpec.make("cnrw")),
+            steps=40,
+            trials=10,
+            seed=0,
+        )
+        table = report.get("crossing_probability")
+        for label in ("SRW", "CNRW"):
+            for value in table.get(label).y:
+                assert 0.0 <= value <= 1.0
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table([["a", "b"], [1, 2.34567], [10, 3]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.346" in text
+
+    def test_render_result_table_and_report(self, tiny_graph):
+        table = ResultTable(title="demo", x_label="cost", y_label="error")
+        table.add_point("SRW", 10, 0.123456)
+        rendered = render_result_table(table)
+        assert "demo" in rendered
+        assert "SRW" in rendered
+        report = ExperimentReport(name="r", metadata={"graph": "g"})
+        report.add_table("main", table)
+        full = render_report(report)
+        assert "=== r ===" in full
+        assert "graph=g" in full
+
+    def test_render_dataset_summaries(self):
+        summaries = [summarize(barbell_graph(4))]
+        text = render_dataset_summaries(summaries)
+        assert "dataset" in text
+        assert "barbell-4" in text
+
+    def test_render_comparison(self):
+        table = ResultTable(title="t")
+        table.add_point("SRW", 1, 0.4)
+        table.add_point("CNRW", 1, 0.2)
+        text = render_comparison(table, baseline="SRW", challengers=["CNRW", "MISSING"])
+        assert "CNRW vs SRW" in text
+        assert "50.0%" in text
+        assert "MISSING" not in text
+
+    def test_markdown_rendering(self):
+        table = ResultTable(title="t", x_label="cost", y_label="error")
+        table.add_point("SRW", 10, 0.5)
+        report = ExperimentReport(name="md", metadata={"k": 1})
+        report.add_table("main", table)
+        markdown = report_to_markdown(report)
+        assert markdown.startswith("### md")
+        assert "| cost | SRW |" in markdown
+        assert markdown_table([]) == ""
+        assert render_table([]) == ""
+
+    def test_format_number(self):
+        from repro.experiments.reporting import format_number
+
+        assert format_number(3) == "3"
+        assert format_number(3.0) == "3"
+        assert format_number(0.123456) == "0.1235"
+        assert format_number(True) == "True"
+        assert format_number("text") == "text"

@@ -1,0 +1,262 @@
+"""Unit tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    barabasi_albert_graph,
+    barbell_graph,
+    clustered_cliques_graph,
+    complete_graph,
+    connect_components,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    planted_partition_graph,
+    star_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.statistics import conductance_of_cut
+
+
+class TestDeterministicGenerators:
+    def test_complete_graph(self):
+        graph = complete_graph(5)
+        assert graph.number_of_nodes == 5
+        assert graph.number_of_edges == 10
+        assert all(graph.degree(node) == 4 for node in graph.nodes())
+
+    def test_complete_graph_invalid(self):
+        with pytest.raises(GraphError):
+            complete_graph(0)
+
+    def test_star_graph(self):
+        graph = star_graph(6)
+        assert graph.degree(0) == 6
+        assert all(graph.degree(leaf) == 1 for leaf in range(1, 7))
+
+    def test_cycle_graph(self):
+        graph = cycle_graph(5)
+        assert graph.number_of_edges == 5
+        assert all(graph.degree(node) == 2 for node in graph.nodes())
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_path_graph(self):
+        graph = path_graph(4)
+        assert graph.number_of_edges == 3
+        assert graph.degree(0) == 1
+        assert graph.degree(1) == 2
+
+    def test_grid_graph(self):
+        graph = grid_graph(3, 4)
+        assert graph.number_of_nodes == 12
+        assert graph.number_of_edges == 3 * 3 + 2 * 4
+        with pytest.raises(GraphError):
+            grid_graph(0, 3)
+
+
+class TestBarbell:
+    def test_structure(self):
+        graph = barbell_graph(5)
+        assert graph.number_of_nodes == 10
+        # Two 5-cliques (10 edges each) plus the bridge.
+        assert graph.number_of_edges == 2 * 10 + 1
+        assert graph.has_edge(4, 5)
+        assert graph.is_connected()
+
+    def test_community_attribute(self):
+        graph = barbell_graph(4)
+        assert graph.attribute(0, "community") == 0
+        assert graph.attribute(7, "community") == 1
+
+    def test_matches_table1_scale(self):
+        # The paper's barbell has 100 nodes and 2451 edges (two 50-cliques + bridge).
+        graph = barbell_graph(50)
+        assert graph.number_of_nodes == 100
+        assert graph.number_of_edges == 2 * (50 * 49 // 2) + 1 == 2451
+
+    def test_small_conductance(self):
+        graph = barbell_graph(10)
+        assert conductance_of_cut(graph) < 0.02
+
+    def test_invalid_size(self):
+        with pytest.raises(GraphError):
+            barbell_graph(1)
+
+
+class TestClusteredCliques:
+    def test_structure(self):
+        graph = clustered_cliques_graph((10, 30, 50), seed=0)
+        assert graph.number_of_nodes == 90
+        assert graph.is_connected()
+        # Every node keeps its community label.
+        communities = {graph.attribute(node, "community") for node in graph.nodes()}
+        assert communities == {0, 1, 2}
+
+    def test_high_clustering_matches_table1(self):
+        graph = clustered_cliques_graph((10, 30, 50), seed=0)
+        assert graph.average_clustering() > 0.95
+
+    def test_bridges_parameter(self):
+        one = clustered_cliques_graph((5, 5), bridges_per_pair=1, seed=1)
+        many = clustered_cliques_graph((5, 5), bridges_per_pair=3, seed=1)
+        assert many.number_of_edges >= one.number_of_edges
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            clustered_cliques_graph(())
+        with pytest.raises(GraphError):
+            clustered_cliques_graph((1, 5))
+        with pytest.raises(GraphError):
+            clustered_cliques_graph((5, 5), bridges_per_pair=0)
+
+
+class TestRandomGenerators:
+    def test_erdos_renyi_reproducible(self):
+        a = erdos_renyi_graph(40, 0.2, seed=3)
+        b = erdos_renyi_graph(40, 0.2, seed=3)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_erdos_renyi_extremes(self):
+        empty = erdos_renyi_graph(10, 0.0, seed=0)
+        full = erdos_renyi_graph(10, 1.0, seed=0)
+        assert empty.number_of_edges == 0
+        assert full.number_of_edges == 45
+
+    def test_erdos_renyi_invalid(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(5, 1.5)
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(0, 0.5)
+
+    def test_barabasi_albert_degrees(self):
+        graph = barabasi_albert_graph(200, 3, seed=5)
+        assert graph.number_of_nodes == 200
+        # Every node added after the seed clique has degree >= attachment.
+        assert all(graph.degree(node) >= 3 for node in graph.nodes())
+        assert graph.is_connected()
+
+    def test_barabasi_albert_heavy_tail(self):
+        graph = barabasi_albert_graph(300, 2, seed=1)
+        degrees = sorted(graph.degrees().values(), reverse=True)
+        # The maximum degree should far exceed the median (heavy tail).
+        assert degrees[0] > 4 * degrees[len(degrees) // 2]
+
+    def test_barabasi_albert_invalid(self):
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(3, 3)
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(10, 0)
+
+    def test_powerlaw_cluster_combines_tail_and_clustering(self):
+        from repro.graphs import powerlaw_cluster_graph
+
+        graph = powerlaw_cluster_graph(400, 6, triangle_probability=0.9, seed=3)
+        assert graph.number_of_nodes == 400
+        assert graph.is_connected()
+        degrees = sorted(graph.degrees().values(), reverse=True)
+        assert degrees[0] > 3 * degrees[len(degrees) // 2]  # heavy tail
+        # Triad formation yields much higher clustering than plain BA.
+        plain = barabasi_albert_graph(400, 6, seed=3)
+        assert graph.average_clustering() > 2 * plain.average_clustering()
+
+    def test_powerlaw_cluster_zero_triangle_probability(self):
+        from repro.graphs import powerlaw_cluster_graph
+
+        graph = powerlaw_cluster_graph(100, 3, triangle_probability=0.0, seed=1)
+        assert graph.number_of_nodes == 100
+        assert all(graph.degree(node) >= 1 for node in graph.nodes())
+
+    def test_powerlaw_cluster_invalid(self):
+        from repro.graphs import powerlaw_cluster_graph
+
+        with pytest.raises(GraphError):
+            powerlaw_cluster_graph(5, 5, 0.5)
+        with pytest.raises(GraphError):
+            powerlaw_cluster_graph(10, 0, 0.5)
+        with pytest.raises(GraphError):
+            powerlaw_cluster_graph(10, 2, 1.5)
+
+    def test_watts_strogatz_degree_preserved_on_average(self):
+        graph = watts_strogatz_graph(50, 6, 0.1, seed=2)
+        assert graph.number_of_nodes == 50
+        assert graph.average_degree() == pytest.approx(6.0, abs=0.5)
+
+    def test_watts_strogatz_no_rewiring_is_ring_lattice(self):
+        graph = watts_strogatz_graph(20, 4, 0.0, seed=0)
+        assert all(graph.degree(node) == 4 for node in graph.nodes())
+
+    def test_watts_strogatz_invalid(self):
+        with pytest.raises(GraphError):
+            watts_strogatz_graph(10, 3, 0.1)
+        with pytest.raises(GraphError):
+            watts_strogatz_graph(10, 10, 0.1)
+        with pytest.raises(GraphError):
+            watts_strogatz_graph(10, 4, 1.5)
+
+    def test_planted_partition_homophily(self):
+        graph = planted_partition_graph((30, 30), p_in=0.3, p_out=0.01, seed=4)
+        intra = 0
+        inter = 0
+        for u, v in graph.edges():
+            if graph.attribute(u, "community") == graph.attribute(v, "community"):
+                intra += 1
+            else:
+                inter += 1
+        assert intra > 5 * inter
+
+    def test_planted_partition_invalid(self):
+        with pytest.raises(GraphError):
+            planted_partition_graph((), 0.5, 0.1)
+        with pytest.raises(GraphError):
+            planted_partition_graph((5, 5), 0.1, 0.5)
+
+
+class TestHeterogeneousCommunityGraph:
+    def test_density_varies_by_community(self):
+        from repro.graphs import heterogeneous_community_graph
+
+        graph = heterogeneous_community_graph(
+            community_sizes=(40, 40), intra_probabilities=(0.4, 0.05),
+            inter_probability=0.0, seed=5,
+        )
+        dense = [graph.degree(node) for node in graph.nodes() if graph.attribute(node, "community") == 0]
+        sparse = [graph.degree(node) for node in graph.nodes() if graph.attribute(node, "community") == 1]
+        assert sum(dense) / len(dense) > 2 * (sum(sparse) / max(1, len(sparse)) + 1)
+
+    def test_reproducible(self):
+        from repro.graphs import heterogeneous_community_graph
+
+        a = heterogeneous_community_graph((20, 20), (0.2, 0.1), seed=3)
+        b = heterogeneous_community_graph((20, 20), (0.2, 0.1), seed=3)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_invalid_parameters(self):
+        from repro.graphs import heterogeneous_community_graph
+
+        with pytest.raises(GraphError):
+            heterogeneous_community_graph((), ())
+        with pytest.raises(GraphError):
+            heterogeneous_community_graph((10,), (0.1, 0.2))
+        with pytest.raises(GraphError):
+            heterogeneous_community_graph((10,), (1.5,))
+        with pytest.raises(GraphError):
+            heterogeneous_community_graph((10, 10), (0.1, 0.1), inter_probability=2.0)
+
+
+class TestConnectComponents:
+    def test_connects_disconnected_graph(self):
+        graph = erdos_renyi_graph(60, 0.02, seed=9)
+        connected = connect_components(graph, seed=1)
+        assert connected.is_connected()
+        assert connected.number_of_nodes == graph.number_of_nodes
+        assert connected.number_of_edges >= graph.number_of_edges
+
+    def test_noop_on_connected_graph(self):
+        graph = complete_graph(5)
+        connected = connect_components(graph, seed=0)
+        assert connected.number_of_edges == graph.number_of_edges

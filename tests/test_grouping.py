@@ -1,0 +1,158 @@
+"""Unit tests for GNRW grouping strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import GraphAPI
+from repro.exceptions import InvalidConfigurationError
+from repro.walks import make_grouping
+from repro.walks.grouping import (
+    AttributeValueGrouping,
+    CallableGrouping,
+    DegreeGrouping,
+    ExplicitGrouping,
+    HashGrouping,
+    NumericBinGrouping,
+)
+
+
+class TestHashGrouping:
+    def test_deterministic(self, api):
+        grouping = HashGrouping(num_groups=3)
+        assert grouping.group_of(1, api) == grouping.group_of(1, api)
+
+    def test_group_range(self, api):
+        grouping = HashGrouping(num_groups=3)
+        for node in range(20):
+            assert 0 <= grouping.group_of(node, api) < 3
+
+    def test_invalid_num_groups(self):
+        with pytest.raises(InvalidConfigurationError):
+            HashGrouping(num_groups=0)
+
+    def test_partition_is_disjoint_cover(self, api, attributed_graph):
+        grouping = HashGrouping(num_groups=2)
+        neighbors = attributed_graph.neighbors(0)
+        partition = grouping.partition(neighbors, api)
+        flattened = [node for members in partition.values() for node in members]
+        assert sorted(flattened, key=repr) == sorted(neighbors, key=repr)
+
+
+class TestAttributeValueGrouping:
+    def test_groups_by_value(self, api):
+        grouping = AttributeValueGrouping("city")
+        assert grouping.group_of(0, api) == "austin"
+        assert grouping.group_of(2, api) == "dallas"
+
+    def test_missing_attribute_default(self, api):
+        grouping = AttributeValueGrouping("nonexistent", default="none")
+        assert grouping.group_of(0, api) == "none"
+
+    def test_does_not_consume_budget(self, attributed_graph):
+        api = GraphAPI(attributed_graph)
+        grouping = AttributeValueGrouping("city")
+        grouping.partition(attributed_graph.nodes(), api)
+        assert api.unique_queries == 0
+
+
+class TestNumericBinGrouping:
+    def test_binning(self, api):
+        grouping = NumericBinGrouping("age", bin_width=10.0)
+        assert grouping.group_of(0, api) == 2   # age 20
+        assert grouping.group_of(2, api) == 3   # age 30
+        assert grouping.group_of(4, api) == 4   # age 40
+
+    def test_minimum_offset(self, api):
+        grouping = NumericBinGrouping("age", bin_width=10.0, minimum=20.0)
+        assert grouping.group_of(0, api) == 0
+        assert grouping.group_of(4, api) == 2
+
+    def test_missing_attribute_goes_to_default_bin(self, api):
+        grouping = NumericBinGrouping("reviews_count", default_bin=-1)
+        assert grouping.group_of(0, api) == -1
+
+    def test_non_numeric_attribute_goes_to_default_bin(self, api):
+        grouping = NumericBinGrouping("city", default_bin=-5)
+        assert grouping.group_of(0, api) == -5
+
+    def test_invalid_bin_width(self):
+        with pytest.raises(InvalidConfigurationError):
+            NumericBinGrouping("age", bin_width=0.0)
+
+
+class TestDegreeGrouping:
+    def test_logarithmic_bins(self, api, attributed_graph):
+        grouping = DegreeGrouping(logarithmic=True)
+        for node in attributed_graph.nodes():
+            expected = int(attributed_graph.degree(node)).bit_length()
+            assert grouping.group_of(node, api) == expected
+
+    def test_linear_bins(self, api, attributed_graph):
+        grouping = DegreeGrouping(logarithmic=False, bin_width=2)
+        for node in attributed_graph.nodes():
+            assert grouping.group_of(node, api) == attributed_graph.degree(node) // 2
+
+    def test_invalid_bin_width(self):
+        with pytest.raises(InvalidConfigurationError):
+            DegreeGrouping(logarithmic=False, bin_width=0)
+
+    def test_does_not_consume_budget(self, attributed_graph):
+        api = GraphAPI(attributed_graph)
+        DegreeGrouping().partition(attributed_graph.nodes(), api)
+        assert api.unique_queries == 0
+
+
+class TestOtherStrategies:
+    def test_callable_grouping(self, api):
+        grouping = CallableGrouping(lambda node: node % 2, name="parity")
+        assert grouping.group_of(4, api) == 0
+        assert grouping.group_of(5, api) == 1
+        assert grouping.name == "parity"
+
+    def test_explicit_grouping(self, api):
+        grouping = ExplicitGrouping({1: "x"}, default="other")
+        assert grouping.group_of(1, api) == "x"
+        assert grouping.group_of(99, api) == "other"
+
+
+class TestFactory:
+    def test_make_grouping_names(self):
+        assert make_grouping("md5", num_groups=4).name == "md5-4"
+        assert make_grouping("degree").name == "degree-log"
+        assert make_grouping("attribute", attribute="city").name == "attr-city"
+        assert make_grouping("numeric", attribute="age").name == "bin-age"
+
+    def test_unknown_kind(self):
+        with pytest.raises(InvalidConfigurationError):
+            make_grouping("nope")
+
+
+class TestPartitionWithoutMetadata:
+    def test_falls_back_to_cache_then_default(self, attributed_graph):
+        class NoPeekAPI:
+            """An API without peek_metadata and without a cache."""
+
+            def __init__(self, inner):
+                self._inner = inner
+
+            def query(self, node):
+                return self._inner.query(node)
+
+            @property
+            def unique_queries(self):
+                return self._inner.unique_queries
+
+            @property
+            def total_queries(self):
+                return self._inner.total_queries
+
+            def reset_counters(self):
+                self._inner.reset_counters()
+
+        api = NoPeekAPI(GraphAPI(attributed_graph))
+        grouping = AttributeValueGrouping("city", default="unknown", prefetch=False)
+        # Without metadata, cache or prefetch the strategy degrades gracefully.
+        assert grouping.group_of(0, api) == "unknown"
+        grouping_prefetch = AttributeValueGrouping("city", prefetch=True)
+        assert grouping_prefetch.group_of(0, api) == "austin"

@@ -1,0 +1,137 @@
+"""Unit tests for edge-list loading and directed-to-undirected conversion."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.exceptions import LoaderError
+from repro.graphs import (
+    Graph,
+    from_directed_edges,
+    load_attributes,
+    load_edge_list,
+    relabel_consecutively,
+    save_edge_list,
+    undirected_from_edges,
+)
+from repro.graphs.loaders import parse_edge_lines
+
+
+class TestParseEdgeLines:
+    def test_skips_comments_and_blanks(self):
+        lines = ["# comment", "", "1 2", "% other comment", "2 3"]
+        assert list(parse_edge_lines(lines)) == [("1", "2"), ("2", "3")]
+
+    def test_extra_fields_ignored(self):
+        assert list(parse_edge_lines(["1 2 0.5 stamp"])) == [("1", "2")]
+
+    def test_short_line_raises(self):
+        with pytest.raises(LoaderError):
+            list(parse_edge_lines(["42"]))
+
+    def test_custom_delimiter(self):
+        assert list(parse_edge_lines(["1,2"], delimiter=",")) == [("1", "2")]
+
+
+class TestLoadEdgeList:
+    def test_basic_load(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# SNAP style\n1 2\n2 3\n3 1\n")
+        graph = load_edge_list(path)
+        assert graph.number_of_nodes == 3
+        assert graph.number_of_edges == 3
+        assert graph.name == "graph"
+
+    def test_gzip_load(self, tmp_path):
+        path = tmp_path / "graph.txt.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("1 2\n2 3\n")
+        graph = load_edge_list(path)
+        assert graph.number_of_edges == 2
+
+    def test_directed_mutual_only(self, tmp_path):
+        path = tmp_path / "directed.txt"
+        path.write_text("1 2\n2 1\n2 3\n")
+        mutual = load_edge_list(path, directed=True, mutual_only=True)
+        either = load_edge_list(path, directed=True, mutual_only=False)
+        assert mutual.number_of_edges == 1
+        assert either.number_of_edges == 2
+
+    def test_node_type_conversion_error(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b\n")
+        with pytest.raises(LoaderError):
+            load_edge_list(path, node_type=int)
+        graph = load_edge_list(path, node_type=str)
+        assert graph.has_edge("a", "b")
+
+    def test_duplicate_and_self_loop_handling(self, tmp_path):
+        path = tmp_path / "dups.txt"
+        path.write_text("1 2\n2 1\n1 1\n1 2\n")
+        graph = load_edge_list(path)
+        assert graph.number_of_edges == 1
+
+
+class TestDirectedConversion:
+    def test_mutual_only(self):
+        edges = [(1, 2), (2, 1), (2, 3), (3, 4), (4, 3)]
+        graph = from_directed_edges(edges, mutual_only=True)
+        assert graph.has_edge(1, 2)
+        assert graph.has_edge(3, 4)
+        assert not graph.has_edge(2, 3)
+        # Node 2 and 3 still exist even though their edge was dropped.
+        assert graph.has_node(3)
+
+    def test_either_direction(self):
+        edges = [(1, 2), (2, 3)]
+        graph = from_directed_edges(edges, mutual_only=False)
+        assert graph.number_of_edges == 2
+
+    def test_undirected_from_edges_drops_self_loops(self):
+        graph = undirected_from_edges([(1, 1), (1, 2)])
+        assert graph.number_of_edges == 1
+
+
+class TestSaveAndRelabel:
+    def test_save_round_trip(self, tmp_path):
+        graph = undirected_from_edges([(1, 2), (2, 3), (3, 1)], name="tri")
+        path = tmp_path / "out.txt"
+        save_edge_list(graph, path)
+        loaded = load_edge_list(path)
+        assert loaded.number_of_edges == graph.number_of_edges
+        assert set(map(frozenset, loaded.edges())) == set(map(frozenset, graph.edges()))
+
+    def test_relabel_consecutively(self):
+        graph = Graph()
+        graph.add_edge("alice", "bob")
+        graph.add_edge("bob", "carol")
+        graph.set_attributes("alice", age=30)
+        relabelled, mapping = relabel_consecutively(graph)
+        assert sorted(relabelled.nodes()) == [0, 1, 2]
+        assert relabelled.number_of_edges == 2
+        assert relabelled.attribute(mapping["alice"], "age") == 30
+
+    def test_load_attributes(self, tmp_path):
+        graph = undirected_from_edges([(1, 2), (2, 3)])
+        path = tmp_path / "attrs.txt"
+        path.write_text("1 10.5\n2 20\n99 5\n")
+        count = load_attributes(path, graph, attribute="score")
+        assert count == 2
+        assert graph.attribute(1, "score") == 10.5
+        assert graph.attribute(3, "score", default=None) is None
+
+    def test_load_attributes_strict(self, tmp_path):
+        graph = undirected_from_edges([(1, 2)])
+        path = tmp_path / "attrs.txt"
+        path.write_text("99 5\n")
+        with pytest.raises(LoaderError):
+            load_attributes(path, graph, attribute="score", strict=True)
+
+    def test_load_attributes_bad_value(self, tmp_path):
+        graph = undirected_from_edges([(1, 2)])
+        path = tmp_path / "attrs.txt"
+        path.write_text("1 notanumber\n")
+        with pytest.raises(LoaderError):
+            load_attributes(path, graph, attribute="score")

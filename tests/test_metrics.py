@@ -1,0 +1,217 @@
+"""Unit tests for distributions, divergences, bias and convergence metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyGraphError, InsufficientSamplesError
+from repro.graphs import Graph, complete_graph, star_graph
+from repro.metrics import (
+    Distribution,
+    burn_in_estimate,
+    distribution_series,
+    empirical_distribution,
+    gelman_rubin,
+    geweke_zscore,
+    jensen_shannon_divergence,
+    kl_divergence,
+    l2_distance,
+    mean_relative_error,
+    median_relative_error,
+    nodes_by_degree,
+    normalized_rmse,
+    relative_error,
+    symmetric_kl_divergence,
+    theoretical_distribution,
+    total_variation_distance,
+    uniform_distribution,
+)
+from repro.metrics.bias import absolute_error, bias_of_estimates
+
+
+class TestDistribution:
+    def test_normalisation(self):
+        dist = Distribution({1: 2.0, 2: 2.0})
+        assert dist.probability(1) == pytest.approx(0.5)
+        assert dist.probability(99) == 0.0
+        assert len(dist) == 2
+
+    def test_vector_alignment(self):
+        dist = Distribution({1: 1.0, 2: 3.0})
+        vector = dist.vector([2, 1, 99])
+        assert vector == pytest.approx([0.75, 0.25, 0.0])
+
+    def test_invalid(self):
+        with pytest.raises(InsufficientSamplesError):
+            Distribution({})
+        with pytest.raises(ValueError):
+            Distribution({1: 0.0})
+
+    def test_theoretical_distribution(self, square_with_diagonal):
+        dist = theoretical_distribution(square_with_diagonal)
+        assert dist.probability(0) == pytest.approx(0.3)
+        assert sum(dist.as_dict().values()) == pytest.approx(1.0)
+
+    def test_theoretical_requires_edges(self):
+        graph = Graph()
+        graph.add_node(1)
+        with pytest.raises(EmptyGraphError):
+            theoretical_distribution(graph)
+
+    def test_uniform_distribution(self, triangle_graph):
+        dist = uniform_distribution(triangle_graph)
+        assert dist.probability(0) == pytest.approx(1 / 3)
+
+    def test_empirical_distribution(self):
+        dist = empirical_distribution([1, 1, 2, 3])
+        assert dist.probability(1) == pytest.approx(0.5)
+        assert dist.support_size() == 3
+
+    def test_empirical_with_support_and_smoothing(self):
+        dist = empirical_distribution([1], support=[1, 2], smoothing=1.0)
+        assert dist.probability(1) == pytest.approx(2 / 3)
+        assert dist.probability(2) == pytest.approx(1 / 3)
+
+    def test_empirical_requires_visits(self):
+        with pytest.raises(InsufficientSamplesError):
+            empirical_distribution([])
+        with pytest.raises(InsufficientSamplesError):
+            empirical_distribution([], support=[1, 2], smoothing=0.0)
+
+    def test_nodes_by_degree(self, small_star):
+        ordering = nodes_by_degree(small_star)
+        assert ordering[-1] == 0  # hub has the largest degree
+        descending = nodes_by_degree(small_star, ascending=False)
+        assert descending[0] == 0
+
+    def test_distribution_series(self, small_star):
+        empirical = empirical_distribution([0, 1, 2], support=small_star.nodes())
+        ordering, series = distribution_series(small_star, {"SRW": empirical})
+        assert len(ordering) == small_star.number_of_nodes
+        assert set(series) == {"theoretical", "SRW"}
+        assert series["theoretical"].sum() == pytest.approx(1.0)
+
+
+class TestDivergences:
+    def test_identical_distributions_are_zero(self, small_clique):
+        dist = theoretical_distribution(small_clique)
+        assert kl_divergence(dist, dist) == pytest.approx(0.0, abs=1e-9)
+        assert symmetric_kl_divergence(dist, dist) == pytest.approx(0.0, abs=1e-9)
+        assert l2_distance(dist, dist) == pytest.approx(0.0)
+        assert total_variation_distance(dist, dist) == pytest.approx(0.0)
+        assert jensen_shannon_divergence(dist, dist) == pytest.approx(0.0, abs=1e-9)
+
+    def test_kl_is_asymmetric_symmetric_kl_is_not(self):
+        p = Distribution({1: 0.9, 2: 0.1})
+        q = Distribution({1: 0.5, 2: 0.5})
+        assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+        assert symmetric_kl_divergence(p, q) == pytest.approx(symmetric_kl_divergence(q, p))
+
+    def test_known_l2_and_tv_values(self):
+        p = Distribution({1: 1.0})
+        q = Distribution({2: 1.0})
+        assert l2_distance(p, q) == pytest.approx(np.sqrt(2.0))
+        assert total_variation_distance(p, q) == pytest.approx(1.0)
+
+    def test_divergence_decreases_with_better_fit(self, small_star):
+        truth = theoretical_distribution(small_star)
+        rough = empirical_distribution([0, 0, 0, 1], support=small_star.nodes())
+        # Build a close-to-exact empirical distribution from pi itself.
+        close_counts = {node: max(1, round(1000 * truth.probability(node))) for node in small_star.nodes()}
+        close = Distribution(close_counts)
+        assert symmetric_kl_divergence(truth, close) < symmetric_kl_divergence(truth, rough)
+        assert l2_distance(truth, close) < l2_distance(truth, rough)
+
+    def test_jensen_shannon_bounded(self):
+        p = Distribution({1: 1.0})
+        q = Distribution({2: 1.0})
+        assert jensen_shannon_divergence(p, q) <= np.log(2) + 1e-9
+
+
+class TestBiasMetrics:
+    def test_relative_error(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+        assert relative_error(3.0, 0.0) == 3.0
+
+    def test_absolute_error(self):
+        assert absolute_error(11.0, 10.0) == 1.0
+
+    def test_mean_and_median(self):
+        estimates = [9.0, 11.0, 14.0]
+        assert mean_relative_error(estimates, 10.0) == pytest.approx((0.1 + 0.1 + 0.4) / 3)
+        assert median_relative_error(estimates, 10.0) == pytest.approx(0.1)
+
+    def test_normalized_rmse(self):
+        assert normalized_rmse([8.0, 12.0], 10.0) == pytest.approx(0.2)
+        assert normalized_rmse([1.0], 0.0) == pytest.approx(1.0)
+
+    def test_bias_of_estimates(self):
+        assert bias_of_estimates([9.0, 11.0, 13.0], 10.0) == pytest.approx(1.0)
+
+    def test_empty_inputs(self):
+        with pytest.raises(InsufficientSamplesError):
+            mean_relative_error([], 1.0)
+        with pytest.raises(InsufficientSamplesError):
+            normalized_rmse([], 1.0)
+        with pytest.raises(InsufficientSamplesError):
+            bias_of_estimates([], 1.0)
+
+
+class TestConvergenceDiagnostics:
+    def test_geweke_on_stationary_series(self):
+        series = np.random.default_rng(0).normal(0.0, 1.0, 500)
+        assert abs(geweke_zscore(series)) < 3.0
+
+    def test_geweke_detects_drift(self):
+        series = np.linspace(0.0, 10.0, 500) + np.random.default_rng(1).normal(0, 0.1, 500)
+        assert abs(geweke_zscore(series)) > 3.0
+
+    def test_geweke_validation(self):
+        with pytest.raises(InsufficientSamplesError):
+            geweke_zscore([1.0, 2.0])
+        with pytest.raises(ValueError):
+            geweke_zscore(np.zeros(100), first_fraction=0.6, last_fraction=0.6)
+        with pytest.raises(ValueError):
+            geweke_zscore(np.zeros(100), first_fraction=0.0)
+
+    def test_geweke_constant_series(self):
+        assert geweke_zscore([1.0] * 100) == 0.0
+
+    def test_gelman_rubin_mixed_chains(self):
+        rng = np.random.default_rng(2)
+        chains = [rng.normal(0.0, 1.0, 500) for _ in range(4)]
+        assert gelman_rubin(chains) < 1.1
+
+    def test_gelman_rubin_detects_unmixed_chains(self):
+        rng = np.random.default_rng(3)
+        chains = [rng.normal(0.0, 1.0, 500), rng.normal(10.0, 1.0, 500)]
+        assert gelman_rubin(chains) > 1.5
+
+    def test_gelman_rubin_validation(self):
+        with pytest.raises(InsufficientSamplesError):
+            gelman_rubin([[1.0, 2.0]])
+        with pytest.raises(ValueError):
+            gelman_rubin([[1.0, 2.0], [1.0]])
+        with pytest.raises(InsufficientSamplesError):
+            gelman_rubin([[1.0], [2.0]])
+
+    def test_gelman_rubin_constant_chains(self):
+        assert gelman_rubin([[1.0, 1.0, 1.0], [1.0, 1.0, 1.0]]) == 1.0
+
+    def test_burn_in_estimate(self):
+        # A series that starts far from the truth and then settles at it: the
+        # running mean needs ~450 samples before the bad prefix is diluted to
+        # within 10% of the truth.
+        series = [100.0] * 5 + [10.0] * 500
+        burn_in = burn_in_estimate(series, truth=10.0, tolerance=0.1)
+        assert 400 < burn_in < 500
+        # A gentler prefix settles much sooner.
+        gentle = [12.0] * 5 + [10.0] * 500
+        assert burn_in_estimate(gentle, truth=10.0, tolerance=0.1) < 10
+        assert burn_in_estimate([10.0] * 50, truth=10.0) == 0
+        assert burn_in_estimate([100.0] * 50, truth=10.0) == 50
+
+    def test_burn_in_empty(self):
+        with pytest.raises(InsufficientSamplesError):
+            burn_in_estimate([], truth=1.0)

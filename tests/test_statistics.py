@@ -1,0 +1,102 @@
+"""Unit tests for graph summary statistics (Table 1 quantities)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EmptyGraphError
+from repro.graphs import (
+    Graph,
+    average_attribute,
+    complete_graph,
+    cycle_graph,
+    degree_assortativity,
+    degree_histogram,
+    degree_sequence,
+    density,
+    star_graph,
+    summarize,
+)
+from repro.graphs.statistics import conductance_of_cut
+
+
+class TestSummarize:
+    def test_clique_summary(self):
+        summary = summarize(complete_graph(5, name="k5"))
+        assert summary.name == "k5"
+        assert summary.nodes == 5
+        assert summary.edges == 10
+        assert summary.average_degree == pytest.approx(4.0)
+        assert summary.average_clustering == pytest.approx(1.0)
+        assert summary.triangles == 10
+
+    def test_cycle_summary(self):
+        summary = summarize(cycle_graph(6))
+        assert summary.triangles == 0
+        assert summary.average_clustering == 0.0
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(EmptyGraphError):
+            summarize(Graph())
+
+    def test_as_row_and_dict(self):
+        summary = summarize(complete_graph(4, name="k4"))
+        row = summary.as_row()
+        assert row[0] == "k4"
+        assert row[1] == 4
+        record = summary.as_dict()
+        assert record["edges"] == 6
+
+
+class TestDegreeStatistics:
+    def test_degree_histogram(self, small_star):
+        histogram = degree_histogram(small_star)
+        assert histogram[5] == 1
+        assert histogram[1] == 5
+
+    def test_degree_sequence(self, square_with_diagonal):
+        assert degree_sequence(square_with_diagonal) == [3, 3, 2, 2]
+
+    def test_density(self):
+        assert density(complete_graph(5)) == pytest.approx(1.0)
+        assert density(star_graph(4)) == pytest.approx(2 * 4 / (5 * 4))
+        assert density(Graph()) == 0.0
+
+    def test_assortativity_star_is_negative(self):
+        assert degree_assortativity(star_graph(6)) < 0
+
+    def test_assortativity_regular_graph_is_degenerate(self):
+        assert degree_assortativity(cycle_graph(6)) == 0.0
+
+    def test_assortativity_requires_edges(self):
+        graph = Graph()
+        graph.add_node(1)
+        with pytest.raises(EmptyGraphError):
+            degree_assortativity(graph)
+
+    def test_assortativity_matches_networkx(self, facebook_small):
+        import networkx as nx
+
+        expected = nx.degree_assortativity_coefficient(facebook_small.to_networkx())
+        assert degree_assortativity(facebook_small) == pytest.approx(expected, abs=1e-6)
+
+
+class TestAggregatesAndCuts:
+    def test_average_attribute(self, attributed_graph):
+        assert average_attribute(attributed_graph, "age") == pytest.approx(30.0)
+
+    def test_average_attribute_with_default(self, attributed_graph):
+        assert average_attribute(attributed_graph, "missing", default=2.0) == pytest.approx(2.0)
+
+    def test_average_attribute_empty_graph(self):
+        with pytest.raises(EmptyGraphError):
+            average_attribute(Graph(), "age")
+
+    def test_conductance_of_barbell_is_small(self, small_barbell):
+        assert conductance_of_cut(small_barbell) < 0.1
+
+    def test_conductance_requires_two_communities(self, small_clique):
+        for node in small_clique.nodes():
+            small_clique.set_attributes(node, community=0)
+        with pytest.raises(EmptyGraphError):
+            conductance_of_cut(small_clique)

@@ -1,0 +1,131 @@
+"""Unit tests for variance / autocorrelation diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.estimation import (
+    asymptotic_variance_across_chains,
+    asymptotic_variance_estimate,
+    autocorrelation,
+    autocovariance,
+    batch_means_variance,
+    effective_sample_size,
+    integrated_autocorrelation_time,
+    mean_squared_error,
+    running_means,
+)
+from repro.exceptions import InsufficientSamplesError
+
+
+@pytest.fixture
+def iid_series():
+    return np.random.default_rng(0).normal(0.0, 1.0, size=2000)
+
+
+@pytest.fixture
+def correlated_series():
+    rng = np.random.default_rng(1)
+    values = [0.0]
+    for _ in range(1999):
+        values.append(0.9 * values[-1] + rng.normal(0.0, 1.0))
+    return np.asarray(values)
+
+
+class TestAutocovariance:
+    def test_lag_zero_is_variance(self, iid_series):
+        assert autocovariance(iid_series, 0) == pytest.approx(iid_series.var(), rel=1e-6)
+
+    def test_iid_lag_one_near_zero(self, iid_series):
+        assert abs(autocorrelation(iid_series, 1)) < 0.1
+
+    def test_ar1_autocorrelation_positive(self, correlated_series):
+        assert autocorrelation(correlated_series, 1) > 0.8
+
+    def test_constant_series(self):
+        assert autocorrelation([5.0] * 100, 3) == 0.0
+
+    def test_invalid_lag(self):
+        with pytest.raises(ValueError):
+            autocovariance([1.0, 2.0, 3.0], -1)
+        with pytest.raises(InsufficientSamplesError):
+            autocovariance([1.0, 2.0], 5)
+
+
+class TestIntegratedAutocorrelationTime:
+    def test_iid_tau_near_one(self, iid_series):
+        assert integrated_autocorrelation_time(iid_series) == pytest.approx(1.0, abs=0.5)
+
+    def test_correlated_tau_large(self, correlated_series):
+        assert integrated_autocorrelation_time(correlated_series) > 5.0
+
+    def test_constant_series(self):
+        assert integrated_autocorrelation_time([1.0] * 50) == 1.0
+
+    def test_too_short(self):
+        with pytest.raises(InsufficientSamplesError):
+            integrated_autocorrelation_time([1.0, 2.0])
+
+
+class TestEffectiveSampleSize:
+    def test_iid_ess_near_n(self, iid_series):
+        assert effective_sample_size(iid_series) > 0.7 * len(iid_series)
+
+    def test_correlated_ess_much_smaller(self, correlated_series):
+        assert effective_sample_size(correlated_series) < 0.3 * len(correlated_series)
+
+    def test_tiny_series(self):
+        assert effective_sample_size([1.0, 2.0]) == 2.0
+
+    def test_empty_series(self):
+        with pytest.raises(InsufficientSamplesError):
+            effective_sample_size([])
+
+
+class TestBatchMeans:
+    def test_iid_matches_classical_variance(self, iid_series):
+        classical = iid_series.var(ddof=1) / len(iid_series)
+        batched = batch_means_variance(iid_series, num_batches=20)
+        assert batched == pytest.approx(classical, rel=0.6)
+
+    def test_correlated_variance_larger_than_classical(self, correlated_series):
+        classical = correlated_series.var(ddof=1) / len(correlated_series)
+        batched = batch_means_variance(correlated_series, num_batches=20)
+        assert batched > classical
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            batch_means_variance([1.0] * 100, num_batches=1)
+        with pytest.raises(InsufficientSamplesError):
+            batch_means_variance([1.0, 2.0, 3.0], num_batches=10)
+
+
+class TestAsymptoticVariance:
+    def test_iid_close_to_population_variance(self, iid_series):
+        estimate = asymptotic_variance_estimate(iid_series)
+        assert estimate == pytest.approx(1.0, rel=0.6)
+
+    def test_across_chains_estimator(self):
+        rng = np.random.default_rng(3)
+        chain_length = 400
+        chain_means = [rng.normal(0.0, 1.0, chain_length).mean() for _ in range(200)]
+        estimate = asymptotic_variance_across_chains(chain_means, chain_length)
+        assert estimate == pytest.approx(1.0, rel=0.4)
+
+    def test_across_chains_validation(self):
+        with pytest.raises(InsufficientSamplesError):
+            asymptotic_variance_across_chains([1.0], 100)
+        with pytest.raises(ValueError):
+            asymptotic_variance_across_chains([1.0, 2.0], 0)
+
+
+class TestHelpers:
+    def test_mean_squared_error(self):
+        assert mean_squared_error([2.0, 4.0], truth=3.0) == pytest.approx(1.0)
+        with pytest.raises(InsufficientSamplesError):
+            mean_squared_error([], truth=0.0)
+
+    def test_running_means(self):
+        assert running_means([1.0, 3.0, 5.0]) == [1.0, 2.0, 3.0]
+        assert running_means([]) == []
