@@ -1,0 +1,161 @@
+"""Benchmark: access-layer middleware overhead and batched-query speedup.
+
+The access-layer redesign splits the monolithic ``GraphAPI`` into a backend
+plus a middleware stack.  This benchmark answers the two questions that
+justify the split:
+
+1. *What does the stack cost?*  Per-query overhead of the full canonical
+   stack versus a bare ``BackendAPI``, measured on cache hits (the common
+   case for a walking sampler).
+2. *What does it buy?*  Throughput of the legacy single-query path
+   (``GraphAPI.query`` in a loop) versus the array-based
+   :class:`~repro.api.backend.CSRBackend` driven through batched
+   ``query_many`` calls, on a >= 100k-node synthetic graph.
+
+``test_csr_batched_beats_legacy_single_query`` asserts the speedup directly,
+so the claim is CI-checkable rather than anecdotal.  Set
+``REPRO_BENCH_SCALE`` < 1 (e.g. 0.1) for a quick smoke run.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import CSRBackend, GraphAPI, build_api
+from repro.graphs import Graph
+
+from conftest import bench_scale
+
+#: Graph size: 100k nodes at the default scale (the acceptance target).
+NUM_NODES = max(10_000, int(100_000 * bench_scale()))
+OUT_DEGREE = 8
+BATCH_SIZE = 1024
+#: How many distinct nodes each fresh-query sweep touches.
+SWEEP_NODES = NUM_NODES // 2
+
+
+def _synthetic_edges(num_nodes: int, out_degree: int, seed: int = 0) -> np.ndarray:
+    """Random directed pairs (deduped and mirrored by the consumers)."""
+    rng = np.random.default_rng(seed)
+    sources = np.repeat(np.arange(num_nodes, dtype=np.int64), out_degree)
+    targets = rng.integers(0, num_nodes, size=sources.size, dtype=np.int64)
+    return np.stack([sources, targets], axis=1)
+
+
+@pytest.fixture(scope="module")
+def edges() -> np.ndarray:
+    return _synthetic_edges(NUM_NODES, OUT_DEGREE)
+
+
+@pytest.fixture(scope="module")
+def big_graph(edges) -> Graph:
+    graph = Graph(name=f"synthetic-{NUM_NODES}")
+    for u, v in edges.tolist():
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+@pytest.fixture(scope="module")
+def csr_backend(edges) -> CSRBackend:
+    return CSRBackend.from_edges(edges, num_nodes=NUM_NODES, name="synthetic-csr")
+
+
+@pytest.fixture(scope="module")
+def sweep(big_graph):
+    """Distinct node ids with degree >= 1, shared by every contender."""
+    nodes = [node for node in big_graph.nodes() if big_graph.degree(node) > 0]
+    return nodes[:SWEEP_NODES]
+
+
+def _legacy_sweep(graph, nodes):
+    api = GraphAPI(graph)
+    query = api.query
+    for node in nodes:
+        query(node)
+    return api.unique_queries
+
+
+def _csr_batched_sweep(backend, nodes):
+    api = build_api(backend)
+    query_many = api.query_many
+    for index in range(0, len(nodes), BATCH_SIZE):
+        query_many(nodes[index:index + BATCH_SIZE])
+    return api.unique_queries
+
+
+def test_bench_legacy_single_query(benchmark, big_graph, sweep):
+    unique = benchmark(_legacy_sweep, big_graph, sweep)
+    assert unique == len(sweep)
+
+
+def test_bench_csr_batched_query_many(benchmark, csr_backend, sweep):
+    unique = benchmark(_csr_batched_sweep, csr_backend, sweep)
+    assert unique == len(sweep)
+
+
+def test_bench_stack_cache_hit_overhead(benchmark, big_graph):
+    """Per-query cost of a cache hit through the full canonical stack."""
+    from repro.api import twitter_policy
+
+    api = build_api(big_graph, budget=10, rate_limit=twitter_policy())
+    api.query(0)
+
+    def hit_many():
+        query = api.query
+        for _ in range(10_000):
+            query(0)
+        return api.total_queries
+
+    total = benchmark(hit_many)
+    assert total >= 10_000
+
+
+def test_bench_bare_backend_cache_hit(benchmark, big_graph):
+    """Baseline for the overhead benchmark: cache layer over the backend only."""
+    api = build_api(big_graph)
+    api.query(0)
+
+    def hit_many():
+        query = api.query
+        for _ in range(10_000):
+            query(0)
+        return api.total_queries
+
+    total = benchmark(hit_many)
+    assert total >= 10_000
+
+
+def test_csr_batched_beats_legacy_single_query(big_graph, csr_backend, sweep):
+    """Acceptance check: CSR + query_many outruns the legacy per-query path.
+
+    Both contenders issue the same fresh unique queries over the same >=100k
+    node graph; best-of-three wall-clock times are compared.
+    """
+    assert NUM_NODES >= 10_000
+    assert len(sweep) >= NUM_NODES // 4
+
+    def best_of(function, *args, repeats=3):
+        times = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = function(*args)
+            times.append(time.perf_counter() - started)
+            assert result == len(sweep)
+        return min(times)
+
+    legacy_seconds = best_of(_legacy_sweep, big_graph, sweep)
+    batched_seconds = best_of(_csr_batched_sweep, csr_backend, sweep)
+    speedup = legacy_seconds / batched_seconds
+    print(
+        f"\nfresh sweep over {len(sweep)} of {NUM_NODES} nodes: "
+        f"legacy {legacy_seconds * 1e3:.1f} ms, csr+query_many "
+        f"{batched_seconds * 1e3:.1f} ms ({speedup:.2f}x)"
+    )
+    assert batched_seconds < legacy_seconds, (
+        f"expected the batched CSR path to beat the legacy single-query path "
+        f"(legacy {legacy_seconds:.3f}s vs batched {batched_seconds:.3f}s)"
+    )

@@ -6,7 +6,8 @@ for a memoryless random walk: the walk keeps bouncing inside one clique and
 only rarely finds the bridge.  Theorem 3 of the paper shows CNRW's circulation
 raises the probability of taking the bridge by a factor of roughly ln|G1|.
 This example measures the crossing probability of SRW and CNRW empirically for
-several clique sizes and prints the ratio next to the theoretical bound.
+several clique sizes — each trial is one :class:`SamplingSession` walk — and
+prints the ratio next to the theoretical bound.
 
 Run with::
 
@@ -17,20 +18,19 @@ from __future__ import annotations
 
 import math
 
-from repro import GraphAPI, barbell_graph
-from repro.walks import CirculatedNeighborsRandomWalk, SimpleRandomWalk
+from repro import SamplingSession, barbell_graph
 
 STEPS = 400
 TRIALS = 200
 
 
-def crossing_probability(walker_cls, clique_size, seed_base):
+def crossing_probability(walker_name, clique_size, seed_base):
     graph = barbell_graph(clique_size)
     other_side = set(range(clique_size, 2 * clique_size))
     crossings = 0
     for trial in range(TRIALS):
-        walker = walker_cls(GraphAPI(graph), seed=seed_base + trial)
-        result = walker.run(trial % clique_size, max_steps=STEPS)
+        session = SamplingSession(graph).walker(walker_name, seed=seed_base + trial)
+        result = session.run(trial % clique_size, max_steps=STEPS)
         if any(node in other_side for node in result.path):
             crossings += 1
     return crossings / TRIALS
@@ -40,8 +40,8 @@ def main() -> None:
     print(f"Crossing probability within {STEPS} steps ({TRIALS} trials per cell)\n")
     print(f"{'clique':>7s} {'SRW':>8s} {'CNRW':>8s} {'ratio':>7s} {'ln|G1| bound':>13s}")
     for clique_size in (10, 20, 30, 40):
-        srw = crossing_probability(SimpleRandomWalk, clique_size, seed_base=1_000)
-        cnrw = crossing_probability(CirculatedNeighborsRandomWalk, clique_size, seed_base=2_000)
+        srw = crossing_probability("srw", clique_size, seed_base=1_000)
+        cnrw = crossing_probability("cnrw", clique_size, seed_base=2_000)
         ratio = cnrw / srw if srw > 0 else float("inf")
         bound = clique_size / (clique_size - 1) * math.log(clique_size)
         print(f"{clique_size:>7d} {srw:>8.3f} {cnrw:>8.3f} {ratio:>7.2f} {bound:>13.2f}")

@@ -4,7 +4,10 @@
 Reproduces, at small scale and in text form, the comparison behind Figure 6:
 MHRW, SRW, NB-SRW, CNRW and GNRW estimate the average degree of a
 Google-Plus-like graph under increasing query budgets, and the mean relative
-error of each sampler is reported per budget.
+error of each sampler is reported per budget.  Every trial inside
+``run_cost_sweep`` is a budgeted :class:`~repro.api.session.SamplingSession`
+crawl, so the whole sweep exercises the same access-layer stack the
+quickstart configures by hand.
 
 Run with::
 

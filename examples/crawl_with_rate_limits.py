@@ -3,9 +3,10 @@
 
 The practical motivation of the paper is that real OSN APIs are slow: Twitter
 allowed 15 neighborhood calls per 15 minutes, so every query saved is a minute
-of wall-clock time saved.  This example crawls a graph through an API wrapped
-with the Twitter rate-limit policy on a simulated clock and reports how long
-(in simulated hours) SRW and CNRW need to reach the same estimation accuracy.
+of wall-clock time saved.  This example runs budgeted
+:class:`~repro.api.session.SamplingSession` crawls, then attaches the Twitter
+rate-limit policy on a simulated clock and reports how long (in simulated
+hours) SRW and CNRW need to reach the same estimation accuracy.
 
 Run with::
 
@@ -14,11 +15,10 @@ Run with::
 
 from __future__ import annotations
 
-from repro import AggregateQuery, GraphAPI, QueryBudget, estimate, ground_truth, relative_error
+from repro import AggregateQuery, SamplingSession, ground_truth, relative_error
 from repro.api import estimate_crawl_time, twitter_policy
 from repro.api.ratelimit import SimulatedClock
 from repro.graphs import load_dataset
-from repro.walks import make_walker
 
 TARGET_ERROR = 0.05
 BUDGET_STEP = 50
@@ -31,14 +31,17 @@ def queries_needed(graph, walker_name, query, truth, seed_base):
     for budget in range(BUDGET_STEP, MAX_BUDGET + 1, BUDGET_STEP):
         errors = []
         for trial in range(TRIALS):
-            api = GraphAPI(graph, budget=QueryBudget(budget))
-            walker = make_walker(walker_name, api=api, seed=seed_base + trial)
+            session = (
+                SamplingSession(graph)
+                .budget(budget)
+                .walker(walker_name, seed=seed_base + trial)
+            )
             start = graph.nodes()[(trial * 13) % graph.number_of_nodes]
-            result = walker.run(start, max_steps=None)
+            result = session.run(start, max_steps=None)
             if not result.samples:
                 errors.append(float("inf"))
                 continue
-            answer = estimate(result.samples, query)
+            answer = session.estimate(query)
             errors.append(relative_error(answer.value, truth))
         if sum(errors) / len(errors) <= TARGET_ERROR:
             return budget
@@ -65,11 +68,17 @@ def main() -> None:
     print(f"\nHistory-aware walks save about {max(saved, 0)} queries, i.e. roughly "
           f"{saved_seconds / 3600:.1f} hours of crawling.")
 
-    # A single crawl wired directly to the rate limiter, to show the clock API.
+    # A single crawl wired directly to the rate limiter, to show the clock API:
+    # the session inserts a rate-limit layer into the stack and every billable
+    # query advances the shared simulated clock.
     clock = SimulatedClock()
-    api = GraphAPI(graph, budget=QueryBudget(100), rate_limit=twitter_policy(), clock=clock)
-    walker = make_walker("cnrw", api=api, seed=1)
-    walker.run(graph.nodes()[0], max_steps=None)
+    session = (
+        SamplingSession(graph)
+        .budget(100)
+        .rate_limit(twitter_policy(), clock=clock)
+        .walker("cnrw", seed=1)
+    )
+    session.run(graph.nodes()[0], max_steps=None)
     print(f"\nA 100-query CNRW crawl takes {clock.now / 3600:.2f} simulated hours "
           f"under the 15-calls/15-minutes policy.")
 

@@ -2,13 +2,14 @@
 """Quickstart: estimate the average degree of a social network by crawling it.
 
 This example walks through the full pipeline on a synthetic Facebook-like
-graph:
+graph using the :class:`~repro.api.session.SamplingSession` facade:
 
-1. build (or load) a graph and wrap it in the restrictive-access API with a
-   query budget, exactly like a third-party crawler would experience it;
-2. run a history-aware random walk (CNRW) against that API;
-3. turn the degree-biased samples into an unbiased estimate of the average
-   degree and compare it with the ground truth.
+1. build (or load) a graph — the "online social network";
+2. configure a session: a query budget of 500 unique queries (the paper's
+   cost measure) over the restrictive access interface, and a history-aware
+   CNRW walker;
+3. run the walk and turn the degree-biased samples into an unbiased estimate
+   of the average degree, compared with the ground truth.
 
 Run with::
 
@@ -19,12 +20,9 @@ from __future__ import annotations
 
 from repro import (
     AggregateQuery,
-    GraphAPI,
-    QueryBudget,
-    estimate,
+    SamplingSession,
     ground_truth,
     load_dataset,
-    make_walker,
     relative_error,
 )
 
@@ -37,21 +35,21 @@ def main() -> None:
     print(f"Graph: {graph.name} with {graph.number_of_nodes} nodes, "
           f"{graph.number_of_edges} edges")
 
-    # 2. The restrictive access interface: neighbors-of-one-node queries only,
-    #    with a budget of 500 unique queries (the paper's cost measure).
-    api = GraphAPI(graph, budget=QueryBudget(500))
+    # 2. One fluent sentence configures the whole access layer: neighbors-of-
+    #    one-node queries only, a budget of 500 unique queries, and a CNRW
+    #    walker.  Swap "cnrw" for "srw", "nbsrw", "gnrw_by_degree" or "mhrw"
+    #    to compare samplers, or add .backend("csr") / .rate_limit(...) to
+    #    change how the graph is served.
+    session = SamplingSession(graph, seed=42).budget(500).walker("cnrw", seed=42)
 
-    # 3. A history-aware random walk.  Swap "cnrw" for "srw", "nbsrw",
-    #    "gnrw_by_degree" or "mhrw" to compare samplers.
-    walker = make_walker("cnrw", api=api, seed=42)
-    start = api.random_node(seed=42)
-    result = walker.run(start, max_steps=None)  # walk until the budget is gone
+    # 3. Walk until the budget is gone (start node drawn uniformly).
+    result = session.run(max_steps=None)
     print(f"Walk finished: {result.steps} steps, {result.unique_queries} unique "
           f"queries, {len(result.samples)} samples")
 
     # 4. Aggregate estimation with the degree-bias correction.
     query = AggregateQuery.average_degree()
-    answer = estimate(result.samples, query)
+    answer = session.estimate(query)
     truth = ground_truth(graph, query)
     error = relative_error(answer.value, truth)
     low, high = answer.confidence_interval()

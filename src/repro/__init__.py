@@ -5,8 +5,11 @@ Faster Sampling of Online Social Networks* (VLDB 2015).  The library provides:
 
 * :mod:`repro.graphs` — an in-memory graph substrate, loaders, synthetic
   generators and the paper's experiment datasets;
-* :mod:`repro.api` — a simulator of the restrictive OSN access interface with
-  unique-query accounting, caches, rate limits and budgets;
+* :mod:`repro.api` — the restrictive OSN access interface as three explicit
+  layers: storage backends (in-memory or array-based CSR), composable policy
+  middleware (cache, budget, rate limit, shuffle, trace) assembled by
+  :func:`~repro.api.builder.build_api`, and the fluent
+  :class:`~repro.api.session.SamplingSession` facade;
 * :mod:`repro.walks` — the baseline samplers (SRW, MHRW, NB-SRW) and the
   paper's contributions (CNRW, GNRW, NB-CNRW);
 * :mod:`repro.estimation` — aggregate queries, reweighted estimators and
@@ -17,23 +20,42 @@ Faster Sampling of Online Social Networks* (VLDB 2015).  The library provides:
 
 Quickstart::
 
-    from repro import GraphAPI, QueryBudget, load_dataset, make_walker
-    from repro import AggregateQuery, estimate
+    from repro import AggregateQuery, SamplingSession, load_dataset
 
     graph = load_dataset("facebook_like", seed=1)
+    session = SamplingSession(graph, seed=1).budget(500).walker("cnrw", seed=1)
+    result = session.run(max_steps=None)       # crawl until the budget is gone
+    answer = session.estimate(AggregateQuery.average_degree())
+    print(answer.value)
+
+The session assembles the same access-layer stack a crawler would face —
+restrictive neighbors-of-one-node queries, a local cache that makes duplicate
+queries free, and a unique-query budget (the paper's cost measure).  Add
+``.rate_limit(twitter_policy())`` to measure simulated crawl time,
+``.backend("csr")`` to serve a large graph from compact arrays, or
+``.trace()`` to record every query.  The legacy ``GraphAPI`` constructor
+remains available as a thin shim over the same stack::
+
+    from repro import GraphAPI, QueryBudget, make_walker
+
     api = GraphAPI(graph, budget=QueryBudget(500))
     walker = make_walker("cnrw", api=api, seed=1)
     result = walker.run(api.random_node(seed=1), max_steps=None)
-    answer = estimate(result.samples, AggregateQuery.average_degree())
-    print(answer.value)
 """
 
 from .api import (
+    CSRBackend,
     GraphAPI,
+    GraphBackend,
+    InMemoryBackend,
     InstrumentedAPI,
     NodeView,
     QueryBudget,
+    SamplingSession,
+    Session,
     SocialNetworkAPI,
+    TraceLayer,
+    build_api,
     estimate_crawl_time,
     twitter_policy,
     yelp_policy,
@@ -99,6 +121,7 @@ __all__ = [
     "AggregateQuery",
     "APIError",
     "CNRW",
+    "CSRBackend",
     "CirculatedNeighborsRandomWalk",
     "Estimate",
     "EstimationError",
@@ -106,8 +129,10 @@ __all__ = [
     "GNRW",
     "Graph",
     "GraphAPI",
+    "GraphBackend",
     "GraphError",
     "GroupByNeighborsRandomWalk",
+    "InMemoryBackend",
     "InstrumentedAPI",
     "MHRW",
     "MetropolisHastingsRandomWalk",
@@ -122,11 +147,15 @@ __all__ = [
     "ReproError",
     "RunningEstimator",
     "SRW",
+    "SamplingSession",
+    "Session",
     "SimpleRandomWalk",
     "SocialNetworkAPI",
+    "TraceLayer",
     "WalkError",
     "WalkResult",
     "available_datasets",
+    "build_api",
     "available_walkers",
     "barbell_graph",
     "clustered_cliques_graph",

@@ -1,6 +1,23 @@
-"""Simulated restrictive-access API for online social networks."""
+"""Simulated restrictive-access API for online social networks.
 
+The package is organised in three explicit layers:
+
+* **backends** (:mod:`repro.api.backend`) — raw neighborhood storage behind a
+  two-method :class:`GraphBackend` protocol (``fetch`` / ``fetch_many``);
+* **middleware** (:mod:`repro.api.middleware`) — composable policy layers
+  (cache, budget, rate limit, shuffle, trace) assembled by
+  :func:`repro.api.builder.build_api`;
+* **facade** (:mod:`repro.api.session`) — the fluent
+  :class:`SamplingSession` used by the CLI, the experiment runner and the
+  examples.
+
+The legacy :class:`GraphAPI` constructor remains available as a thin shim
+over the same stack.
+"""
+
+from .backend import CSRBackend, GraphBackend, InMemoryBackend, RawRecord, as_backend
 from .budget import QueryBudget
+from .builder import build_api
 from .cache import CacheStats, LRUCache, QueryCache, make_cache
 from .directed import (
     DirectedGraphStore,
@@ -8,8 +25,22 @@ from .directed import (
     mutual_undirected_edges,
     store_from_edges,
 )
-from .instrumented import InstrumentedAPI, QueryRecord, QueryTrace
+from .instrumented import InstrumentedAPI
 from .interface import GraphAPI, NodeView, SocialNetworkAPI
+from .middleware import (
+    APILayer,
+    BackendAPI,
+    BudgetLayer,
+    CacheLayer,
+    QueryRecord,
+    QueryStats,
+    QueryTrace,
+    RateLimitLayer,
+    ShuffleLayer,
+    TraceLayer,
+    describe_stack,
+    iter_layers,
+)
 from .ratelimit import (
     FixedWindowPolicy,
     RateLimitPolicy,
@@ -20,26 +51,45 @@ from .ratelimit import (
     twitter_policy,
     yelp_policy,
 )
+from .session import SamplingSession, Session
 
 __all__ = [
+    "APILayer",
+    "BackendAPI",
+    "BudgetLayer",
+    "CSRBackend",
+    "CacheLayer",
     "CacheStats",
     "DirectedGraphStore",
     "DirectedToUndirectedAPI",
     "FixedWindowPolicy",
     "GraphAPI",
+    "GraphBackend",
+    "InMemoryBackend",
     "InstrumentedAPI",
     "LRUCache",
     "NodeView",
     "QueryBudget",
     "QueryCache",
     "QueryRecord",
+    "QueryStats",
     "QueryTrace",
+    "RateLimitLayer",
     "RateLimitPolicy",
+    "RawRecord",
+    "SamplingSession",
+    "Session",
+    "ShuffleLayer",
     "SimulatedClock",
     "SocialNetworkAPI",
     "TokenBucketPolicy",
+    "TraceLayer",
     "UnlimitedPolicy",
+    "as_backend",
+    "build_api",
+    "describe_stack",
     "estimate_crawl_time",
+    "iter_layers",
     "make_cache",
     "mutual_undirected_edges",
     "store_from_edges",

@@ -1,95 +1,36 @@
-"""Instrumentation wrappers around any :class:`SocialNetworkAPI`.
+"""Deprecated home of the query-trace instrumentation.
 
-The experiment harness needs per-walk query traces (e.g. to emit a sample's
-``query_cost`` field, or to audit that two samplers issued identical queries
-up to ordering).  Rather than pushing that bookkeeping into every walker,
-:class:`InstrumentedAPI` wraps an API and records what flows through it.
+The tracing wrapper now lives in :mod:`repro.api.middleware` as
+:class:`~repro.api.middleware.TraceLayer`, the outermost layer of the
+canonical stack built by :func:`repro.api.builder.build_api`.  This module is
+kept so existing imports (``from repro.api.instrumented import
+InstrumentedAPI, QueryRecord, QueryTrace``) keep working.
+
+:class:`InstrumentedAPI` is a deprecated alias of ``TraceLayer``.  Compared to
+the historic implementation, attribute delegation is now safe: looking up a
+missing attribute raises a clean :class:`AttributeError` instead of recursing
+into ``_inner`` before ``__init__`` has run (the state ``copy.copy`` and
+``pickle`` put instances in).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import warnings
 
-from ..types import NodeId
-from .interface import NodeView, SocialNetworkAPI
+from .interface import SocialNetworkAPI
+from .middleware import QueryRecord, QueryTrace, TraceLayer
 
-
-@dataclass
-class QueryRecord:
-    """One query call observed by the instrumentation."""
-
-    node: NodeId
-    fresh: bool
-    unique_queries_after: int
-    total_queries_after: int
+__all__ = ["InstrumentedAPI", "QueryRecord", "QueryTrace"]
 
 
-@dataclass
-class QueryTrace:
-    """Accumulated trace of an instrumented crawl."""
+class InstrumentedAPI(TraceLayer):
+    """Deprecated alias of :class:`~repro.api.middleware.TraceLayer`."""
 
-    records: List[QueryRecord] = field(default_factory=list)
-
-    def __len__(self) -> int:
-        return len(self.records)
-
-    @property
-    def queried_nodes(self) -> List[NodeId]:
-        return [record.node for record in self.records]
-
-    @property
-    def fresh_nodes(self) -> List[NodeId]:
-        return [record.node for record in self.records if record.fresh]
-
-    def frequency(self) -> Dict[NodeId, int]:
-        counts: Dict[NodeId, int] = {}
-        for record in self.records:
-            counts[record.node] = counts.get(record.node, 0) + 1
-        return counts
-
-    def clear(self) -> None:
-        self.records.clear()
-
-
-class InstrumentedAPI(SocialNetworkAPI):
-    """Wrap another API, forwarding queries and recording a trace."""
-
-    def __init__(self, inner: SocialNetworkAPI, trace: Optional[QueryTrace] = None) -> None:
-        self._inner = inner
-        self.trace = trace if trace is not None else QueryTrace()
-
-    def query(self, node: NodeId) -> NodeView:
-        before_unique = self._inner.unique_queries
-        view = self._inner.query(node)
-        after_unique = self._inner.unique_queries
-        self.trace.records.append(
-            QueryRecord(
-                node=node,
-                fresh=after_unique > before_unique,
-                unique_queries_after=after_unique,
-                total_queries_after=self._inner.total_queries,
-            )
+    def __init__(self, inner: SocialNetworkAPI, trace: QueryTrace = None) -> None:
+        warnings.warn(
+            "InstrumentedAPI is deprecated; use repro.api.TraceLayer (or "
+            "build_api(..., trace=True)) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        return view
-
-    @property
-    def unique_queries(self) -> int:
-        return self._inner.unique_queries
-
-    @property
-    def total_queries(self) -> int:
-        return self._inner.total_queries
-
-    def reset_counters(self) -> None:
-        self._inner.reset_counters()
-        self.trace.clear()
-
-    @property
-    def inner(self) -> SocialNetworkAPI:
-        return self._inner
-
-    def __getattr__(self, item):
-        # Delegate anything else (graph, budget, random_node, ...) to the
-        # wrapped API so the wrapper is a drop-in replacement.
-        return getattr(self._inner, item)
+        super().__init__(inner, trace=trace)

@@ -7,24 +7,24 @@ topology is never available.  Every sampler in :mod:`repro.walks` is written
 against the :class:`SocialNetworkAPI` interface here, so it genuinely cannot
 "cheat" by reading the underlying graph.
 
-:class:`GraphAPI` simulates that interface over an in-memory
-:class:`~repro.graphs.graph.Graph`, counting unique queries exactly as the
-paper's cost model prescribes (duplicate queries are served from a local
-cache for free), optionally enforcing a query budget and a rate-limit policy
-on a simulated clock.
+The concrete machinery lives in three sibling modules: raw storage backends
+in :mod:`repro.api.backend`, policy middleware (cache, budget, rate limit,
+shuffle, trace) in :mod:`repro.api.middleware`, and the stack assembler
+:func:`repro.api.builder.build_api`.  :class:`GraphAPI` here is the legacy
+entry point, preserved as a thin shim that builds the canonical stack over an
+in-memory graph with its original constructor signature.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..exceptions import NodeNotFoundError
 from ..graphs.graph import Graph
 from ..rng import SeedLike, make_rng
 from ..types import NodeId
 from .budget import QueryBudget
-from .cache import QueryCache, make_cache
+from .cache import QueryCache
 from .ratelimit import RateLimitPolicy, SimulatedClock, UnlimitedPolicy
 
 
@@ -54,6 +54,25 @@ class SocialNetworkAPI:
         """Return the :class:`NodeView` of ``node`` (one API call)."""
         raise NotImplementedError
 
+    def query_many(self, nodes: Sequence[NodeId]) -> List[NodeView]:
+        """Return one :class:`NodeView` per node, in order.
+
+        Semantically equivalent to ``[self.query(n) for n in nodes]`` — each
+        node is billed under the same rules as a single query — but
+        implementations forward the batch down their stack so backends can
+        amortise per-query overhead (the multi-walker ensemble path).
+
+        Failure semantics match the sequential loop: when the query budget
+        runs out mid-batch — or an unknown node interrupts the degraded
+        sequential path the budget layer uses — everything fetched before
+        the stopping point is billed and cached, and the error raises at the
+        same node the loop would have stopped on.  The one deliberate
+        difference: a batch aborted by an *unknown* node while the budget
+        still fits bills no unique queries (the atomic fetch delivers
+        nothing), while ``total_queries`` still counts the attempted calls.
+        """
+        return [self.query(node) for node in nodes]
+
     def neighbors(self, node: NodeId) -> List[NodeId]:
         """Convenience wrapper returning only the neighbor list."""
         return list(self.query(node).neighbors)
@@ -65,6 +84,19 @@ class SocialNetworkAPI:
     def attributes(self, node: NodeId) -> Dict[str, Any]:
         """Convenience wrapper returning only the attributes."""
         return dict(self.query(node).attributes)
+
+    def peek_metadata(self, node: NodeId) -> Optional[Dict[str, Any]]:
+        """Return the free profile summary of ``node``, or ``None``.
+
+        Real OSN APIs return a profile summary (attributes, friend count) for
+        every neighbor listed in a neighborhood response, which is what makes
+        attribute- and degree-based GNRW grouping possible without extra
+        queries.  Implementations that can serve this inline metadata return a
+        ``{"degree": ..., "attributes": ...}`` mapping without billing the
+        query budget; the default is ``None`` (no free metadata available), in
+        which case grouping strategies fall back to cached views or prefetch.
+        """
+        return None
 
     @property
     def unique_queries(self) -> int:
@@ -83,6 +115,14 @@ class SocialNetworkAPI:
 
 class GraphAPI(SocialNetworkAPI):
     """Simulate the restrictive API over an in-memory graph.
+
+    Since the access-layer redesign this class is a thin shim: the constructor
+    assembles the canonical middleware stack (cache -> budget -> rate-limit ->
+    shuffle -> in-memory backend) via :func:`repro.api.builder.build_api` and
+    forwards every call to it.  Behaviour — including exact query accounting
+    and seeded neighbor shuffling — is walk-for-walk identical to the historic
+    monolithic implementation; new code should prefer ``build_api`` or
+    :class:`~repro.api.session.SamplingSession` directly.
 
     Args:
         graph: The underlying social graph.
@@ -110,76 +150,54 @@ class GraphAPI(SocialNetworkAPI):
         shuffle_neighbors: bool = False,
         seed: SeedLike = None,
     ) -> None:
+        from .builder import build_api
+
         self._graph = graph
         self.budget = budget if budget is not None else QueryBudget(None)
         self.rate_limit = rate_limit or UnlimitedPolicy()
         self.clock = clock or SimulatedClock()
-        self._cache: QueryCache = make_cache(cache_capacity)
-        self._shuffle_neighbors = shuffle_neighbors
         self._rng = make_rng(seed)
-        self._unique_queries = 0
-        self._total_queries = 0
+        self._stack = build_api(
+            graph,
+            budget=self.budget,
+            rate_limit=self.rate_limit,
+            clock=self.clock,
+            cache_capacity=cache_capacity,
+            shuffle_neighbors=shuffle_neighbors,
+            seed=self._rng,
+        )
 
     # ------------------------------------------------------------------
     # SocialNetworkAPI interface
     # ------------------------------------------------------------------
     def query(self, node: NodeId) -> NodeView:
-        self._total_queries += 1
-        cached = self._cache.get(node)
-        if cached is not None:
-            return cached
-        if not self._graph.has_node(node):
-            raise NodeNotFoundError(node)
-        # A fresh query is billable: consume budget and obey the rate limit.
-        self.budget.spend(1)
-        self.rate_limit.acquire(self.clock, blocking=True)
-        neighbors = self._graph.neighbors(node)
-        if self._shuffle_neighbors:
-            self._rng.shuffle(neighbors)
-        view = NodeView(
-            node=node,
-            neighbors=tuple(neighbors),
-            attributes=self._graph.attributes(node),
-        )
-        self._cache.put(node, view)
-        self._unique_queries += 1
-        return view
+        return self._stack.query(node)
+
+    def query_many(self, nodes: Sequence[NodeId]) -> List[NodeView]:
+        return self._stack.query_many(nodes)
 
     @property
     def unique_queries(self) -> int:
-        return self._unique_queries
+        return self._stack.unique_queries
 
     @property
     def total_queries(self) -> int:
-        return self._total_queries
+        return self._stack.total_queries
 
     def reset_counters(self) -> None:
-        self._unique_queries = 0
-        self._total_queries = 0
-        self._cache.clear()
-        self.budget.reset()
-        self.rate_limit.reset()
+        self._stack.reset_counters()
 
     def peek_metadata(self, node: NodeId) -> Optional[Dict[str, Any]]:
-        """Return the lightweight profile summary of ``node`` without billing.
-
-        Real OSN APIs return a profile summary (attributes, friend count) for
-        every neighbor listed in a neighborhood response, which is what makes
-        attribute- and degree-based GNRW grouping possible without extra
-        queries.  This method models that inline metadata: it exposes the
-        node's attributes and degree but *not* its neighbor list, and does not
-        consume the query budget.  Returns ``None`` for unknown nodes.
-        """
-        if not self._graph.has_node(node):
-            return None
-        return {
-            "degree": self._graph.degree(node),
-            "attributes": self._graph.attributes(node),
-        }
+        return self._stack.peek_metadata(node)
 
     # ------------------------------------------------------------------
     # Introspection helpers (not part of the restricted interface)
     # ------------------------------------------------------------------
+    @property
+    def stack(self) -> SocialNetworkAPI:
+        """The middleware stack the shim forwards to."""
+        return self._stack
+
     @property
     def graph(self) -> Graph:
         """The underlying graph.
@@ -191,7 +209,7 @@ class GraphAPI(SocialNetworkAPI):
 
     @property
     def cache(self) -> QueryCache:
-        return self._cache
+        return self._stack.cache
 
     def random_node(self, seed: SeedLike = None) -> NodeId:
         """Return a uniformly random node id to start a walk from.
@@ -202,12 +220,10 @@ class GraphAPI(SocialNetworkAPI):
         the graph here does not leak information to the samplers because the
         start node only affects the transient, not the stationary analysis.
         """
-        rng = make_rng(seed) if seed is not None else self._rng
-        nodes = self._graph.nodes()
-        return nodes[int(rng.integers(0, len(nodes)))]
+        return self._stack.random_node(seed=seed)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
-            f"GraphAPI(graph={self._graph.name!r}, unique={self._unique_queries}, "
-            f"total={self._total_queries})"
+            f"GraphAPI(graph={self._graph.name!r}, unique={self.unique_queries}, "
+            f"total={self.total_queries})"
         )

@@ -1,0 +1,506 @@
+"""Composable middleware layers over a :class:`~repro.api.backend.GraphBackend`.
+
+The restrictive access interface of the paper is *policy-free*: a query takes
+a node id and returns its neighborhood.  Everything a real crawler stacks on
+top — a local cache that makes duplicate queries free (Section 2.3), a unique
+query budget (the paper's cost model), a rate limiter on a simulated clock,
+neighbor-order shuffling, and trace instrumentation — is expressed here as an
+independent layer wrapping another :class:`~repro.api.interface.SocialNetworkAPI`.
+
+Layers nest in the decorator style and are assembled by
+:func:`repro.api.builder.build_api`; the canonical stack is::
+
+    TraceLayer( CacheLayer( BudgetLayer( RateLimitLayer( ShuffleLayer(
+        BackendAPI(backend) )))))
+
+Each layer forwards both the single-node :meth:`query` and the batched
+:meth:`query_many`, so multi-walker ensembles can amortise the per-query
+overhead all the way down to ``backend.fetch_many``.  Attribute access not
+handled by a layer is delegated to the wrapped API, which keeps the stack a
+drop-in replacement for the legacy monolithic ``GraphAPI``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..exceptions import NodeNotFoundError, QueryBudgetExceededError
+from ..rng import SeedLike, make_rng
+from ..types import NodeId
+from .backend import GraphBackend
+from .budget import QueryBudget
+from .interface import NodeView, SocialNetworkAPI
+from .ratelimit import RateLimitPolicy, SimulatedClock
+
+
+@dataclass
+class QueryStats:
+    """Query-cost counters shared across one middleware stack.
+
+    ``unique`` is the paper's query cost (billable fetches); ``total`` counts
+    every ``query()`` call including cache hits.  The core :class:`BackendAPI`
+    and the :class:`CacheLayer` of the same stack write to one shared instance
+    so the counters stay correct wherever they are read from.
+    """
+
+    unique: int = 0
+    total: int = 0
+
+    def reset(self) -> None:
+        self.unique = 0
+        self.total = 0
+
+
+class BackendAPI(SocialNetworkAPI):
+    """The innermost layer: adapt a :class:`GraphBackend` to the query model.
+
+    Every call that reaches this layer is a *billable* fetch; the cache layer
+    above is what makes duplicates free.  Unknown attribute lookups fall
+    through to the backend (e.g. ``api.graph`` for :class:`InMemoryBackend`).
+    """
+
+    def __init__(
+        self,
+        backend: GraphBackend,
+        stats: Optional[QueryStats] = None,
+        rng: SeedLike = None,
+    ) -> None:
+        self._backend = backend
+        self.stats = stats if stats is not None else QueryStats()
+        self._rng = make_rng(rng)
+
+    @property
+    def backend(self) -> GraphBackend:
+        return self._backend
+
+    def query(self, node: NodeId) -> NodeView:
+        self.stats.total += 1
+        record = self._backend.fetch(node)
+        self.stats.unique += 1
+        return NodeView(
+            node=record.node, neighbors=record.neighbors, attributes=dict(record.attributes)
+        )
+
+    def query_many(self, nodes: Sequence[NodeId]) -> List[NodeView]:
+        nodes = list(nodes)
+        try:
+            records = self._backend.fetch_many(nodes)
+        except NodeNotFoundError as error:
+            # Count exactly the calls a sequential loop would have attempted:
+            # everything up to and including the missing node.
+            failing = nodes.index(error.node) if error.node in nodes else len(nodes) - 1
+            self.stats.total += failing + 1
+            raise
+        self.stats.total += len(nodes)
+        self.stats.unique += len(records)
+        return [
+            NodeView(node=r.node, neighbors=r.neighbors, attributes=dict(r.attributes))
+            for r in records
+        ]
+
+    @property
+    def unique_queries(self) -> int:
+        return self.stats.unique
+
+    @property
+    def total_queries(self) -> int:
+        return self.stats.total
+
+    def reset_counters(self) -> None:
+        self.stats.reset()
+
+    def peek_metadata(self, node: NodeId) -> Optional[Dict[str, Any]]:
+        return self._backend.metadata(node)
+
+    def random_node(self, seed: SeedLike = None) -> NodeId:
+        """Return a uniformly random node id to start a walk from."""
+        rng = make_rng(seed) if seed is not None else self._rng
+        nodes = self._backend.node_ids()
+        return nodes[int(rng.integers(0, len(nodes)))]
+
+    def __getattr__(self, item):
+        if item.startswith("_"):
+            raise AttributeError(item)
+        backend = self.__dict__.get("_backend")
+        if backend is None:
+            raise AttributeError(item)
+        return getattr(backend, item)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"BackendAPI(backend={self._backend!r}, stats={self.stats!r})"
+
+
+class APILayer(SocialNetworkAPI):
+    """Base class for middleware: forward everything to the wrapped API.
+
+    Subclasses override the calls they intercept.  ``__getattr__`` delegates
+    any attribute this layer does not define to the wrapped API, guarding
+    against the half-initialised states ``copy`` / ``pickle`` create (they
+    bypass ``__init__``, so ``_inner`` may not exist yet — looking it up
+    through ``self.__dict__`` avoids infinite recursion and raises a clean
+    :class:`AttributeError` instead).
+    """
+
+    #: Short layer name used by :func:`describe_stack` and reprs.
+    layer_name = "layer"
+
+    def __init__(self, inner: SocialNetworkAPI) -> None:
+        self._inner = inner
+
+    @property
+    def inner(self) -> SocialNetworkAPI:
+        """The API this layer wraps."""
+        return self._inner
+
+    def query(self, node: NodeId) -> NodeView:
+        return self._inner.query(node)
+
+    def query_many(self, nodes: Sequence[NodeId]) -> List[NodeView]:
+        return self._inner.query_many(nodes)
+
+    @property
+    def unique_queries(self) -> int:
+        return self._inner.unique_queries
+
+    @property
+    def total_queries(self) -> int:
+        return self._inner.total_queries
+
+    def reset_counters(self) -> None:
+        self._inner.reset_counters()
+
+    def peek_metadata(self, node: NodeId) -> Optional[Dict[str, Any]]:
+        return self._inner.peek_metadata(node)
+
+    def __getattr__(self, item):
+        if item.startswith("_"):
+            raise AttributeError(item)
+        inner = self.__dict__.get("_inner")
+        if inner is None:
+            raise AttributeError(item)
+        return getattr(inner, item)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}({self._inner!r})"
+
+
+class CacheLayer(APILayer):
+    """Local query cache: duplicate queries are answered for free.
+
+    This is the cache of the paper's cost model (Section 2.3).  An unbounded
+    cache reproduces the paper exactly; a bounded capacity gives the LRU
+    variant where evicted nodes are billed again on re-query.
+    """
+
+    layer_name = "cache"
+
+    def __init__(
+        self,
+        inner: SocialNetworkAPI,
+        cache=None,
+        capacity: Optional[int] = None,
+        stats: Optional[QueryStats] = None,
+    ) -> None:
+        from .cache import make_cache
+
+        super().__init__(inner)
+        self.cache = cache if cache is not None else make_cache(capacity)
+        resolved = stats if stats is not None else getattr(inner, "stats", None)
+        self._stats = resolved if resolved is not None else QueryStats()
+
+    def query(self, node: NodeId) -> NodeView:
+        cached = self.cache.get(node)
+        if cached is not None:
+            self._stats.total += 1
+            return cached
+        view = self._inner.query(node)
+        self.cache.put(node, view)
+        return view
+
+    def query_many(self, nodes: Sequence[NodeId]) -> List[NodeView]:
+        order = list(nodes)
+        if getattr(self.cache, "capacity", None) is not None:
+            # Bounded (LRU) cache: a batch larger than the capacity would
+            # evict its own entries between put and read-back, re-billing
+            # nodes a sequential loop would have served from cache.  Batching
+            # is a throughput feature of the paper's unbounded-cache model;
+            # under an eviction study, exact sequential semantics win.
+            return [self.query(node) for node in order]
+        # Side-effect-free scan (peek touches neither counters nor recency),
+        # so the budget-exhaustion fallback below can replay the batch as a
+        # plain sequential loop without double counting anything.
+        fresh = set()
+        misses: List[NodeId] = []
+        for node in order:
+            if node not in fresh and self.cache.peek(node) is None:
+                misses.append(node)
+                fresh.add(node)
+        if misses:
+            try:
+                fetched = self._inner.query_many(misses)
+            except (NodeNotFoundError, QueryBudgetExceededError) as error:
+                # The batch was interrupted — by an unknown node, or by
+                # budget exhaustion (in which case the budget layer billed
+                # sequentially up to the stopping point and handed the
+                # fetched views back on ``error.partial``).  Store whatever
+                # was billed so the spent budget is not wasted, count the
+                # cache hits a sequential loop would have served before the
+                # failing node, then re-raise.
+                partial = getattr(error, "partial", None) or []
+                billed = set()
+                for node, view in partial:
+                    self.cache.put(node, view)
+                    billed.add(node)
+                if isinstance(error, NodeNotFoundError):
+                    failing = error.node
+                else:
+                    failing = misses[len(partial)] if len(partial) < len(misses) else None
+                # Nodes whose total the backend already counted: the billed
+                # ones in the sequential-fallback path, or every attempted
+                # fresh fetch in the atomic batch path.
+                attempted = billed if partial else fresh
+                counted = set()
+                for node in order:
+                    if node == failing:
+                        break
+                    if node in attempted and node not in counted:
+                        counted.add(node)
+                    else:
+                        self._stats.total += 1  # hit or duplicate occurrence
+                raise
+            for node, view in zip(misses, fetched):
+                self.cache.put(node, view)
+        results: List[NodeView] = []
+        for node in order:
+            view = self.cache.get(node)
+            if view is None:
+                # Possible only when a bounded cache evicted a view fetched
+                # earlier in this very batch; re-query (and re-bill), which is
+                # the documented LRU semantics for evicted nodes.
+                view = self.query(node)
+            elif node in fresh:
+                fresh.discard(node)  # billed by the backend during the batch
+            else:
+                self._stats.total += 1  # cache hit or duplicate occurrence
+            results.append(view)
+        return results
+
+    def reset_counters(self) -> None:
+        self.cache.clear()
+        self._inner.reset_counters()
+
+
+class BudgetLayer(APILayer):
+    """Enforce the unique-query budget of the paper's cost model.
+
+    The budget is checked *before* the fetch (so an exhausted budget raises
+    without touching the backend) and committed *after* it (so a missing node
+    costs nothing, matching the legacy ``GraphAPI`` accounting).
+    """
+
+    layer_name = "budget"
+
+    def __init__(self, inner: SocialNetworkAPI, budget: Optional[QueryBudget] = None) -> None:
+        super().__init__(inner)
+        if budget is None:
+            budget = QueryBudget(None)
+        elif isinstance(budget, int):
+            budget = QueryBudget(budget)
+        self.budget = budget
+        self._stats: Optional[QueryStats] = getattr(inner, "stats", None)
+
+    def query(self, node: NodeId) -> NodeView:
+        budget = self.budget
+        if not budget.can_spend(1):
+            # A rejected attempt still counts as a call (the historic GraphAPI
+            # incremented total_queries before the budget raised).
+            if self._stats is not None:
+                self._stats.total += 1
+            raise QueryBudgetExceededError(budget.limit, spent=budget.spent)
+        view = self._inner.query(node)
+        budget.spend(1)
+        return view
+
+    def query_many(self, nodes: Sequence[NodeId]) -> List[NodeView]:
+        order = list(nodes)
+        budget = self.budget
+        if budget.can_spend(len(order)):
+            views = self._inner.query_many(order)
+            budget.spend(len(views))
+            return views
+        # The batch exceeds the remaining budget: degrade to sequential
+        # billing so the remaining budget is still spent (never forfeited)
+        # and exhaustion raises at exactly the node a per-query loop would
+        # have stopped on.  The views fetched before the raise travel on the
+        # exception's ``partial`` attribute so a cache layer above can store
+        # them — otherwise they would be re-billed on retry.
+        collected: List = []
+        try:
+            for node in order:
+                collected.append((node, self.query(node)))
+        except (NodeNotFoundError, QueryBudgetExceededError) as error:
+            error.partial = collected
+            raise
+        return [view for _, view in collected]
+
+    def reset_counters(self) -> None:
+        self.budget.reset()
+        self._inner.reset_counters()
+
+
+class RateLimitLayer(APILayer):
+    """Charge each billable query against a rate-limit policy on a clock.
+
+    The slot is acquired after the fetch succeeds, so missing nodes never
+    consume rate-limit capacity; for the blocking policies used in the paper
+    the simulated-clock behaviour is identical to acquiring first.
+    """
+
+    layer_name = "rate-limit"
+
+    def __init__(
+        self,
+        inner: SocialNetworkAPI,
+        policy: RateLimitPolicy,
+        clock: Optional[SimulatedClock] = None,
+    ) -> None:
+        super().__init__(inner)
+        self.rate_limit = policy
+        self.clock = clock if clock is not None else SimulatedClock()
+
+    def query(self, node: NodeId) -> NodeView:
+        view = self._inner.query(node)
+        self.rate_limit.acquire(self.clock, blocking=True)
+        return view
+
+    def query_many(self, nodes: Sequence[NodeId]) -> List[NodeView]:
+        views = self._inner.query_many(nodes)
+        for _ in views:
+            self.rate_limit.acquire(self.clock, blocking=True)
+        return views
+
+    def reset_counters(self) -> None:
+        self.rate_limit.reset()
+        self._inner.reset_counters()
+
+
+class ShuffleLayer(APILayer):
+    """Randomise the neighbor order of each fresh fetch.
+
+    Real APIs give no ordering guarantees.  Placed *below* the cache, the
+    shuffled order of a node is fixed on first fetch and reused for every
+    cache hit — a deterministic pagination order per node.
+    """
+
+    layer_name = "shuffle"
+
+    def __init__(self, inner: SocialNetworkAPI, rng: SeedLike = None) -> None:
+        super().__init__(inner)
+        self._rng = make_rng(rng)
+
+    def _shuffled(self, view: NodeView) -> NodeView:
+        neighbors = list(view.neighbors)
+        self._rng.shuffle(neighbors)
+        return replace(view, neighbors=tuple(neighbors))
+
+    def query(self, node: NodeId) -> NodeView:
+        return self._shuffled(self._inner.query(node))
+
+    def query_many(self, nodes: Sequence[NodeId]) -> List[NodeView]:
+        return [self._shuffled(view) for view in self._inner.query_many(nodes)]
+
+
+@dataclass
+class QueryRecord:
+    """One query call observed by the trace layer."""
+
+    node: NodeId
+    fresh: bool
+    unique_queries_after: int
+    total_queries_after: int
+
+
+@dataclass
+class QueryTrace:
+    """Accumulated trace of an instrumented crawl."""
+
+    records: List[QueryRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def queried_nodes(self) -> List[NodeId]:
+        return [record.node for record in self.records]
+
+    @property
+    def fresh_nodes(self) -> List[NodeId]:
+        return [record.node for record in self.records if record.fresh]
+
+    def frequency(self) -> Dict[NodeId, int]:
+        return Counter(record.node for record in self.records)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class TraceLayer(APILayer):
+    """Record every query flowing through the stack.
+
+    The experiment harness needs per-walk query traces (e.g. to audit that two
+    samplers issued identical queries up to ordering); rather than pushing
+    that bookkeeping into every walker, this outermost layer observes the
+    stream.  ``query_many`` is recorded one node at a time so the per-record
+    ``fresh`` flag stays exact — tracing therefore disables batch amortisation
+    below it, which is fine for the diagnostic runs it exists for.
+    """
+
+    layer_name = "trace"
+
+    def __init__(self, inner: SocialNetworkAPI, trace: Optional[QueryTrace] = None) -> None:
+        super().__init__(inner)
+        self.trace = trace if trace is not None else QueryTrace()
+
+    def query(self, node: NodeId) -> NodeView:
+        before_unique = self._inner.unique_queries
+        view = self._inner.query(node)
+        after_unique = self._inner.unique_queries
+        self.trace.records.append(
+            QueryRecord(
+                node=node,
+                fresh=after_unique > before_unique,
+                unique_queries_after=after_unique,
+                total_queries_after=self._inner.total_queries,
+            )
+        )
+        return view
+
+    def query_many(self, nodes: Sequence[NodeId]) -> List[NodeView]:
+        return [self.query(node) for node in nodes]
+
+    def reset_counters(self) -> None:
+        self._inner.reset_counters()
+        self.trace.clear()
+
+
+def iter_layers(api: SocialNetworkAPI):
+    """Yield the stack from the outermost layer down to the core API."""
+    current = api
+    while True:
+        yield current
+        if not isinstance(current, APILayer):
+            return
+        current = current.inner
+
+
+def describe_stack(api: SocialNetworkAPI) -> str:
+    """Return a compact arrow-joined description of a middleware stack."""
+    names = []
+    for layer in iter_layers(api):
+        if isinstance(layer, BackendAPI):
+            names.append(f"backend[{layer.backend.name}]")
+        else:
+            names.append(getattr(layer, "layer_name", type(layer).__name__))
+    return " -> ".join(names)

@@ -1,0 +1,333 @@
+"""High-level fluent facade over the access-layer stack.
+
+:class:`SamplingSession` wires the three layers of :mod:`repro.api` — storage
+backends, policy middleware and the walkers of :mod:`repro.walks` — behind a
+chainable configuration interface, so a complete budgeted crawl reads as one
+sentence::
+
+    from repro import SamplingSession, twitter_policy
+
+    result = (
+        SamplingSession(graph)
+        .budget(500)
+        .rate_limit(twitter_policy())
+        .walker("cnrw", seed=1)
+        .run(max_steps=None)
+    )
+
+The session owns the assembled API stack (lazily built, rebuilt whenever the
+configuration changes) and the last walker, exposes query-cost counters and
+the optional trace, and offers :meth:`estimate` to turn a walk's samples into
+an unbiased aggregate estimate.  :meth:`run_ensemble` runs several
+identically-configured walkers against one shared stack, prefetching each
+round of current nodes through ``query_many`` so the per-query overhead is
+amortised across walkers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import QueryBudgetExceededError
+from ..graphs.graph import Graph
+from ..rng import SeedLike, derive_seed, make_rng
+from ..types import NodeId
+from .backend import GraphBackend
+from .budget import QueryBudget
+from .builder import build_api
+from .interface import SocialNetworkAPI
+from .middleware import QueryTrace
+from .ratelimit import RateLimitPolicy, SimulatedClock
+
+
+class SamplingSession:
+    """Fluent builder and driver for budgeted random-walk crawls.
+
+    Every configuration method returns ``self`` so calls chain; the API stack
+    is built on first use and invalidated by any later configuration change.
+    """
+
+    def __init__(self, source: Union[Graph, GraphBackend], seed: SeedLike = None) -> None:
+        self._source = source
+        self._backend_kind: Optional[str] = None
+        self._budget: Union[QueryBudget, int, None] = None
+        self._rate_limit: Optional[RateLimitPolicy] = None
+        self._clock: Optional[SimulatedClock] = None
+        self._cache = True
+        self._cache_capacity: Optional[int] = None
+        self._shuffle = False
+        self._seed = seed
+        self._trace: Union[bool, QueryTrace] = False
+        self._walker_name = "srw"
+        self._walker_seed: SeedLike = None
+        self._walker_options: Dict[str, object] = {}
+        self._api: Optional[SocialNetworkAPI] = None
+        self.last_result = None
+
+    # ------------------------------------------------------------------
+    # Fluent configuration
+    # ------------------------------------------------------------------
+    def backend(self, kind: str) -> "SamplingSession":
+        """Choose the storage backend: ``"memory"`` (default) or ``"csr"``."""
+        self._backend_kind = kind
+        return self._invalidate()
+
+    def budget(self, limit: Union[QueryBudget, int, None]) -> "SamplingSession":
+        """Cap the number of unique (billable) queries."""
+        self._budget = limit
+        return self._invalidate()
+
+    def rate_limit(
+        self, policy: RateLimitPolicy, clock: Optional[SimulatedClock] = None
+    ) -> "SamplingSession":
+        """Throttle billable queries with ``policy`` on a simulated clock."""
+        self._rate_limit = policy
+        if clock is not None:
+            self._clock = clock
+        return self._invalidate()
+
+    def cache(self, capacity: Optional[int] = None, enabled: bool = True) -> "SamplingSession":
+        """Configure the local cache (unbounded by default; LRU with a capacity)."""
+        self._cache = enabled
+        self._cache_capacity = capacity
+        return self._invalidate()
+
+    def shuffle_neighbors(self, enabled: bool = True) -> "SamplingSession":
+        """Randomise the stored neighbor order of fresh queries."""
+        self._shuffle = enabled
+        return self._invalidate()
+
+    def trace(self, enabled: Union[bool, QueryTrace] = True) -> "SamplingSession":
+        """Record every query through an outermost trace layer."""
+        self._trace = enabled
+        return self._invalidate()
+
+    def walker(self, name: str, seed: SeedLike = None, **options) -> "SamplingSession":
+        """Choose the sampler by factory name (``srw``, ``cnrw``, ``gnrw``...)."""
+        self._walker_name = name
+        self._walker_seed = seed
+        self._walker_options = options
+        return self
+
+    def _invalidate(self) -> "SamplingSession":
+        self._api = None
+        return self
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    @property
+    def api(self) -> SocialNetworkAPI:
+        """The assembled middleware stack (built lazily)."""
+        if self._api is None:
+            self._api = build_api(
+                self._source,
+                backend=self._backend_kind,
+                budget=self._budget,
+                rate_limit=self._rate_limit,
+                clock=self._clock,
+                cache=self._cache,
+                cache_capacity=self._cache_capacity,
+                shuffle_neighbors=self._shuffle,
+                seed=self._seed,
+                trace=self._trace,
+            )
+        return self._api
+
+    def build_walker(self, seed: SeedLike = None):
+        """Build a fresh instance of the configured walker against the session API.
+
+        ``run`` builds its own walker; use this for advanced flows that drive
+        a walker directly (e.g. several independent repeats sharing one stack,
+        each with a different ``seed``).
+        """
+        from ..walks.factory import make_walker
+
+        return make_walker(
+            self._walker_name,
+            api=self.api,
+            seed=seed if seed is not None else self._walker_seed,
+            **self._walker_options,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        start: Optional[NodeId] = None,
+        max_steps: Optional[int] = None,
+        burn_in: int = 0,
+        thinning: int = 1,
+        max_samples: Optional[int] = None,
+    ):
+        """Run one walk and return its :class:`~repro.walks.base.WalkResult`.
+
+        When ``start`` is omitted a uniformly random non-isolated node is
+        drawn from the backend (seeded by the session seed, if any).  Each
+        call builds a fresh walker from the configured spec, so a seeded run
+        is reproducible no matter what ran before it; query counters, caches
+        and budgets on the shared stack do accumulate across runs (call
+        :meth:`reset` for a fresh crawl).
+        """
+        walker = self.build_walker()
+        if start is None:
+            start = self._pick_start()
+        result = walker.run(
+            start,
+            max_steps=max_steps,
+            burn_in=burn_in,
+            thinning=thinning,
+            max_samples=max_samples,
+        )
+        self.last_result = result
+        return result
+
+    def run_ensemble(
+        self,
+        num_walks: int,
+        steps: int,
+        starts: Optional[Sequence[NodeId]] = None,
+        seed: SeedLike = None,
+    ) -> List:
+        """Run ``num_walks`` walkers in lockstep against the shared stack.
+
+        Each round, the walkers' current nodes are prefetched in one
+        :meth:`~repro.api.interface.SocialNetworkAPI.query_many` batch before
+        the walkers step, so fresh neighborhoods are fetched through the
+        backend's amortised batch path and every walker's own query is then a
+        cache hit.  Every visited node is emitted as a sample (matching
+        ``run(burn_in=0, thinning=1)``), so :meth:`estimate` works on the
+        results.  Walker ``i`` is seeded with ``derive_seed(seed, i)`` for
+        reproducibility (``seed`` defaults to the walker seed).
+
+        Like :meth:`~repro.walks.base.RandomWalk.run`, budget exhaustion is
+        not an error: the partial results collected so far are returned with
+        ``stopped_by_budget=True`` (walkers later in the interrupted round
+        may be up to one step behind the others).
+        """
+        if num_walks < 1:
+            raise ValueError("num_walks must be at least 1")
+        base_seed = seed if seed is not None else self._walker_seed
+        if isinstance(base_seed, (int, np.integer)):
+            walker_seeds = [derive_seed(int(base_seed), index) for index in range(num_walks)]
+        else:
+            # None (fresh entropy per walker) or a shared generator.
+            walker_seeds = [base_seed] * num_walks
+        walkers = [self.build_walker(seed=walker_seed) for walker_seed in walker_seeds]
+        if starts is None:
+            start_nodes = [self._pick_start(offset=index) for index in range(num_walks)]
+        else:
+            start_nodes = list(starts)
+            if len(start_nodes) != num_walks:
+                raise ValueError("starts must provide one node per walk")
+        from ..types import Sample
+        from ..walks.base import WalkResult
+
+        def make_sample(view, step_index):
+            return Sample(
+                node=view.node,
+                degree=view.degree,
+                attributes=dict(view.attributes),
+                step_index=step_index,
+                query_cost=api.unique_queries,
+            )
+
+        api = self.api
+        results = [WalkResult() for _ in range(num_walks)]
+        stopped = False
+        try:
+            views = api.query_many(start_nodes)
+            for walker, start, result, view in zip(walkers, start_nodes, results, views):
+                walker.reset()
+                walker.start(start)
+                result.path.append(start)
+                result.samples.append(make_sample(view, 0))
+            for step_index in range(1, steps + 1):
+                for walker, result in zip(walkers, results):
+                    transition = walker.step()
+                    result.transitions.append(transition)
+                    result.path.append(transition.target)
+                # One batch serves double duty: it samples this round's
+                # targets and prefetches next round's step() queries.
+                views = api.query_many([walker.current for walker in walkers])
+                for result, view in zip(results, views):
+                    result.samples.append(make_sample(view, step_index))
+        except QueryBudgetExceededError:
+            stopped = True
+        for result in results:
+            result.unique_queries = api.unique_queries
+            result.total_queries = api.total_queries
+            result.stopped_by_budget = stopped
+        self.last_result = results
+        return results
+
+    def estimate(self, query, result=None, uniform_samples: bool = False):
+        """Estimate an aggregate from a walk's samples (defaults to the last run).
+
+        Accepts a single :class:`~repro.walks.base.WalkResult` or a sequence
+        of them (e.g. the return value of :meth:`run_ensemble`, whose pooled
+        samples are used after an ensemble run).
+        """
+        from ..estimation.estimators import estimate as estimate_aggregate
+
+        target = result if result is not None else self.last_result
+        if target is None:
+            raise ValueError("no walk result available; call run() first")
+        if isinstance(target, (list, tuple)):
+            samples = [sample for walk in target for sample in walk.samples]
+        else:
+            samples = target.samples
+        return estimate_aggregate(samples, query, uniform_samples=uniform_samples)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def query_trace(self) -> Optional[QueryTrace]:
+        """The query trace, when tracing is enabled."""
+        return getattr(self.api, "trace", None)
+
+    @property
+    def unique_queries(self) -> int:
+        return self.api.unique_queries
+
+    @property
+    def total_queries(self) -> int:
+        return self.api.total_queries
+
+    def reset(self) -> "SamplingSession":
+        """Reset counters, caches and policies for a fresh crawl."""
+        self.api.reset_counters()
+        self.last_result = None
+        return self
+
+    def _pick_start(self, offset: int = 0) -> NodeId:
+        """Draw a uniformly random start node with degree >= 1."""
+        api = self.api
+        if isinstance(self._seed, (int, np.integer)):
+            seed = derive_seed(int(self._seed), 977, offset)
+        else:
+            seed = self._seed
+        rng = make_rng(seed)
+        node = api.random_node(seed=rng)
+        for _ in range(1024):
+            metadata = api.peek_metadata(node)
+            if metadata is None or metadata.get("degree", 1) > 0:
+                return node
+            node = api.random_node(seed=rng)
+        return node
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        from .middleware import describe_stack
+
+        return (
+            f"SamplingSession(walker={self._walker_name!r}, "
+            f"stack={describe_stack(self.api)!r})"
+        )
+
+
+#: Short alias for fluent one-liners.
+Session = SamplingSession

@@ -1,4 +1,4 @@
-"""Command-line interface for regenerating the paper's tables and figures.
+"""Command-line interface for the paper's experiments and ad-hoc crawls.
 
 Usage::
 
@@ -7,11 +7,15 @@ Usage::
     python -m repro.cli figure6 --trials 10 --scale 0.3
     python -m repro.cli figure9 --out results/
     python -m repro.cli all --out results/
+    python -m repro.cli walk --dataset facebook_like --walker cnrw --budget 500
 
 Each figure command runs the corresponding experiment definition from
 :mod:`repro.experiments.figures`, prints the measured series in the paper's
 layout and, when ``--out`` is given, writes one CSV per result table into that
-directory.
+directory.  The ``walk`` command drives a single budgeted crawl through the
+:class:`~repro.api.session.SamplingSession` facade — the same access-layer
+stack the experiments use — and reports the query cost, the estimate and the
+simulated crawl time under the chosen rate limit.
 """
 
 from __future__ import annotations
@@ -82,6 +86,52 @@ def _run_table1(args: argparse.Namespace, out_dir: Optional[Path]) -> None:
         print(f"wrote {path}")
 
 
+def _run_walk(args: argparse.Namespace) -> None:
+    """Run one budgeted crawl through the SamplingSession facade."""
+    from .api import SamplingSession, estimate_crawl_time, twitter_policy, yelp_policy
+    from .estimation import AggregateQuery, ground_truth
+    from .graphs import load_dataset
+    from .metrics import relative_error
+
+    graph = load_dataset(args.dataset, seed=args.seed, scale=args.scale or 1.0)
+    policy = {"none": None, "twitter": twitter_policy(), "yelp": yelp_policy()}[args.rate_limit]
+    budget = args.budget
+    if budget is None and args.steps is None:
+        budget = 500  # a terminating default matching the quickstart
+    session = (
+        SamplingSession(graph, seed=args.seed)
+        .backend(args.backend)
+        .walker(args.walker, seed=args.seed)
+    )
+    if budget is not None:
+        session.budget(budget)
+    if policy is not None:
+        session.rate_limit(policy)
+
+    print(f"Graph: {graph.name} with {graph.number_of_nodes} nodes, "
+          f"{graph.number_of_edges} edges")
+    result = session.run(max_steps=args.steps, burn_in=args.burn_in, thinning=args.thinning)
+    print(f"Walk ({args.walker} over {args.backend} backend): {result.steps} steps, "
+          f"{result.unique_queries} unique / {result.total_queries} total queries, "
+          f"{len(result.samples)} samples"
+          + (", stopped by budget" if result.stopped_by_budget else ""))
+
+    query = AggregateQuery.average_degree()
+    truth = ground_truth(graph, query)
+    if result.samples:
+        answer = session.estimate(query)
+        print(f"Estimated average degree: {answer.value:.3f}")
+        print(f"True average degree:      {truth:.3f}")
+        print(f"Relative error:           {relative_error(answer.value, truth):.2%}")
+    else:
+        print("No samples collected (budget too small to leave the start node); "
+              "no estimate available.")
+    if policy is not None:
+        seconds = estimate_crawl_time(result.unique_queries, policy)
+        print(f"Simulated crawl time under the {args.rate_limit} limit: "
+              f"{seconds / 3600:.2f} hours")
+
+
 def _experiment_kwargs(name: str, args: argparse.Namespace) -> Dict[str, object]:
     """Build the keyword arguments accepted by a given experiment function."""
     kwargs: Dict[str, object] = {"seed": args.seed}
@@ -101,8 +151,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=["list", "all", "table1", *EXPERIMENTS.keys()],
-        help="experiment to run ('list' prints the available names)",
+        choices=["list", "all", "table1", "walk", *EXPERIMENTS.keys()],
+        help="experiment to run ('list' prints the available names; 'walk' runs "
+        "a single budgeted crawl through the SamplingSession facade)",
     )
     parser.add_argument("--seed", type=int, default=0, help="base random seed (default 0)")
     parser.add_argument(
@@ -116,6 +167,31 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--out", type=Path, default=None, help="directory to write result CSV files into"
     )
+    walk = parser.add_argument_group("walk options")
+    walk.add_argument(
+        "--dataset", default="facebook_like",
+        help="dataset name for 'walk' (default facebook_like)",
+    )
+    walk.add_argument(
+        "--walker", default="cnrw", help="sampler name for 'walk' (default cnrw)"
+    )
+    walk.add_argument(
+        "--backend", choices=["memory", "csr"], default="memory",
+        help="storage backend for 'walk' (default memory)",
+    )
+    walk.add_argument(
+        "--budget", type=int, default=None,
+        help="unique-query budget for 'walk' (default 500 when --steps is unset)",
+    )
+    walk.add_argument(
+        "--steps", type=int, default=None, help="maximum walk steps for 'walk'"
+    )
+    walk.add_argument("--burn-in", type=int, default=0, help="burn-in steps for 'walk'")
+    walk.add_argument("--thinning", type=int, default=1, help="sample thinning for 'walk'")
+    walk.add_argument(
+        "--rate-limit", choices=["none", "twitter", "yelp"], default="none",
+        help="simulated rate-limit policy for 'walk' (default none)",
+    )
     return parser
 
 
@@ -127,6 +203,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("available experiments:")
         for name in ("table1", *EXPERIMENTS.keys()):
             print(f"  {name}")
+        print("  walk (ad-hoc SamplingSession crawl; see --dataset/--walker/--budget)")
+        return 0
+
+    if args.experiment == "walk":
+        from .exceptions import ReproError
+
+        try:
+            _run_walk(args)
+        except (ReproError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         return 0
 
     out_dir: Optional[Path] = args.out

@@ -11,17 +11,17 @@ paper figure:
   parametrised graph family (Figure 11).
 * :func:`escape_probability_study` — the Theorem 3 barbell-crossing ablation.
 
-Each trial gets its own :class:`~repro.api.interface.GraphAPI` wrapped around
-the same graph so query accounting is isolated, and its own derived seed so
-the whole sweep is reproducible from a single integer.
+Each trial gets its own :class:`~repro.api.session.SamplingSession` (and
+therefore its own access-layer stack) over the same graph so query accounting
+is isolated, and its own derived seed so the whole sweep is reproducible from
+a single integer.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ..api.budget import QueryBudget
-from ..api.interface import GraphAPI
+from ..api.session import SamplingSession
 from ..estimation.aggregates import AggregateQuery
 from ..estimation.estimators import estimate as estimate_aggregate
 from ..estimation.ground_truth import ground_truth
@@ -31,7 +31,6 @@ from ..metrics.bias import relative_error
 from ..metrics.distributions import Distribution, empirical_distribution, theoretical_distribution
 from ..metrics.divergence import l2_distance, symmetric_kl_divergence
 from ..rng import derive_seed, make_rng
-from ..walks.factory import make_walker
 from .config import CostSweepConfig, DistributionStudyConfig, SizeSweepConfig, WalkerSpec
 from .results import ExperimentReport, ResultTable
 
@@ -47,8 +46,12 @@ def _pick_start_node(graph: Graph, seed: Optional[int]) -> object:
     raise InsufficientSamplesError("graph has no node with degree >= 1")
 
 
-def _build_walker(spec: WalkerSpec, api: GraphAPI, seed: Optional[int]):
-    return make_walker(spec.name, api=api, seed=seed, **spec.options_dict())
+def _make_session(graph: Graph, spec: WalkerSpec, seed: Optional[int], budget: Optional[int] = None) -> SamplingSession:
+    """Build a fresh session for one trial of ``spec`` on ``graph``."""
+    session = SamplingSession(graph)
+    if budget is not None:
+        session.budget(budget)
+    return session.walker(spec.name, seed=seed, **spec.options_dict())
 
 
 def run_single_trial(
@@ -66,10 +69,9 @@ def run_single_trial(
     produced no usable sample), ``samples`` (list of :class:`Sample`),
     ``path`` (visited nodes) and ``unique_queries``.
     """
-    api = GraphAPI(graph, budget=QueryBudget(budget))
-    walker = _build_walker(spec, api, derive_seed(seed, 1))
+    session = _make_session(graph, spec, derive_seed(seed, 1), budget=budget)
     start = _pick_start_node(graph, derive_seed(seed, 2))
-    result = walker.run(start, max_steps=None, burn_in=burn_in, thinning=thinning)
+    result = session.run(start, max_steps=None, burn_in=burn_in, thinning=thinning)
     value: Optional[float] = None
     if result.samples:
         try:
@@ -190,10 +192,9 @@ def run_distribution_study(
         visits: List[object] = []
         for walk_index in range(config.num_walks):
             seed = derive_seed(config.seed, walker_index, walk_index)
-            api = GraphAPI(graph)
-            walker = _build_walker(spec, api, derive_seed(seed, 1))
+            session = _make_session(graph, spec, derive_seed(seed, 1))
             start = _pick_start_node(graph, derive_seed(seed, 2))
-            result = walker.run(start, max_steps=config.steps)
+            result = session.run(start, max_steps=config.steps)
             visits.extend(result.path)
         empirical = empirical_distribution(visits, support=support)
         empirical_by_walker[spec.display_label] = empirical
@@ -310,11 +311,10 @@ def escape_probability_study(
             crossings = 0
             for trial in range(trials):
                 trial_seed = derive_seed(seed, size_index, walker_index, trial)
-                api = GraphAPI(graph)
-                walker = _build_walker(spec, api, derive_seed(trial_seed, 1))
+                session = _make_session(graph, spec, derive_seed(trial_seed, 1))
                 start_rng = make_rng(derive_seed(trial_seed, 2))
                 start = int(start_rng.integers(0, clique_size))
-                result = walker.run(start, max_steps=steps)
+                result = session.run(start, max_steps=steps)
                 if any(node in other_side for node in result.path):
                     crossings += 1
             table.add_point(spec.display_label, clique_size, crossings / trials)

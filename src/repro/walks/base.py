@@ -10,6 +10,7 @@ algorithms differ *only* in their transition design, exactly as in the paper.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence
 
@@ -51,10 +52,7 @@ class WalkResult:
 
     def visit_counts(self) -> Dict[NodeId, int]:
         """Return how many times each node appears in the path."""
-        counts: Dict[NodeId, int] = {}
-        for node in self.path:
-            counts[node] = counts.get(node, 0) + 1
-        return counts
+        return Counter(self.path)
 
 
 class RandomWalk:
