@@ -94,6 +94,7 @@ from .metrics import (
     symmetric_kl_divergence,
     theoretical_distribution,
 )
+from .engine import SchedulerPolicy, WalkScheduler
 from .walks import (
     CNRW,
     GNRW,
@@ -148,12 +149,14 @@ __all__ = [
     "RunningEstimator",
     "SRW",
     "SamplingSession",
+    "SchedulerPolicy",
     "Session",
     "SimpleRandomWalk",
     "SocialNetworkAPI",
     "TraceLayer",
     "WalkError",
     "WalkResult",
+    "WalkScheduler",
     "available_datasets",
     "build_api",
     "available_walkers",

@@ -32,6 +32,7 @@ from .middleware import (
     BackendAPI,
     BudgetLayer,
     CacheLayer,
+    QueryBatchRecord,
     QueryRecord,
     QueryStats,
     QueryTrace,
@@ -71,6 +72,7 @@ __all__ = [
     "NodeView",
     "QueryBudget",
     "QueryCache",
+    "QueryBatchRecord",
     "QueryRecord",
     "QueryStats",
     "QueryTrace",

@@ -230,13 +230,19 @@ class CacheLayer(APILayer):
             return [self.query(node) for node in order]
         # Side-effect-free scan (peek touches neither counters nor recency),
         # so the budget-exhaustion fallback below can replay the batch as a
-        # plain sequential loop without double counting anything.
+        # plain sequential loop without double counting anything.  The peeked
+        # views double as the hit results, saving a second lookup pass.
+        peek = self.cache.peek
         fresh = set()
         misses: List[NodeId] = []
+        peeked: List[Optional[NodeView]] = []
         for node in order:
-            if node not in fresh and self.cache.peek(node) is None:
+            view = peek(node)
+            peeked.append(view)
+            if view is None and node not in fresh:
                 misses.append(node)
                 fresh.add(node)
+        fetched_views: Dict[NodeId, NodeView] = {}
         if misses:
             try:
                 fetched = self._inner.query_many(misses)
@@ -270,21 +276,34 @@ class CacheLayer(APILayer):
                     else:
                         self._stats.total += 1  # hit or duplicate occurrence
                 raise
+            put = self.cache.put
+            if len(misses) == len(order):
+                # Every entry was a distinct uncached node (the batch-driver
+                # common case): the fetch already is the result list, and the
+                # backend billed everything — no per-node accounting left.
+                for node, view in zip(misses, fetched):
+                    put(node, view)
+                self.cache.stats.misses += len(misses)
+                return fetched
             for node, view in zip(misses, fetched):
-                self.cache.put(node, view)
+                put(node, view)
+                fetched_views[node] = view
         results: List[NodeView] = []
-        for node in order:
-            view = self.cache.get(node)
-            if view is None:
-                # Possible only when a bounded cache evicted a view fetched
-                # earlier in this very batch; re-query (and re-bill), which is
-                # the documented LRU semantics for evicted nodes.
-                view = self.query(node)
-            elif node in fresh:
-                fresh.discard(node)  # billed by the backend during the batch
+        hits = 0
+        for node, view in zip(order, peeked):
+            if view is not None:
+                hits += 1  # cache hit (billed like a sequential loop)
             else:
-                self._stats.total += 1  # cache hit or duplicate occurrence
+                view = fetched_views[node]
+                if node in fresh:
+                    fresh.discard(node)  # billed by the backend during the batch
+                else:
+                    hits += 1  # duplicate occurrence after the fetch
             results.append(view)
+        self._stats.total += hits
+        cache_stats = self.cache.stats
+        cache_stats.hits += hits
+        cache_stats.misses += len(misses)
         return results
 
     def reset_counters(self) -> None:
@@ -423,24 +442,63 @@ class QueryRecord:
 
 
 @dataclass
-class QueryTrace:
-    """Accumulated trace of an instrumented crawl."""
+class QueryBatchRecord:
+    """One ``query_many`` batch observed by the trace layer.
 
-    records: List[QueryRecord] = field(default_factory=list)
+    A batch is a single trace entry (so tracing never forces the layers below
+    back onto the per-node path), but it still carries the per-node freshness
+    flags, so the node-level views (:attr:`QueryTrace.queried_nodes`,
+    :attr:`QueryTrace.fresh_nodes`, :meth:`QueryTrace.frequency`) are
+    indistinguishable from a sequential loop's records.
+    """
+
+    nodes: tuple
+    fresh: tuple
+    unique_queries_after: int
+    total_queries_after: int
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+@dataclass
+class QueryTrace:
+    """Accumulated trace of an instrumented crawl.
+
+    ``records`` holds one entry per *call*: a :class:`QueryRecord` for each
+    single query and a :class:`QueryBatchRecord` for each batch.  The
+    node-level accessors flatten batches, so per-node frequency counting is
+    unaffected by how the queries were grouped.
+    """
+
+    records: List[object] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.records)
 
+    def _node_events(self):
+        for record in self.records:
+            if isinstance(record, QueryBatchRecord):
+                for node, fresh in zip(record.nodes, record.fresh):
+                    yield node, fresh
+            else:
+                yield record.node, record.fresh
+
     @property
     def queried_nodes(self) -> List[NodeId]:
-        return [record.node for record in self.records]
+        return [node for node, _ in self._node_events()]
 
     @property
     def fresh_nodes(self) -> List[NodeId]:
-        return [record.node for record in self.records if record.fresh]
+        return [node for node, fresh in self._node_events() if fresh]
+
+    @property
+    def batches(self) -> List[QueryBatchRecord]:
+        """The batch entries only (one per traced ``query_many`` call)."""
+        return [record for record in self.records if isinstance(record, QueryBatchRecord)]
 
     def frequency(self) -> Dict[NodeId, int]:
-        return Counter(record.node for record in self.records)
+        return Counter(node for node, _ in self._node_events())
 
     def clear(self) -> None:
         self.records.clear()
@@ -452,9 +510,13 @@ class TraceLayer(APILayer):
     The experiment harness needs per-walk query traces (e.g. to audit that two
     samplers issued identical queries up to ordering); rather than pushing
     that bookkeeping into every walker, this outermost layer observes the
-    stream.  ``query_many`` is recorded one node at a time so the per-record
-    ``fresh`` flag stays exact — tracing therefore disables batch amortisation
-    below it, which is fine for the diagnostic runs it exists for.
+    stream.  A ``query_many`` call is forwarded as a batch and recorded as one
+    :class:`QueryBatchRecord`, so tracing no longer disables the batch
+    amortisation below it; per-node freshness is predicted against the cache
+    below before the batch runs (exact for the paper's unbounded cache; under
+    a bounded cache an intra-batch eviction may re-bill a node the prediction
+    marked as a hit).  Batches interrupted by budget exhaustion or an unknown
+    node are not recorded — the exception carries the authoritative state.
     """
 
     layer_name = "trace"
@@ -478,7 +540,40 @@ class TraceLayer(APILayer):
         return view
 
     def query_many(self, nodes: Sequence[NodeId]) -> List[NodeView]:
-        return [self.query(node) for node in nodes]
+        order = list(nodes)
+        fresh_flags = self._predict_fresh(order)
+        views = self._inner.query_many(order)
+        self.trace.records.append(
+            QueryBatchRecord(
+                nodes=tuple(order),
+                fresh=tuple(fresh_flags),
+                unique_queries_after=self._inner.unique_queries,
+                total_queries_after=self._inner.total_queries,
+            )
+        )
+        return views
+
+    def _predict_fresh(self, order: Sequence[NodeId]) -> List[bool]:
+        """Which batch entries will be billed, judged before the batch runs.
+
+        Mirrors the miss scan of :meth:`CacheLayer.query_many`: the first
+        occurrence of each uncached node is fresh.  Without a cache below,
+        every entry is billed (duplicates included), matching the backend's
+        sequential accounting.
+        """
+        cache = getattr(self._inner, "cache", None)
+        peek = getattr(cache, "peek", None)
+        if not callable(peek):
+            return [True] * len(order)
+        seen = set()
+        flags: List[bool] = []
+        for node in order:
+            if node in seen:
+                flags.append(False)
+            else:
+                seen.add(node)
+                flags.append(peek(node) is None)
+        return flags
 
     def reset_counters(self) -> None:
         self._inner.reset_counters()

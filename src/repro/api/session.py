@@ -30,7 +30,6 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..exceptions import QueryBudgetExceededError
 from ..graphs.graph import Graph
 from ..rng import SeedLike, derive_seed, make_rng
 from ..types import NodeId
@@ -40,6 +39,22 @@ from .builder import build_api
 from .interface import SocialNetworkAPI
 from .middleware import QueryTrace
 from .ratelimit import RateLimitPolicy, SimulatedClock
+
+
+def pick_start_node(api: SocialNetworkAPI, rng) -> NodeId:
+    """Draw a random node with degree >= 1 through the API.
+
+    Retries (bounded) over ``api.random_node`` using the free metadata peek,
+    accepting blindly when the backend serves no metadata.  Shared by the
+    session's start picker and the scheduler's restart policy.
+    """
+    node = api.random_node(seed=rng)
+    for _ in range(1024):
+        metadata = api.peek_metadata(node)
+        if metadata is None or metadata.get("degree", 1) > 0:
+            return node
+        node = api.random_node(seed=rng)
+    return node
 
 
 class SamplingSession:
@@ -188,26 +203,35 @@ class SamplingSession:
     def run_ensemble(
         self,
         num_walks: int,
-        steps: int,
+        steps: Optional[int] = None,
         starts: Optional[Sequence[NodeId]] = None,
         seed: SeedLike = None,
+        burn_in: int = 0,
+        thinning: int = 1,
+        policy=None,
     ) -> List:
         """Run ``num_walks`` walkers in lockstep against the shared stack.
 
-        Each round, the walkers' current nodes are prefetched in one
-        :meth:`~repro.api.interface.SocialNetworkAPI.query_many` batch before
-        the walkers step, so fresh neighborhoods are fetched through the
-        backend's amortised batch path and every walker's own query is then a
-        cache hit.  Every visited node is emitted as a sample (matching
-        ``run(burn_in=0, thinning=1)``), so :meth:`estimate` works on the
-        results.  Walker ``i`` is seeded with ``derive_seed(seed, i)`` for
-        reproducibility (``seed`` defaults to the walker seed).
+        A thin delegate to :class:`~repro.engine.scheduler.WalkScheduler`:
+        each round, the walkers' current nodes are deduplicated into one
+        frontier and fetched in a single
+        :meth:`~repro.api.interface.SocialNetworkAPI.query_many` batch, off
+        which every walker's kernel then advances — no per-walker queries at
+        all.  With the default ``burn_in=0, thinning=1`` every visited node
+        is emitted as a sample (matching ``run``), so :meth:`estimate` works
+        on the results.  Walker ``i`` is seeded with ``derive_seed(seed, i)``
+        for reproducibility (``seed`` defaults to the walker seed).
 
-        Like :meth:`~repro.walks.base.RandomWalk.run`, budget exhaustion is
-        not an error: the partial results collected so far are returned with
-        ``stopped_by_budget=True`` (walkers later in the interrupted round
-        may be up to one step behind the others).
+        ``steps=None`` walks until the shared query budget is exhausted
+        (requires a budgeted session), like ``run(max_steps=None)``.  Budget
+        exhaustion is never an error: the partial results collected so far
+        are returned with ``stopped_by_budget=True`` (walkers later in the
+        interrupted round may be up to one step behind the others).  An
+        optional :class:`~repro.engine.scheduler.SchedulerPolicy` configures
+        dead-end handling (raise / stop / restart).
         """
+        from ..engine.scheduler import WalkScheduler
+
         if num_walks < 1:
             raise ValueError("num_walks must be at least 1")
         base_seed = seed if seed is not None else self._walker_seed
@@ -223,44 +247,10 @@ class SamplingSession:
             start_nodes = list(starts)
             if len(start_nodes) != num_walks:
                 raise ValueError("starts must provide one node per walk")
-        from ..types import Sample
-        from ..walks.base import WalkResult
-
-        def make_sample(view, step_index):
-            return Sample(
-                node=view.node,
-                degree=view.degree,
-                attributes=dict(view.attributes),
-                step_index=step_index,
-                query_cost=api.unique_queries,
-            )
-
-        api = self.api
-        results = [WalkResult() for _ in range(num_walks)]
-        stopped = False
-        try:
-            views = api.query_many(start_nodes)
-            for walker, start, result, view in zip(walkers, start_nodes, results, views):
-                walker.reset()
-                walker.start(start)
-                result.path.append(start)
-                result.samples.append(make_sample(view, 0))
-            for step_index in range(1, steps + 1):
-                for walker, result in zip(walkers, results):
-                    transition = walker.step()
-                    result.transitions.append(transition)
-                    result.path.append(transition.target)
-                # One batch serves double duty: it samples this round's
-                # targets and prefetches next round's step() queries.
-                views = api.query_many([walker.current for walker in walkers])
-                for result, view in zip(results, views):
-                    result.samples.append(make_sample(view, step_index))
-        except QueryBudgetExceededError:
-            stopped = True
-        for result in results:
-            result.unique_queries = api.unique_queries
-            result.total_queries = api.total_queries
-            result.stopped_by_budget = stopped
+        scheduler = WalkScheduler(self.api, policy=policy)
+        results = scheduler.run(
+            walkers, start_nodes, steps=steps, burn_in=burn_in, thinning=thinning
+        )
         self.last_result = results
         return results
 
@@ -306,19 +296,11 @@ class SamplingSession:
 
     def _pick_start(self, offset: int = 0) -> NodeId:
         """Draw a uniformly random start node with degree >= 1."""
-        api = self.api
         if isinstance(self._seed, (int, np.integer)):
             seed = derive_seed(int(self._seed), 977, offset)
         else:
             seed = self._seed
-        rng = make_rng(seed)
-        node = api.random_node(seed=rng)
-        for _ in range(1024):
-            metadata = api.peek_metadata(node)
-            if metadata is None or metadata.get("degree", 1) > 0:
-                return node
-            node = api.random_node(seed=rng)
-        return node
+        return pick_start_node(self.api, make_rng(seed))
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         from .middleware import describe_stack

@@ -8,14 +8,20 @@ Usage::
     python -m repro.cli figure9 --out results/
     python -m repro.cli all --out results/
     python -m repro.cli walk --dataset facebook_like --walker cnrw --budget 500
+    python -m repro.cli walk --walker cnrw --walkers 8 --budget 500
+    python -m repro.cli sweep --sweep-walkers srw,cnrw --budgets 100,200 --jobs 4
 
 Each figure command runs the corresponding experiment definition from
 :mod:`repro.experiments.figures`, prints the measured series in the paper's
 layout and, when ``--out`` is given, writes one CSV per result table into that
-directory.  The ``walk`` command drives a single budgeted crawl through the
+directory.  The ``walk`` command drives a budgeted crawl through the
 :class:`~repro.api.session.SamplingSession` facade — the same access-layer
 stack the experiments use — and reports the query cost, the estimate and the
-simulated crawl time under the chosen rate limit.
+simulated crawl time under the chosen rate limit; ``--walkers N`` runs an
+N-walker ensemble through the batched
+:class:`~repro.engine.scheduler.WalkScheduler` and pools the samples.  The
+``sweep`` command runs a custom error-versus-cost sweep, optionally fanned out
+over a process pool with ``--jobs``.
 """
 
 from __future__ import annotations
@@ -87,7 +93,7 @@ def _run_table1(args: argparse.Namespace, out_dir: Optional[Path]) -> None:
 
 
 def _run_walk(args: argparse.Namespace) -> None:
-    """Run one budgeted crawl through the SamplingSession facade."""
+    """Run a budgeted crawl (single walk or scheduled ensemble)."""
     from .api import SamplingSession, estimate_crawl_time, twitter_policy, yelp_policy
     from .estimation import AggregateQuery, ground_truth
     from .graphs import load_dataset
@@ -110,15 +116,31 @@ def _run_walk(args: argparse.Namespace) -> None:
 
     print(f"Graph: {graph.name} with {graph.number_of_nodes} nodes, "
           f"{graph.number_of_edges} edges")
-    result = session.run(max_steps=args.steps, burn_in=args.burn_in, thinning=args.thinning)
-    print(f"Walk ({args.walker} over {args.backend} backend): {result.steps} steps, "
-          f"{result.unique_queries} unique / {result.total_queries} total queries, "
-          f"{len(result.samples)} samples"
-          + (", stopped by budget" if result.stopped_by_budget else ""))
+    if args.walkers > 1:
+        results = session.run_ensemble(
+            args.walkers, steps=args.steps, seed=args.seed,
+            burn_in=args.burn_in, thinning=args.thinning,
+        )
+        steps = sum(result.steps for result in results)
+        samples = sum(len(result.samples) for result in results)
+        stopped = any(result.stopped_by_budget for result in results)
+        print(f"Ensemble ({args.walkers} x {args.walker} over {args.backend} backend, "
+              f"batched scheduler): {steps} steps total, "
+              f"{session.unique_queries} unique / {session.total_queries} total queries, "
+              f"{samples} pooled samples"
+              + (", stopped by budget" if stopped else ""))
+        has_samples = samples > 0
+    else:
+        result = session.run(max_steps=args.steps, burn_in=args.burn_in, thinning=args.thinning)
+        print(f"Walk ({args.walker} over {args.backend} backend): {result.steps} steps, "
+              f"{result.unique_queries} unique / {result.total_queries} total queries, "
+              f"{len(result.samples)} samples"
+              + (", stopped by budget" if result.stopped_by_budget else ""))
+        has_samples = bool(result.samples)
 
     query = AggregateQuery.average_degree()
     truth = ground_truth(graph, query)
-    if result.samples:
+    if has_samples:
         answer = session.estimate(query)
         print(f"Estimated average degree: {answer.value:.3f}")
         print(f"True average degree:      {truth:.3f}")
@@ -127,9 +149,32 @@ def _run_walk(args: argparse.Namespace) -> None:
         print("No samples collected (budget too small to leave the start node); "
               "no estimate available.")
     if policy is not None:
-        seconds = estimate_crawl_time(result.unique_queries, policy)
+        seconds = estimate_crawl_time(session.unique_queries, policy)
         print(f"Simulated crawl time under the {args.rate_limit} limit: "
               f"{seconds / 3600:.2f} hours")
+
+
+def _run_sweep(args: argparse.Namespace, out_dir: Optional[Path]) -> None:
+    """Run a custom cost sweep, optionally fanned out over a process pool."""
+    from .estimation import AggregateQuery
+    from .experiments.config import CostSweepConfig, WalkerSpec
+    from .experiments.runner import run_cost_sweep
+    from .graphs import load_dataset
+
+    walker_names = [name.strip() for name in args.sweep_walkers.split(",") if name.strip()]
+    budgets = [int(value) for value in args.budgets.split(",") if value.strip()]
+    graph = load_dataset(args.dataset, seed=args.seed, scale=args.scale or 0.5)
+    config = CostSweepConfig(
+        walkers=tuple(WalkerSpec.make(name) for name in walker_names),
+        query=AggregateQuery.average_degree(),
+        budgets=tuple(budgets),
+        trials=args.trials if args.trials is not None else 10,
+        seed=args.seed,
+    )
+    print(f"Sweep over {graph.name}: walkers={','.join(walker_names)} "
+          f"budgets={budgets} trials={config.trials} jobs={args.jobs}")
+    report = run_cost_sweep(graph, config, title=f"sweep {args.dataset}", jobs=args.jobs)
+    _print_and_save(report, out_dir)
 
 
 def _experiment_kwargs(name: str, args: argparse.Namespace) -> Dict[str, object]:
@@ -151,9 +196,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=["list", "all", "table1", "walk", *EXPERIMENTS.keys()],
+        choices=["list", "all", "table1", "walk", "sweep", *EXPERIMENTS.keys()],
         help="experiment to run ('list' prints the available names; 'walk' runs "
-        "a single budgeted crawl through the SamplingSession facade)",
+        "a budgeted crawl through the SamplingSession facade; 'sweep' runs a "
+        "custom cost sweep, optionally across --jobs worker processes)",
     )
     parser.add_argument("--seed", type=int, default=0, help="base random seed (default 0)")
     parser.add_argument(
@@ -192,6 +238,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--rate-limit", choices=["none", "twitter", "yelp"], default="none",
         help="simulated rate-limit policy for 'walk' (default none)",
     )
+    walk.add_argument(
+        "--walkers", type=int, default=1,
+        help="number of lockstep walkers for 'walk' (>1 runs a batched "
+        "WalkScheduler ensemble and pools the samples; default 1)",
+    )
+    sweep = parser.add_argument_group("sweep options")
+    sweep.add_argument(
+        "--sweep-walkers", default="srw,cnrw,gnrw_by_degree",
+        help="comma-separated sampler names for 'sweep' "
+        "(default srw,cnrw,gnrw_by_degree)",
+    )
+    sweep.add_argument(
+        "--budgets", default="100,200,400",
+        help="comma-separated unique-query budgets for 'sweep' (default 100,200,400)",
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for 'sweep' trials (default 1 = in-process; "
+        "derived per-trial seeds keep any value bit-reproducible)",
+    )
     return parser
 
 
@@ -203,7 +269,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("available experiments:")
         for name in ("table1", *EXPERIMENTS.keys()):
             print(f"  {name}")
-        print("  walk (ad-hoc SamplingSession crawl; see --dataset/--walker/--budget)")
+        print("  walk (ad-hoc SamplingSession crawl; see --dataset/--walker/--budget/--walkers)")
+        print("  sweep (custom cost sweep; see --sweep-walkers/--budgets/--trials/--jobs)")
         return 0
 
     if args.experiment == "walk":
@@ -211,6 +278,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         try:
             _run_walk(args)
+        except (ReproError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        return 0
+
+    if args.experiment == "sweep":
+        from .exceptions import ReproError
+
+        try:
+            _run_sweep(args, args.out)
         except (ReproError, ValueError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 2

@@ -1,0 +1,13 @@
+"""Walk execution engine: batched lockstep scheduling of walker ensembles.
+
+The walk layer separates *transition rules* (:mod:`repro.walks.kernels`)
+from *execution drivers*.  This package holds the batch driver: a
+:class:`WalkScheduler` advances N walkers in lockstep against one shared
+access-layer stack, deduplicating each round's frontier into a single
+``query_many`` batch.  :meth:`repro.api.session.SamplingSession.run_ensemble`
+and the experiment runner both execute through it.
+"""
+
+from .scheduler import SchedulerPolicy, WalkScheduler
+
+__all__ = ["SchedulerPolicy", "WalkScheduler"]

@@ -14,14 +14,21 @@ paper figure:
 Each trial gets its own :class:`~repro.api.session.SamplingSession` (and
 therefore its own access-layer stack) over the same graph so query accounting
 is isolated, and its own derived seed so the whole sweep is reproducible from
-a single integer.
+a single integer.  Walks execute through the
+:class:`~repro.engine.scheduler.WalkScheduler` — the same batched driver the
+multi-walker ensembles use — and whole sweeps fan out across a process pool
+when ``jobs > 1``: trials are self-contained :class:`WalkTask` values with
+pre-derived seeds, so the results are bit-identical for any ``jobs``.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..api.session import SamplingSession
+from ..engine.scheduler import WalkScheduler
 from ..estimation.aggregates import AggregateQuery
 from ..estimation.estimators import estimate as estimate_aggregate
 from ..estimation.ground_truth import ground_truth
@@ -31,16 +38,24 @@ from ..metrics.bias import relative_error
 from ..metrics.distributions import Distribution, empirical_distribution, theoretical_distribution
 from ..metrics.divergence import l2_distance, symmetric_kl_divergence
 from ..rng import derive_seed, make_rng
+from ..walks.base import WalkResult
 from .config import CostSweepConfig, DistributionStudyConfig, SizeSweepConfig, WalkerSpec
 from .results import ExperimentReport, ResultTable
 
 
 def _pick_start_node(graph: Graph, seed: Optional[int]) -> object:
-    """Choose a start node uniformly (but never an isolated node)."""
+    """Choose a start node uniformly (but never an isolated node).
+
+    Scans a seeded permutation of the node list, so a usable start is found
+    whenever one exists — sampling with replacement could retry the same
+    isolated node over and over and spuriously give up.
+    """
     rng = make_rng(seed)
     nodes = graph.nodes()
-    for _ in range(len(nodes)):
-        node = nodes[int(rng.integers(0, len(nodes)))]
+    if not nodes:
+        raise InsufficientSamplesError("graph has no node with degree >= 1")
+    for index in rng.permutation(len(nodes)):
+        node = nodes[int(index)]
         if graph.degree(node) > 0:
             return node
     raise InsufficientSamplesError("graph has no node with degree >= 1")
@@ -52,6 +67,92 @@ def _make_session(graph: Graph, spec: WalkerSpec, seed: Optional[int], budget: O
     if budget is not None:
         session.budget(budget)
     return session.walker(spec.name, seed=seed, **spec.options_dict())
+
+
+# ----------------------------------------------------------------------
+# Trial execution (sequential or process-pool)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WalkTask:
+    """One self-contained walk trial, executable in any process.
+
+    The seed is pre-derived by the sweep that created the task, so executing
+    tasks in any order — or on any number of workers — produces bit-identical
+    walks.  ``graph=None`` means "use the worker's shared graph" (installed
+    once per worker by the pool initialiser, so big graphs are pickled once
+    per worker instead of once per trial).
+    """
+
+    spec: WalkerSpec
+    seed: Optional[int]
+    budget: Optional[int] = None
+    steps: Optional[int] = None
+    burn_in: int = 0
+    thinning: int = 1
+    graph: Optional[Graph] = None
+
+
+_WORKER_GRAPH: Optional[Graph] = None
+
+
+def _install_worker_graph(graph: Optional[Graph]) -> None:
+    global _WORKER_GRAPH
+    _WORKER_GRAPH = graph
+
+
+def _execute_walk_task(task: WalkTask) -> WalkResult:
+    """Run one trial through the scheduler and return its raw result.
+
+    Estimation happens on the caller's side (queries may hold non-picklable
+    predicates; :class:`WalkResult` always travels cleanly).
+    """
+    graph = task.graph if task.graph is not None else _WORKER_GRAPH
+    if graph is None:
+        raise ValueError("walk task has no graph and no worker graph is installed")
+    session = _make_session(graph, task.spec, derive_seed(task.seed, 1), budget=task.budget)
+    start = _pick_start_node(graph, derive_seed(task.seed, 2))
+    walker = session.build_walker()
+    scheduler = WalkScheduler(session.api)
+    return scheduler.run(
+        [walker], [start], steps=task.steps, burn_in=task.burn_in, thinning=task.thinning
+    )[0]
+
+
+def run_walk_tasks(
+    tasks: Sequence[WalkTask], jobs: int = 1, graph: Optional[Graph] = None
+) -> List[WalkResult]:
+    """Execute walk trials, fanning out over a process pool when ``jobs > 1``.
+
+    Results come back in task order and are bit-identical for any ``jobs``
+    because every task carries its own derived seed.  ``graph`` is the shared
+    graph of tasks whose own ``graph`` field is ``None``.
+    """
+    tasks = list(tasks)
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    jobs = min(jobs, len(tasks)) if tasks else 1
+    if jobs <= 1:
+        return [
+            _execute_walk_task(task if task.graph is not None else replace(task, graph=graph))
+            for task in tasks
+        ]
+    chunksize = max(1, len(tasks) // (jobs * 4))
+    with ProcessPoolExecutor(
+        max_workers=jobs, initializer=_install_worker_graph, initargs=(graph,)
+    ) as pool:
+        return list(pool.map(_execute_walk_task, tasks, chunksize=chunksize))
+
+
+def _estimate_value(
+    result: WalkResult, query: AggregateQuery, uniform_samples: bool
+) -> Optional[float]:
+    """Turn a walk's samples into an estimate (None when unusable)."""
+    if not result.samples:
+        return None
+    try:
+        return estimate_aggregate(result.samples, query, uniform_samples=uniform_samples).value
+    except InsufficientSamplesError:
+        return None
 
 
 def run_single_trial(
@@ -69,33 +170,29 @@ def run_single_trial(
     produced no usable sample), ``samples`` (list of :class:`Sample`),
     ``path`` (visited nodes) and ``unique_queries``.
     """
-    session = _make_session(graph, spec, derive_seed(seed, 1), budget=budget)
-    start = _pick_start_node(graph, derive_seed(seed, 2))
-    result = session.run(start, max_steps=None, burn_in=burn_in, thinning=thinning)
-    value: Optional[float] = None
-    if result.samples:
-        try:
-            value = estimate_aggregate(
-                result.samples, query, uniform_samples=spec.uniform_samples
-            ).value
-        except InsufficientSamplesError:
-            value = None
+    result = _execute_walk_task(
+        WalkTask(spec=spec, seed=seed, budget=budget, burn_in=burn_in, thinning=thinning, graph=graph)
+    )
     return {
-        "estimate": value,
+        "estimate": _estimate_value(result, query, spec.uniform_samples),
         "samples": result.samples,
         "path": result.path,
         "unique_queries": result.unique_queries,
     }
 
 
-def run_cost_sweep(graph: Graph, config: CostSweepConfig, title: str = "cost sweep") -> ExperimentReport:
+def run_cost_sweep(
+    graph: Graph, config: CostSweepConfig, title: str = "cost sweep", jobs: int = 1
+) -> ExperimentReport:
     """Run the error-versus-query-cost experiment of Figures 6, 7, 9 and 10.
 
     The report always contains a ``relative_error`` table; when
     ``config.compute_divergences`` is true it additionally contains
     ``kl_divergence`` and ``l2_distance`` tables computed from the visit
     distribution of the walks against the theoretical stationary
-    distribution (the small-graph bias measures of the paper).
+    distribution (the small-graph bias measures of the paper).  With
+    ``jobs > 1`` the trials of the whole sweep fan out over a process pool;
+    per-trial derived seeds keep the report bit-identical for any ``jobs``.
     """
     truth = ground_truth(graph, config.query)
     error_table = ResultTable(title=f"{title}: relative error", y_label="relative error")
@@ -104,37 +201,46 @@ def run_cost_sweep(graph: Graph, config: CostSweepConfig, title: str = "cost swe
     theoretical = theoretical_distribution(graph) if config.compute_divergences else None
     support = graph.nodes() if config.compute_divergences else None
 
-    for budget_index, budget in enumerate(config.budgets):
-        for walker_index, spec in enumerate(config.walkers):
-            errors: List[float] = []
-            kls: List[float] = []
-            l2s: List[float] = []
-            visits_all: List[object] = []
-            for trial in range(config.trials):
-                seed = derive_seed(config.seed, budget_index, walker_index, trial)
-                outcome = run_single_trial(
-                    graph,
-                    spec,
-                    config.query,
-                    budget,
-                    seed,
-                    burn_in=config.burn_in,
-                    thinning=config.thinning,
-                )
-                if outcome["estimate"] is not None:
-                    errors.append(relative_error(outcome["estimate"], truth))
-                if config.compute_divergences:
-                    visits_all.extend(outcome["path"])
-            if errors:
-                error_table.add_point(spec.display_label, budget, sum(errors) / len(errors))
-            if config.compute_divergences and visits_all:
-                empirical = empirical_distribution(
-                    visits_all, support=support, smoothing=config.divergence_smoothing
-                )
-                kls.append(symmetric_kl_divergence(theoretical, empirical, support=support))
-                l2s.append(l2_distance(theoretical, empirical, support=support))
-                kl_table.add_point(spec.display_label, budget, sum(kls) / len(kls))
-                l2_table.add_point(spec.display_label, budget, sum(l2s) / len(l2s))
+    cells = [
+        (budget_index, budget, walker_index, spec)
+        for budget_index, budget in enumerate(config.budgets)
+        for walker_index, spec in enumerate(config.walkers)
+    ]
+    tasks = [
+        WalkTask(
+            spec=spec,
+            seed=derive_seed(config.seed, budget_index, walker_index, trial),
+            budget=budget,
+            burn_in=config.burn_in,
+            thinning=config.thinning,
+        )
+        for budget_index, budget, walker_index, spec in cells
+        for trial in range(config.trials)
+    ]
+    results = iter(run_walk_tasks(tasks, jobs=jobs, graph=graph))
+
+    for budget_index, budget, walker_index, spec in cells:
+        errors: List[float] = []
+        kls: List[float] = []
+        l2s: List[float] = []
+        visits_all: List[object] = []
+        for _ in range(config.trials):
+            result = next(results)
+            value = _estimate_value(result, config.query, spec.uniform_samples)
+            if value is not None:
+                errors.append(relative_error(value, truth))
+            if config.compute_divergences:
+                visits_all.extend(result.path)
+        if errors:
+            error_table.add_point(spec.display_label, budget, sum(errors) / len(errors))
+        if config.compute_divergences and visits_all:
+            empirical = empirical_distribution(
+                visits_all, support=support, smoothing=config.divergence_smoothing
+            )
+            kls.append(symmetric_kl_divergence(theoretical, empirical, support=support))
+            l2s.append(l2_distance(theoretical, empirical, support=support))
+            kl_table.add_point(spec.display_label, budget, sum(kls) / len(kls))
+            l2_table.add_point(spec.display_label, budget, sum(l2s) / len(l2s))
 
     report = ExperimentReport(name=title.replace(" ", "_"))
     report.metadata.update(
@@ -156,7 +262,10 @@ def run_cost_sweep(graph: Graph, config: CostSweepConfig, title: str = "cost swe
 
 
 def run_distribution_study(
-    graph: Graph, config: DistributionStudyConfig, title: str = "distribution study"
+    graph: Graph,
+    config: DistributionStudyConfig,
+    title: str = "distribution study",
+    jobs: int = 1,
 ) -> ExperimentReport:
     """Run the sampling-distribution experiment of Figure 8.
 
@@ -164,7 +273,8 @@ def run_distribution_study(
     (ordered by degree, x = rank), the empirical visit probability; the
     ``theoretical`` series holds the stationary distribution.  A second table
     ``divergence`` summarises the distance of each walker's empirical
-    distribution from the theoretical one.
+    distribution from the theoretical one.  ``jobs > 1`` fans the walks out
+    over a process pool without changing any number in the report.
     """
     from ..metrics.distributions import nodes_by_degree
 
@@ -187,15 +297,22 @@ def run_distribution_study(
         y_label="divergence",
     )
 
+    tasks = [
+        WalkTask(
+            spec=spec,
+            seed=derive_seed(config.seed, walker_index, walk_index),
+            steps=config.steps,
+        )
+        for walker_index, spec in enumerate(config.walkers)
+        for walk_index in range(config.num_walks)
+    ]
+    results = iter(run_walk_tasks(tasks, jobs=jobs, graph=graph))
+
     empirical_by_walker: Dict[str, Distribution] = {}
     for walker_index, spec in enumerate(config.walkers):
         visits: List[object] = []
-        for walk_index in range(config.num_walks):
-            seed = derive_seed(config.seed, walker_index, walk_index)
-            session = _make_session(graph, spec, derive_seed(seed, 1))
-            start = _pick_start_node(graph, derive_seed(seed, 2))
-            result = session.run(start, max_steps=config.steps)
-            visits.extend(result.path)
+        for _ in range(config.num_walks):
+            visits.extend(next(results).path)
         empirical = empirical_distribution(visits, support=support)
         empirical_by_walker[spec.display_label] = empirical
         vector = empirical.vector(ordering)
@@ -226,13 +343,15 @@ def run_size_sweep(
     graph_builder: Callable[[int], Graph],
     config: SizeSweepConfig,
     title: str = "size sweep",
+    jobs: int = 1,
 ) -> ExperimentReport:
     """Run a metric-versus-graph-size experiment (Figure 11).
 
     ``graph_builder`` maps a size parameter to a graph (e.g. a barbell graph
     with that clique size).  For each size the runner performs a single-budget
     cost experiment and records the mean relative error plus, optionally, the
-    KL / L2 bias of the visit distribution.
+    KL / L2 bias of the visit distribution.  ``jobs > 1`` fans all trials of
+    all sizes out over one process pool (each task carries its own graph).
     """
     error_table = ResultTable(
         title=f"{title}: relative error", x_label="graph size", y_label="relative error"
@@ -244,21 +363,35 @@ def run_size_sweep(
         title=f"{title}: L2 distance", x_label="graph size", y_label="L2 distance"
     )
 
+    graphs = {size: graph_builder(size) for size in config.sizes}
+    tasks = [
+        WalkTask(
+            spec=spec,
+            seed=derive_seed(config.seed, size_index, walker_index, trial),
+            budget=config.budget,
+            graph=graphs[size],
+        )
+        for size_index, size in enumerate(config.sizes)
+        for walker_index, spec in enumerate(config.walkers)
+        for trial in range(config.trials)
+    ]
+    results = iter(run_walk_tasks(tasks, jobs=jobs))
+
     for size_index, size in enumerate(config.sizes):
-        graph = graph_builder(size)
+        graph = graphs[size]
         truth = ground_truth(graph, config.query)
         theoretical = theoretical_distribution(graph) if config.compute_divergences else None
         support = graph.nodes() if config.compute_divergences else None
         for walker_index, spec in enumerate(config.walkers):
             errors: List[float] = []
             visits_all: List[object] = []
-            for trial in range(config.trials):
-                seed = derive_seed(config.seed, size_index, walker_index, trial)
-                outcome = run_single_trial(graph, spec, config.query, config.budget, seed)
-                if outcome["estimate"] is not None:
-                    errors.append(relative_error(outcome["estimate"], truth))
+            for _ in range(config.trials):
+                result = next(results)
+                value = _estimate_value(result, config.query, spec.uniform_samples)
+                if value is not None:
+                    errors.append(relative_error(value, truth))
                 if config.compute_divergences:
-                    visits_all.extend(outcome["path"])
+                    visits_all.extend(result.path)
             if errors:
                 error_table.add_point(spec.display_label, size, sum(errors) / len(errors))
             if config.compute_divergences and visits_all:

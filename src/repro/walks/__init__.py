@@ -15,6 +15,17 @@ from .grouping import (
     make_grouping,
 )
 from .history import EdgeHistory, GroupedEdgeHistory
+from .kernels import (
+    CNRWKernel,
+    GNRWKernel,
+    MHRWKernel,
+    NBCNRWKernel,
+    NBSRWKernel,
+    SRWKernel,
+    TransitionKernel,
+    WalkState,
+    WeightedChoiceKernel,
+)
 from .mhrw import MetropolisHastingsRandomWalk
 from .nbcnrw import NonBacktrackingCNRW
 from .nbsrw import NonBacktrackingRandomWalk
@@ -31,10 +42,12 @@ NBCNRW = NonBacktrackingCNRW
 __all__ = [
     "AttributeValueGrouping",
     "CNRW",
+    "CNRWKernel",
     "CallableGrouping",
     "CirculatedNeighborsRandomWalk",
     "DegreeGrouping",
     "EdgeHistory",
+    "GNRWKernel",
     "ExplicitGrouping",
     "GNRW",
     "GroupByNeighborsRandomWalk",
@@ -42,16 +55,23 @@ __all__ = [
     "GroupingStrategy",
     "HashGrouping",
     "MHRW",
+    "MHRWKernel",
     "MetropolisHastingsRandomWalk",
     "NBCNRW",
+    "NBCNRWKernel",
     "NBSRW",
+    "NBSRWKernel",
     "NonBacktrackingCNRW",
     "NonBacktrackingRandomWalk",
     "NumericBinGrouping",
     "RandomWalk",
     "SRW",
+    "SRWKernel",
     "SimpleRandomWalk",
+    "TransitionKernel",
     "WalkResult",
+    "WalkState",
+    "WeightedChoiceKernel",
     "WeightedRandomWalk",
     "available_walkers",
     "make_grouping",

@@ -1,11 +1,18 @@
 """Random-walk base class and walk execution machinery.
 
 Every sampler in the library (SRW, MHRW, NB-SRW, CNRW, GNRW, NB-CNRW) derives
-from :class:`RandomWalk` and only overrides :meth:`RandomWalk._choose_next`,
+from :class:`RandomWalk` and supplies a :class:`~repro.walks.kernels.TransitionKernel`,
 the rule that maps the walk history seen so far to the next node.  Everything
 else — talking to the restrictive API, counting query cost, collecting samples
 with burn-in and thinning, stopping at a query budget — lives here, so the
 algorithms differ *only* in their transition design, exactly as in the paper.
+
+The kernel split also separates the transition rule from the execution
+driver: :meth:`RandomWalk.step` queries the API itself (the classic
+one-walker driver), while :meth:`RandomWalk.step_with_view` advances off a
+view fetched by someone else — the hook the batched
+:class:`~repro.engine.scheduler.WalkScheduler` uses to run many walkers in
+lockstep without issuing per-walker queries.
 """
 
 from __future__ import annotations
@@ -18,6 +25,38 @@ from ..api.interface import NodeView, SocialNetworkAPI
 from ..exceptions import DeadEndError, InvalidStartNodeError, QueryBudgetExceededError
 from ..rng import SeedLike, make_rng
 from ..types import NodeId, Sample, Transition
+from .kernels import TransitionKernel, WalkState
+
+
+def budget_is_unlimited(api: SocialNetworkAPI) -> bool:
+    """Whether the stack has no finite unique-query budget."""
+    budget = getattr(api, "budget", None)
+    if budget is None:
+        return True
+    return bool(getattr(budget, "unlimited", False))
+
+
+def budget_limit(api: SocialNetworkAPI) -> Optional[int]:
+    """The stack's unique-query limit, or ``None``."""
+    budget = getattr(api, "budget", None)
+    if budget is None:
+        return None
+    return getattr(budget, "limit", None)
+
+
+def budget_exhausted(api: SocialNetworkAPI) -> bool:
+    """Whether the stack's budget has been fully spent."""
+    budget = getattr(api, "budget", None)
+    if budget is None:
+        return False
+    return bool(getattr(budget, "exhausted", False))
+
+
+def implicit_step_cap(limit: Optional[int]) -> int:
+    """Step cap guarding budget-driven walks that can never spend the budget
+    (e.g. the budget exceeds the reachable component); shared by both walk
+    drivers so they terminate identically."""
+    return max(1000, 20 * limit) if limit is not None else 1000
 
 
 @dataclass
@@ -61,48 +100,58 @@ class RandomWalk:
     Args:
         api: The restrictive-access API the walk queries.
         seed: Seed (or generator) driving the walk's randomness.
-
-    Subclasses override :meth:`_choose_next` and may override
-    :meth:`_on_transition` to update their history structures.
+        kernel: The transition rule.  Subclasses pass their kernel; external
+            subclasses may instead keep overriding :meth:`_choose_next` /
+            :meth:`_on_transition` directly, exactly as before the kernel
+            split.
     """
 
     #: Human-readable algorithm name, overridden by subclasses.
     name = "random-walk"
 
-    def __init__(self, api: SocialNetworkAPI, seed: SeedLike = None) -> None:
+    def __init__(
+        self,
+        api: SocialNetworkAPI,
+        seed: SeedLike = None,
+        kernel: Optional[TransitionKernel] = None,
+    ) -> None:
         self.api = api
         self.rng = make_rng(seed)
-        self._current: Optional[NodeId] = None
-        self._previous: Optional[NodeId] = None
-        self._step_index = 0
+        self.kernel = kernel
+        self._state = WalkState()
 
     # ------------------------------------------------------------------
     # State
     # ------------------------------------------------------------------
     @property
+    def state(self) -> WalkState:
+        """The walk's position state (shared with external drivers)."""
+        return self._state
+
+    @property
     def current(self) -> Optional[NodeId]:
         """The node the walk is currently at (``None`` before ``start``)."""
-        return self._current
+        return self._state.current
 
     @property
     def previous(self) -> Optional[NodeId]:
         """The node visited immediately before the current one."""
-        return self._previous
+        return self._state.previous
 
     @property
     def step_index(self) -> int:
         """Number of transitions performed so far."""
-        return self._step_index
+        return self._state.step_index
 
     def reset(self) -> None:
-        """Forget the walk position and any subclass history."""
-        self._current = None
-        self._previous = None
-        self._step_index = 0
+        """Forget the walk position and any kernel/subclass history."""
+        self._state.clear()
         self._reset_history()
 
     def _reset_history(self) -> None:
-        """Hook for subclasses to clear their history structures."""
+        """Clear history structures (kernel-backed by default)."""
+        if self.kernel is not None:
+            self.kernel.reset()
 
     # ------------------------------------------------------------------
     # Walking
@@ -110,30 +159,42 @@ class RandomWalk:
     def start(self, node: NodeId) -> NodeView:
         """Place the walk at ``node`` and query its neighborhood."""
         view = self.api.query(node)
+        return self.start_from_view(node, view)
+
+    def start_from_view(self, node: NodeId, view: NodeView) -> NodeView:
+        """Place the walk at ``node`` using an externally fetched view.
+
+        Used by batch drivers that already hold the node's view (e.g. from a
+        ``query_many`` prefetch) so placement costs no extra API call.
+        """
         if view.degree == 0:
             raise InvalidStartNodeError(
                 f"start node {node!r} has no neighbors; walks require degree >= 1"
             )
-        self._current = node
-        self._previous = None
-        self._step_index = 0
+        self._state.place(node)
         return view
 
     def step(self) -> Transition:
         """Perform one transition and return it."""
-        if self._current is None:
+        if self._state.current is None:
             raise InvalidStartNodeError("walk has not been started; call start() first")
-        view = self.api.query(self._current)
+        view = self.api.query(self._state.current)
+        return self.step_with_view(view)
+
+    def step_with_view(self, view: NodeView) -> Transition:
+        """Perform one transition off an externally fetched view of the
+        current node (no API query issued by this method itself; the kernel
+        may still query for metadata, e.g. GNRW grouping prefetch)."""
+        if self._state.current is None:
+            raise InvalidStartNodeError("walk has not been started; call start() first")
         if view.degree == 0:
-            raise DeadEndError(self._current)
+            raise DeadEndError(self._state.current)
         next_node = self._choose_next(view)
         transition = Transition(
-            source=self._current, target=next_node, step_index=self._step_index
+            source=self._state.current, target=next_node, step_index=self._state.step_index
         )
-        self._on_transition(self._current, next_node, view)
-        self._previous = self._current
-        self._current = next_node
-        self._step_index += 1
+        self._on_transition(self._state.current, next_node, view)
+        self._state.advance(next_node)
         return transition
 
     def walk(self, start_node: NodeId, steps: int) -> WalkResult:
@@ -178,9 +239,9 @@ class RandomWalk:
             )
         implicit_cap = None
         if max_steps is None:
-            budget_limit = self._budget_limit()
-            if budget_limit is not None:
-                implicit_cap = max(1000, 20 * budget_limit)
+            limit = self._budget_limit()
+            if limit is not None:
+                implicit_cap = implicit_step_cap(limit)
         self.reset()
         result = WalkResult()
         try:
@@ -193,9 +254,9 @@ class RandomWalk:
         if burn_in == 0:
             result.samples.append(self._make_sample(start_view, step_index=0))
         while True:
-            if max_steps is not None and self._step_index >= max_steps:
+            if max_steps is not None and self._state.step_index >= max_steps:
                 break
-            if implicit_cap is not None and self._step_index >= implicit_cap:
+            if implicit_cap is not None and self._state.step_index >= implicit_cap:
                 break
             if max_samples is not None and len(result.samples) >= max_samples:
                 break
@@ -241,11 +302,18 @@ class RandomWalk:
     # Hooks
     # ------------------------------------------------------------------
     def _choose_next(self, view: NodeView) -> NodeId:
-        """Return the next node given the current node's :class:`NodeView`."""
-        raise NotImplementedError
+        """Return the next node given the current node's :class:`NodeView`.
+
+        Delegates to the kernel; subclasses without a kernel override this.
+        """
+        if self.kernel is None:
+            raise NotImplementedError("walker has no kernel and does not override _choose_next")
+        return self.kernel.choose(self._state, view, self.rng)
 
     def _on_transition(self, source: NodeId, target: NodeId, view: NodeView) -> None:
         """Hook called after the next node has been chosen (before moving)."""
+        if self.kernel is not None:
+            self.kernel.observe(self._state, target, view)
 
     # ------------------------------------------------------------------
     # Helpers
@@ -264,22 +332,13 @@ class RandomWalk:
         result.total_queries = self.api.total_queries
 
     def _budget_is_unlimited(self) -> bool:
-        budget = getattr(self.api, "budget", None)
-        if budget is None:
-            return True
-        return bool(getattr(budget, "unlimited", False))
+        return budget_is_unlimited(self.api)
 
     def _budget_limit(self) -> Optional[int]:
-        budget = getattr(self.api, "budget", None)
-        if budget is None:
-            return None
-        return getattr(budget, "limit", None)
+        return budget_limit(self.api)
 
     def _budget_exhausted(self) -> bool:
-        budget = getattr(self.api, "budget", None)
-        if budget is None:
-            return False
-        return bool(getattr(budget, "exhausted", False))
+        return budget_exhausted(self.api)
 
     def _uniform_choice(self, items: Sequence[NodeId]) -> NodeId:
         if not items:
@@ -287,4 +346,7 @@ class RandomWalk:
         return items[int(self.rng.integers(0, len(items)))]
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        return f"{type(self).__name__}(current={self._current!r}, steps={self._step_index})"
+        return (
+            f"{type(self).__name__}(current={self._state.current!r}, "
+            f"steps={self._state.step_index})"
+        )

@@ -13,21 +13,17 @@ larger than SRW's.
 The paper also discusses (Section 3.2) a *node-based* recurrence variant where
 the circulation is keyed by the current node only, ignoring the incoming edge;
 it has shorter path blocks and the authors argue (and verified experimentally)
-that the edge-based design is superior.  Both variants are implemented here so
-the ablation benchmark can reproduce that comparison.
+that the edge-based design is superior.  Both variants are implemented by
+:class:`~repro.walks.kernels.CNRWKernel` so the ablation benchmark can
+reproduce that comparison.
 """
 
 from __future__ import annotations
 
-from ..api.interface import NodeView
 from ..exceptions import InvalidConfigurationError
-from ..types import NodeId
 from .base import RandomWalk
 from .history import EdgeHistory
-
-#: Sentinel used as the "source" for node-based recurrence and for the very
-#: first transition of an edge-based walk (no incoming edge exists yet).
-_NO_SOURCE = object()
+from .kernels import CNRWKernel
 
 
 class CirculatedNeighborsRandomWalk(RandomWalk):
@@ -44,49 +40,14 @@ class CirculatedNeighborsRandomWalk(RandomWalk):
     name = "CNRW"
 
     def __init__(self, api, recurrence: str = "edge", seed=None) -> None:
-        super().__init__(api, seed=seed)
         if recurrence not in ("edge", "node"):
             raise InvalidConfigurationError("recurrence must be 'edge' or 'node'")
+        super().__init__(api, seed=seed, kernel=CNRWKernel(recurrence=recurrence))
         self.recurrence = recurrence
         if recurrence == "node":
             self.name = "CNRW-node"
-        self._history = EdgeHistory()
-
-    # ------------------------------------------------------------------
-    # RandomWalk hooks
-    # ------------------------------------------------------------------
-    def _reset_history(self) -> None:
-        self._history.clear()
-
-    def _choose_next(self, view: NodeView) -> NodeId:
-        source = self._history_key()
-        candidates = self._history.remaining(source, view.node, view.neighbors)
-        if candidates:
-            return self._uniform_choice(candidates)
-        # Defensive branch mirroring Algorithm 1: if the exclusion set somehow
-        # covers every neighbor (it is normally reset the moment that happens)
-        # fall back to a uniform choice over all neighbors.
-        return self._uniform_choice(view.neighbors)
-
-    def _on_transition(self, source: NodeId, target: NodeId, view: NodeView) -> None:
-        key = self._history_key()
-        self._history.record(key, source, target, view.neighbors)
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _history_key(self):
-        """Return the first component of the history key for the current hop.
-
-        Edge-based recurrence uses the previous node (the incoming edge is
-        ``previous -> current``); node-based recurrence collapses all incoming
-        edges into one shared key.
-        """
-        if self.recurrence == "node":
-            return _NO_SOURCE
-        return self.previous if self.previous is not None else _NO_SOURCE
 
     @property
     def history(self) -> EdgeHistory:
         """The underlying ``b(u, v)`` bookkeeping (exposed for tests/analysis)."""
-        return self._history
+        return self.kernel.history

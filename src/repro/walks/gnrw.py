@@ -20,19 +20,19 @@ unchanged (Theorem 4).  The group round on top merely *reorders* the path
 blocks so that groups alternate, which is the stratification that lowers the
 asymptotic variance, most visibly when the grouping attribute aligns with the
 aggregate being estimated (Figure 9).
+
+The two-level circulation rule lives in
+:class:`~repro.walks.kernels.GNRWKernel`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Optional
 
-from ..api.interface import NodeView
-from ..types import NodeId
 from .base import RandomWalk
 from .grouping import GroupingStrategy, HashGrouping
 from .history import GroupedEdgeHistory
-
-_NO_SOURCE = object()
+from .kernels import GNRWKernel
 
 
 class GroupByNeighborsRandomWalk(RandomWalk):
@@ -48,76 +48,12 @@ class GroupByNeighborsRandomWalk(RandomWalk):
     name = "GNRW"
 
     def __init__(self, api, grouping: Optional[GroupingStrategy] = None, seed=None) -> None:
-        super().__init__(api, seed=seed)
-        self.grouping = grouping if grouping is not None else HashGrouping()
+        grouping = grouping if grouping is not None else HashGrouping()
+        super().__init__(api, seed=seed, kernel=GNRWKernel(api, grouping))
+        self.grouping = grouping
         self.name = f"GNRW[{self.grouping.name}]"
-        self._history = GroupedEdgeHistory()
-        # Stash the partition/group of the pending transition so
-        # _on_transition does not have to recompute or re-derive them.
-        self._pending_partition: Optional[Dict] = None
-        self._pending_group = None
-
-    # ------------------------------------------------------------------
-    # RandomWalk hooks
-    # ------------------------------------------------------------------
-    def _reset_history(self) -> None:
-        self._history.clear()
-        self._pending_partition = None
-        self._pending_group = None
-
-    def _choose_next(self, view: NodeView) -> NodeId:
-        source = self._history_key()
-        partition = self.grouping.partition(view.neighbors, self.api)
-        groups, eligible_members = self._history.candidate_groups(source, view.node, partition)
-        chosen_group = self._choose_group(groups, eligible_members)
-        chosen = self._uniform_choice(eligible_members[chosen_group])
-        self._pending_partition = partition
-        self._pending_group = chosen_group
-        return chosen
-
-    def _on_transition(self, source: NodeId, target: NodeId, view: NodeView) -> None:
-        key = self._history_key()
-        partition = self._pending_partition
-        group = self._pending_group
-        if partition is None:
-            partition = self.grouping.partition(view.neighbors, self.api)
-        if group is None or target not in partition.get(group, ()):
-            group = next(
-                (candidate for candidate, members in partition.items() if target in members),
-                group,
-            )
-        self._history.record(key, source, group, target, partition)
-        self._pending_partition = None
-        self._pending_group = None
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _choose_group(self, groups: List, eligible_members: Dict) -> object:
-        """Pick a group with probability proportional to its eligible members.
-
-        "Probability proportional to the number of not-yet-attempted
-        transitions in each group" (paper Figure 4) is exactly what keeps each
-        neighbor's long-run departure frequency at ``1/|N(v)|``: summed over a
-        full neighborhood circulation, every member of every group is chosen
-        exactly once.
-        """
-        if len(groups) == 1:
-            return groups[0]
-        weights = [len(eligible_members[group]) for group in groups]
-        total = sum(weights)
-        threshold = self.rng.random() * total
-        cumulative = 0
-        for group, weight in zip(groups, weights):
-            cumulative += weight
-            if threshold < cumulative:
-                return group
-        return groups[-1]
-
-    def _history_key(self):
-        return self.previous if self.previous is not None else _NO_SOURCE
 
     @property
     def history(self) -> GroupedEdgeHistory:
         """The underlying ``b(u,v)`` / ``S(u,v)`` bookkeeping."""
-        return self._history
+        return self.kernel.history

@@ -63,12 +63,19 @@ class EdgeHistory:
         ``b(u, v)`` and, if the exclusion set now covers every neighbor, reset
         it to empty (a new circulation round starts).  Returns ``True`` when a
         reset happened.
+
+        ``neighbors`` must not contain duplicate entries (API neighbor tuples
+        never do); the cheap length guard that keeps this O(1) on the hot
+        path relies on it.
         """
         key = (source, current)
         bucket = self._visited.setdefault(key, set())
         bucket.add(chosen)
-        neighbor_set = set(neighbors)
-        if neighbor_set and neighbor_set.issubset(bucket):
+        # A reset needs every neighbor in the bucket, which is impossible
+        # while the bucket is smaller — skip the set work on the common path.
+        if len(bucket) < len(neighbors) or not neighbors:
+            return False
+        if set(neighbors).issubset(bucket):
             self._visited[key] = set()
             return True
         return False
@@ -189,24 +196,31 @@ class GroupedEdgeHistory:
         nodes.add(chosen)
         groups.add(group)
 
-        all_nodes = {node for members in partition.values() for node in members}
-        all_groups = set(partition)
-
-        if all_nodes and all_nodes.issubset(nodes):
-            self._nodes_attempted[key] = set()
-            self._groups_attempted[key] = set()
-            return
-        if all_groups.issubset(groups):
+        # Full-neighborhood reset: needs every member of every group in
+        # b(u, v); a cheap size guard (partitions are disjoint, so member
+        # counts add up) avoids building the union set on the common path.
+        total_members = sum(len(members) for members in partition.values())
+        if total_members and len(nodes) >= total_members:
+            all_nodes = {node for members in partition.values() for node in members}
+            if all_nodes.issubset(nodes):
+                self._nodes_attempted[key] = set()
+                self._groups_attempted[key] = set()
+                return
+        if len(groups) >= len(partition) and all(g in groups for g in partition):
             self._groups_attempted[key] = set()
             return
         # Early group-round reset: if every group outside S(u, v) is already
         # fully covered by b(u, v), the next departure could not respect the
         # group circulation; start a new group round now.
         exhausted = True
-        for other_group in all_groups - groups:
-            members = partition.get(other_group, ())
-            if any(node not in nodes for node in members):
-                exhausted = False
+        for other_group, members in partition.items():
+            if other_group in groups:
+                continue
+            for node in members:
+                if node not in nodes:
+                    exhausted = False
+                    break
+            if not exhausted:
                 break
         if exhausted:
             self._groups_attempted[key] = set()

@@ -8,17 +8,16 @@ self-transition).
 
 The paper includes MHRW only to confirm prior findings ([7], [11]) that it
 mixes much more slowly than SRW-based samplers for aggregate estimation — it
-is the worst curve in Figure 6.  Note that evaluating the acceptance ratio
-requires the proposed neighbor's degree; we obtain it through the API's free
-inline profile metadata when available and through a billed query otherwise,
-mirroring how a real MHRW crawler works.
+is the worst curve in Figure 6.  The acceptance rule (including the free
+inline-metadata degree lookup) lives in
+:class:`~repro.walks.kernels.MHRWKernel`.
 """
 
 from __future__ import annotations
 
-from ..api.interface import NodeView
 from ..types import NodeId
 from .base import RandomWalk
+from .kernels import MHRWKernel
 
 
 class MetropolisHastingsRandomWalk(RandomWalk):
@@ -26,22 +25,9 @@ class MetropolisHastingsRandomWalk(RandomWalk):
 
     name = "MHRW"
 
-    def _choose_next(self, view: NodeView) -> NodeId:
-        proposal = self._uniform_choice(view.neighbors)
-        proposal_degree = self._degree_of(proposal)
-        if proposal_degree <= 0:
-            # A neighbor always has degree >= 1 (it is connected to us), but a
-            # defensive fallback keeps the walk alive on inconsistent data.
-            return view.node
-        acceptance = min(1.0, view.degree / proposal_degree)
-        if self.rng.random() < acceptance:
-            return proposal
-        return view.node
+    def __init__(self, api, seed=None) -> None:
+        super().__init__(api, seed=seed, kernel=MHRWKernel(api))
 
     def _degree_of(self, node: NodeId) -> int:
-        peek = getattr(self.api, "peek_metadata", None)
-        if callable(peek):
-            metadata = peek(node)
-            if metadata is not None:
-                return int(metadata.get("degree", 0))
-        return self.api.query(node).degree
+        """Degree of ``node`` as the acceptance ratio sees it (kernel logic)."""
+        return self.kernel._degree_of(node)

@@ -4,17 +4,15 @@ Section 5 of the paper points out that the circulated-neighbors idea composes
 with any base walk, including NB-SRW: upon visiting ``u -> v``, sample the
 next node without replacement from ``N(v) \\ {u}`` (instead of ``N(v)``),
 carrying over NB-SRW's refusal to backtrack.  When ``v`` has only one neighbor
-(which must be ``u``) the walk backtracks, exactly as NB-SRW does.
+(which must be ``u``) the walk backtracks, exactly as NB-SRW does.  The rule
+lives in :class:`~repro.walks.kernels.NBCNRWKernel`.
 """
 
 from __future__ import annotations
 
-from ..api.interface import NodeView
-from ..types import NodeId
 from .base import RandomWalk
 from .history import EdgeHistory
-
-_NO_SOURCE = object()
+from .kernels import NBCNRWKernel
 
 
 class NonBacktrackingCNRW(RandomWalk):
@@ -23,34 +21,8 @@ class NonBacktrackingCNRW(RandomWalk):
     name = "NB-CNRW"
 
     def __init__(self, api, seed=None) -> None:
-        super().__init__(api, seed=seed)
-        self._history = EdgeHistory()
-
-    def _reset_history(self) -> None:
-        self._history.clear()
-
-    def _choose_next(self, view: NodeView) -> NodeId:
-        previous = self.previous
-        neighbors = list(view.neighbors)
-        if previous is not None and len(neighbors) > 1:
-            allowed = [node for node in neighbors if node != previous]
-        else:
-            allowed = neighbors
-        source = previous if previous is not None else _NO_SOURCE
-        candidates = self._history.remaining(source, view.node, allowed)
-        if candidates:
-            return self._uniform_choice(candidates)
-        return self._uniform_choice(allowed)
-
-    def _on_transition(self, source: NodeId, target: NodeId, view: NodeView) -> None:
-        previous = self.previous if self.previous is not None else _NO_SOURCE
-        neighbors = list(view.neighbors)
-        if self.previous is not None and len(neighbors) > 1:
-            allowed = [node for node in neighbors if node != self.previous]
-        else:
-            allowed = neighbors
-        self._history.record(previous, source, target, allowed)
+        super().__init__(api, seed=seed, kernel=NBCNRWKernel())
 
     @property
     def history(self) -> EdgeHistory:
-        return self._history
+        return self.kernel.history

@@ -5,16 +5,13 @@ whenever the current node has more than one neighbor, the walk never
 immediately returns to the node it just came from.  NB-SRW keeps the SRW
 stationary distribution ``pi(v) = deg(v)/2|E|`` while reducing asymptotic
 variance, and is the strongest existing competitor the paper compares CNRW and
-GNRW against.
+GNRW against.  The rule lives in :class:`~repro.walks.kernels.NBSRWKernel`.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
-from ..api.interface import NodeView
-from ..types import NodeId
 from .base import RandomWalk
+from .kernels import NBSRWKernel
 
 
 class NonBacktrackingRandomWalk(RandomWalk):
@@ -22,11 +19,5 @@ class NonBacktrackingRandomWalk(RandomWalk):
 
     name = "NB-SRW"
 
-    def _choose_next(self, view: NodeView) -> NodeId:
-        neighbors = view.neighbors
-        previous: Optional[NodeId] = self.previous
-        if previous is not None and len(neighbors) > 1:
-            candidates = [node for node in neighbors if node != previous]
-        else:
-            candidates = list(neighbors)
-        return self._uniform_choice(candidates)
+    def __init__(self, api, seed=None) -> None:
+        super().__init__(api, seed=seed, kernel=NBSRWKernel())

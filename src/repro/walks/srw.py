@@ -3,13 +3,15 @@
 Definition 2 of the paper: at node ``v`` the next node is chosen uniformly at
 random from ``N(v)``.  Its stationary distribution is
 ``pi(v) = deg(v) / 2|E|`` on a connected non-bipartite graph.
+
+The transition rule itself lives in :class:`~repro.walks.kernels.SRWKernel`;
+this class binds it to the classic one-walker driver.
 """
 
 from __future__ import annotations
 
-from ..api.interface import NodeView
-from ..types import NodeId
 from .base import RandomWalk
+from .kernels import SRWKernel, WeightedChoiceKernel
 
 
 class SimpleRandomWalk(RandomWalk):
@@ -17,8 +19,8 @@ class SimpleRandomWalk(RandomWalk):
 
     name = "SRW"
 
-    def _choose_next(self, view: NodeView) -> NodeId:
-        return self._uniform_choice(view.neighbors)
+    def __init__(self, api, seed=None) -> None:
+        super().__init__(api, seed=seed, kernel=SRWKernel())
 
 
 class WeightedRandomWalk(RandomWalk):
@@ -33,19 +35,5 @@ class WeightedRandomWalk(RandomWalk):
     name = "WRW"
 
     def __init__(self, api, weight_fn, seed=None) -> None:
-        super().__init__(api, seed=seed)
+        super().__init__(api, seed=seed, kernel=WeightedChoiceKernel(weight_fn))
         self._weight_fn = weight_fn
-
-    def _choose_next(self, view: NodeView) -> NodeId:
-        neighbors = view.neighbors
-        weights = [max(0.0, float(self._weight_fn(view, node))) for node in neighbors]
-        total = sum(weights)
-        if total <= 0:
-            return self._uniform_choice(neighbors)
-        threshold = self.rng.random() * total
-        cumulative = 0.0
-        for node, weight in zip(neighbors, weights):
-            cumulative += weight
-            if threshold < cumulative:
-                return node
-        return neighbors[-1]

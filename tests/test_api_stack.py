@@ -345,11 +345,44 @@ class TestQueryMany:
         api.query_many([0, 1, 2])  # only node 2 is fresh -> third call waits
         assert clock.now == pytest.approx(60.0)
 
-    def test_trace_layer_records_batches_per_node(self, attributed_graph):
+    def test_trace_layer_records_one_entry_per_batch(self, attributed_graph):
+        """A traced batch is one record, but node-level views stay per-node."""
         api = build_api(attributed_graph, trace=True)
         api.query_many([0, 1, 0])
+        assert len(api.trace) == 1
+        (batch,) = api.trace.batches
+        assert batch.nodes == (0, 1, 0)
+        assert batch.fresh == (True, True, False)
         assert api.trace.queried_nodes == [0, 1, 0]
         assert api.trace.fresh_nodes == [0, 1]
+        assert api.trace.frequency() == {0: 2, 1: 1}
+
+    def test_trace_layer_batches_do_not_break_amortisation(self, attributed_graph):
+        """Tracing forwards the batch instead of degrading to per-node calls,
+        so the layers below see one query_many (ROADMAP open item)."""
+        calls = []
+
+        traced = build_api(attributed_graph, trace=True)
+        inner = traced.inner
+        original = inner.query_many
+
+        def spy(nodes):
+            calls.append(list(nodes))
+            return original(nodes)
+
+        inner.query_many = spy
+        traced.query_many([0, 1, 2, 1])
+        assert calls == [[0, 1, 2, 1]]
+
+    def test_trace_layer_mixes_single_and_batch_records(self, attributed_graph):
+        api = build_api(attributed_graph, trace=True)
+        api.query(0)
+        api.query_many([1, 0])
+        api.query(2)
+        assert len(api.trace) == 3
+        assert api.trace.queried_nodes == [0, 1, 0, 2]
+        assert api.trace.fresh_nodes == [0, 1, 2]
+        assert api.trace.frequency() == {0: 2, 1: 1, 2: 1}
 
     def test_default_implementation_on_plain_api(self, attributed_graph):
         api = GraphAPI(attributed_graph)

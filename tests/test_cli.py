@@ -58,6 +58,39 @@ class TestMain:
         assert "figure11" in out
         assert any(path.suffix == ".csv" for path in tmp_path.iterdir())
 
+    def test_walk_ensemble(self, capsys):
+        code = main([
+            "walk", "--dataset", "facebook_like", "--scale", "0.15",
+            "--walker", "cnrw", "--budget", "120", "--walkers", "4",
+            "--steps", "40", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Ensemble (4 x cnrw" in out
+        assert "pooled samples" in out
+        assert "Estimated average degree" in out
+
+    def test_sweep_with_jobs_and_csv(self, tmp_path, capsys):
+        code = main([
+            "sweep", "--dataset", "facebook_like", "--scale", "0.12",
+            "--sweep-walkers", "srw,cnrw", "--budgets", "40,80",
+            "--trials", "2", "--jobs", "2", "--seed", "4", "--out", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "jobs=2" in out
+        assert "relative error" in out
+        assert any(path.suffix == ".csv" for path in tmp_path.iterdir())
+
+    def test_sweep_rejects_unknown_walker(self, capsys):
+        code = main([
+            "sweep", "--dataset", "facebook_like", "--scale", "0.1",
+            "--sweep-walkers", "definitely_not_a_walker", "--budgets", "40",
+            "--trials", "1",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
     def test_theorem3_runs(self, capsys):
         assert main(["theorem3", "--trials", "5", "--seed", "1"]) == 0
         out = capsys.readouterr().out

@@ -162,6 +162,79 @@ class TestRunner:
         assert a["path"] == b["path"]
         assert a["estimate"] == b["estimate"]
 
+    def test_pick_start_node_survives_isolated_majority(self):
+        """A graph dominated by isolated nodes must never spuriously fail."""
+        from repro.experiments.runner import _pick_start_node
+        from repro.graphs import Graph
+
+        graph = Graph(name="mostly-isolated")
+        graph.add_edge(0, 1)
+        for node in range(2, 60):
+            graph.add_node(node)
+        # With-replacement sampling could retry isolated nodes len(nodes)
+        # times and raise; the permutation scan always finds the one edge.
+        for seed in range(25):
+            assert _pick_start_node(graph, seed) in (0, 1)
+
+    def test_pick_start_node_all_isolated_raises(self):
+        from repro.exceptions import InsufficientSamplesError
+        from repro.experiments.runner import _pick_start_node
+        from repro.graphs import Graph
+
+        graph = Graph(name="isolated")
+        for node in range(5):
+            graph.add_node(node)
+        with pytest.raises(InsufficientSamplesError):
+            _pick_start_node(graph, 0)
+
+    def test_walk_tasks_parallel_matches_sequential(self, tiny_graph):
+        """Process-pool fan-out is bit-identical to in-process execution."""
+        from repro.experiments import WalkTask, run_walk_tasks
+
+        tasks = [
+            WalkTask(spec=WalkerSpec.make("cnrw"), seed=seed, budget=25)
+            for seed in range(6)
+        ]
+        sequential = run_walk_tasks(tasks, jobs=1, graph=tiny_graph)
+        parallel = run_walk_tasks(tasks, jobs=2, graph=tiny_graph)
+        assert [r.path for r in sequential] == [r.path for r in parallel]
+        assert [r.unique_queries for r in sequential] == [r.unique_queries for r in parallel]
+
+    def test_cost_sweep_jobs_reproducible(self, tiny_graph):
+        config = CostSweepConfig(
+            walkers=(WalkerSpec.make("srw"), WalkerSpec.make("cnrw")),
+            query=AggregateQuery.average_degree(),
+            budgets=(20, 40),
+            trials=3,
+            seed=11,
+        )
+        seq = run_cost_sweep(tiny_graph, config, jobs=1)
+        par = run_cost_sweep(tiny_graph, config, jobs=2)
+        seq_table = seq.tables["relative_error"]
+        par_table = par.tables["relative_error"]
+        assert {k: (s.x, s.y) for k, s in seq_table.series.items()} == {
+            k: (s.x, s.y) for k, s in par_table.series.items()
+        }
+
+    def test_distribution_study_jobs_reproducible(self, tiny_graph):
+        config = DistributionStudyConfig(
+            walkers=(WalkerSpec.make("srw"),), num_walks=4, steps=40, seed=2
+        )
+        seq = run_distribution_study(tiny_graph, config, jobs=1)
+        par = run_distribution_study(tiny_graph, config, jobs=2)
+        seq_table = seq.tables["divergence"]
+        par_table = par.tables["divergence"]
+        assert {k: (s.x, s.y) for k, s in seq_table.series.items()} == {
+            k: (s.x, s.y) for k, s in par_table.series.items()
+        }
+
+    def test_invalid_jobs_rejected(self, tiny_graph):
+        from repro.experiments import WalkTask, run_walk_tasks
+
+        tasks = [WalkTask(spec=WalkerSpec.make("srw"), seed=0, budget=10)]
+        with pytest.raises(ValueError):
+            run_walk_tasks(tasks, jobs=0, graph=tiny_graph)
+
     def test_cost_sweep_structure(self, tiny_graph):
         config = CostSweepConfig(
             walkers=(WalkerSpec.make("srw"), WalkerSpec.make("cnrw")),

@@ -203,3 +203,65 @@ class TestEnsemble:
         session.reset()
         second = session.run(start, max_steps=None)
         assert first.path == second.path
+
+
+class TestEnsembleEdgeCases:
+    def test_budget_exhaustion_mid_round_keeps_walkers_in_lockstep(self, facebook_small):
+        """When the budget dies mid-round, walkers end at most one step apart."""
+        starts = facebook_small.nodes()[:5]
+        session = SamplingSession(facebook_small).budget(27).walker("srw", seed=6)
+        results = session.run_ensemble(5, steps=300, starts=starts)
+        assert all(result.stopped_by_budget for result in results)
+        steps = [result.steps for result in results]
+        assert max(steps) - min(steps) <= 1
+        assert session.unique_queries <= 27
+        # Partial results are still well-formed walks.
+        for result in results:
+            assert result.path[0] in starts
+            assert len(result.path) == result.steps + 1
+
+    def test_explicit_starts_length_mismatch(self, facebook_small):
+        session = SamplingSession(facebook_small).walker("srw", seed=1)
+        with pytest.raises(ValueError):
+            session.run_ensemble(3, steps=5, starts=facebook_small.nodes()[:2])
+        with pytest.raises(ValueError):
+            session.run_ensemble(1, steps=5, starts=facebook_small.nodes()[:4])
+
+    def test_single_walker_ensemble_estimate_matches_run(self, facebook_small):
+        """run_ensemble(1) pools exactly the samples run(burn_in=0, thinning=1)
+        would collect, so the estimates coincide on a fixed seed."""
+        from repro.rng import derive_seed
+
+        start = facebook_small.nodes()[0]
+        query = AggregateQuery.average_degree()
+
+        ensemble_session = SamplingSession(facebook_small).walker("cnrw")
+        ensemble_session.run_ensemble(1, steps=80, starts=[start], seed=21)
+        ensemble_estimate = ensemble_session.estimate(query)
+
+        # Walker 0 of a seed-21 ensemble runs under derive_seed(21, 0).
+        run_session = SamplingSession(facebook_small).walker("cnrw", seed=derive_seed(21, 0))
+        run_session.run(start, max_steps=80, burn_in=0, thinning=1)
+        run_estimate = run_session.estimate(query)
+
+        assert ensemble_estimate.value == pytest.approx(run_estimate.value)
+        assert ensemble_estimate.sample_size == run_estimate.sample_size
+
+    def test_budget_driven_ensemble_without_steps(self, facebook_small):
+        session = SamplingSession(facebook_small).budget(60).walker("cnrw", seed=2)
+        results = session.run_ensemble(3, starts=facebook_small.nodes()[:3])
+        assert all(result.stopped_by_budget for result in results)
+        assert session.unique_queries <= 60
+
+    def test_stepless_unbudgeted_ensemble_rejected(self, facebook_small):
+        session = SamplingSession(facebook_small).walker("srw", seed=1)
+        with pytest.raises(ValueError):
+            session.run_ensemble(2, starts=facebook_small.nodes()[:2])
+
+    def test_ensemble_burn_in_and_thinning(self, facebook_small):
+        starts = facebook_small.nodes()[:2]
+        session = SamplingSession(facebook_small).walker("srw", seed=5)
+        results = session.run_ensemble(2, steps=30, starts=starts, burn_in=10, thinning=5)
+        for result in results:
+            assert result.steps == 30
+            assert [sample.step_index for sample in result.samples] == [10, 15, 20, 25, 30]
