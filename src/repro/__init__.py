@@ -10,6 +10,10 @@ Faster Sampling of Online Social Networks* (VLDB 2015).  The library provides:
   middleware (cache, budget, rate limit, shuffle, trace) assembled by
   :func:`~repro.api.builder.build_api`, and the fluent
   :class:`~repro.api.session.SamplingSession` facade;
+* :mod:`repro.storage` — on-disk persistence behind the same backend
+  protocol: memory-mapped CSR snapshots (``save_snapshot`` /
+  ``load_snapshot``) and JSONL crawl dumps replayed offline
+  (``dump_crawl`` / ``load_crawl``);
 * :mod:`repro.walks` — the baseline samplers (SRW, MHRW, NB-SRW) and the
   paper's contributions (CNRW, GNRW, NB-CNRW);
 * :mod:`repro.estimation` — aggregate queries, reweighted estimators and
@@ -95,6 +99,14 @@ from .metrics import (
     theoretical_distribution,
 )
 from .engine import SchedulerPolicy, WalkScheduler
+from .storage import (
+    MmapCSRBackend,
+    ReplayBackend,
+    dump_crawl,
+    load_crawl,
+    load_snapshot,
+    save_snapshot,
+)
 from .walks import (
     CNRW,
     GNRW,
@@ -137,6 +149,7 @@ __all__ = [
     "InstrumentedAPI",
     "MHRW",
     "MetropolisHastingsRandomWalk",
+    "MmapCSRBackend",
     "NBCNRW",
     "NBSRW",
     "NodeView",
@@ -145,6 +158,7 @@ __all__ = [
     "QueryBudget",
     "QueryBudgetExceededError",
     "RandomWalk",
+    "ReplayBackend",
     "ReproError",
     "RunningEstimator",
     "SRW",
@@ -162,17 +176,21 @@ __all__ = [
     "available_walkers",
     "barbell_graph",
     "clustered_cliques_graph",
+    "dump_crawl",
     "empirical_distribution",
     "estimate",
     "estimate_crawl_time",
     "ground_truth",
     "kl_divergence",
     "l2_distance",
+    "load_crawl",
     "load_dataset",
     "load_edge_list",
+    "load_snapshot",
     "make_grouping",
     "make_walker",
     "relative_error",
+    "save_snapshot",
     "summarize",
     "symmetric_kl_divergence",
     "theoretical_distribution",

@@ -20,6 +20,7 @@ Two backends ship with the library:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -84,6 +85,16 @@ class GraphBackend:
     def node_ids(self) -> List[NodeId]:
         """Return every node id (used for uniform start-node selection)."""
         raise NotImplementedError
+
+    def sample_node(self, rng) -> NodeId:
+        """Draw one uniformly random node id.
+
+        The default materialises :meth:`node_ids`; stores that can index
+        nodes directly (e.g. identity-id CSR) override it so start-node
+        selection stays O(1) even for graphs larger than RAM.
+        """
+        nodes = self.node_ids()
+        return nodes[int(rng.integers(0, len(nodes)))]
 
     def __len__(self) -> int:
         return len(self.node_ids())
@@ -159,7 +170,10 @@ class CSRBackend(GraphBackend):
             raise ValueError("indptr[-1] must equal len(indices)")
         n = self._indptr.size - 1
         if node_ids is None:
-            self._ids: List[NodeId] = list(range(n))
+            # Identity ids 0..n-1: keep them implicit (materialised on demand
+            # by node_ids()) so constructing a backend over huge — possibly
+            # memory-mapped — arrays stays O(1) in the node count.
+            self._ids: Optional[List[NodeId]] = None
             self._identity = True
             self._index: Dict[NodeId, int] = {}
         else:
@@ -278,12 +292,14 @@ class CSRBackend(GraphBackend):
         attributes = self._attributes
         records: List[RawRecord] = []
         if self._identity and not attributes:
-            # Hot path: one bounds check + one slice per node, no dict work.
+            # Hot path: one type/bounds check + one slice per node, no dict
+            # work.  The type check mirrors _index_of so a float or string id
+            # raises NodeNotFoundError exactly like fetch() would.
             n = indptr.size - 1
             for node in nodes:
-                i = int(node)
-                if not 0 <= i < n:
+                if not (isinstance(node, (int, np.integer)) and 0 <= node < n):
                     raise NodeNotFoundError(node)
+                i = int(node)
                 records.append(
                     RawRecord(
                         node=node,
@@ -309,10 +325,39 @@ class CSRBackend(GraphBackend):
         }
 
     def node_ids(self) -> List[NodeId]:
+        if self._ids is None:
+            return list(range(self._indptr.size - 1))
         return list(self._ids)
+
+    def sample_node(self, rng) -> NodeId:
+        if self._ids is None:
+            # Identity ids: node_ids() is range(n), so index i IS the id —
+            # draw it directly instead of materialising an n-element list.
+            return int(rng.integers(0, self._indptr.size - 1))
+        return self._ids[int(rng.integers(0, len(self._ids)))]
+
+    @property
+    def identity_ids(self) -> bool:
+        """Whether the node ids are exactly ``0..n-1`` (stored implicitly)."""
+        return self._identity
 
     def __len__(self) -> int:
         return self._indptr.size - 1
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """The CSR row-pointer array (read-only view; used by snapshots)."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """The CSR column-index array (read-only view; used by snapshots)."""
+        return self._indices
+
+    @property
+    def node_attributes(self) -> Mapping[NodeId, Dict[str, Any]]:
+        """Per-node attribute mapping (nodes without attributes omitted)."""
+        return self._attributes
 
     @property
     def number_of_edges(self) -> int:
@@ -330,14 +375,22 @@ def as_backend(source) -> GraphBackend:
 
     Accepts an existing backend (returned unchanged), a
     :class:`~repro.graphs.graph.Graph` (wrapped in :class:`InMemoryBackend`),
-    or the string ``"csr"``-compiled form via ``CSRBackend.from_graph`` when
-    callers ask for it explicitly through :func:`repro.api.builder.build_api`.
+    or an on-disk source given as a ``str`` / :class:`~pathlib.Path`: a CSR
+    snapshot directory (served memory-mapped through
+    :class:`~repro.storage.MmapCSRBackend`) or a crawl-dump file (replayed
+    through :class:`~repro.storage.ReplayBackend`).  Any other input raises
+    :class:`TypeError` listing the accepted types.
     """
     if isinstance(source, GraphBackend):
         return source
     if isinstance(source, Graph):
         return InMemoryBackend(source)
+    if isinstance(source, (str, Path)):
+        from ..storage import open_backend
+
+        return open_backend(source)
     raise TypeError(
-        f"cannot build a GraphBackend from {type(source).__name__!r}; "
-        "pass a Graph or a GraphBackend instance"
+        f"cannot build a GraphBackend from {type(source).__name__}; accepted "
+        "types: Graph, GraphBackend, or a str / pathlib.Path pointing at a "
+        "CSR snapshot directory or a crawl-dump file"
     )

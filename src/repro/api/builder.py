@@ -13,6 +13,7 @@ high-level interface.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable, Iterable, Optional, Union
 
 from ..rng import SeedLike, make_rng
@@ -49,8 +50,11 @@ def build_api(
     """Build a middleware stack over a graph or backend.
 
     Args:
-        source: A :class:`~repro.graphs.graph.Graph` or a
-            :class:`~repro.api.backend.GraphBackend`.
+        source: A :class:`~repro.graphs.graph.Graph`, a
+            :class:`~repro.api.backend.GraphBackend`, or a ``str`` /
+            :class:`~pathlib.Path` naming on-disk storage — a CSR snapshot
+            directory (opened memory-mapped) or a crawl-dump file (replayed
+            offline); see :mod:`repro.storage`.
         backend: Optional backend kind for graph sources: ``"memory"`` (the
             default) or ``"csr"`` to compile the graph into the array-based
             :class:`~repro.api.backend.CSRBackend`.
@@ -80,6 +84,10 @@ def build_api(
     resolved: GraphBackend
     if backend is not None and backend not in ("memory", "csr"):
         raise ValueError(f"unknown backend kind {backend!r}; use 'memory' or 'csr'")
+    if isinstance(source, (str, Path)):
+        # On-disk sources (snapshot directories, crawl dumps) resolve to a
+        # concrete backend first, then fall through the conflict check below.
+        source = as_backend(source)
     if isinstance(source, GraphBackend):
         # An existing backend cannot be converted; refuse a conflicting ask
         # rather than silently serving from the wrong store.

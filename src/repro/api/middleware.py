@@ -117,8 +117,7 @@ class BackendAPI(SocialNetworkAPI):
     def random_node(self, seed: SeedLike = None) -> NodeId:
         """Return a uniformly random node id to start a walk from."""
         rng = make_rng(seed) if seed is not None else self._rng
-        nodes = self._backend.node_ids()
-        return nodes[int(rng.integers(0, len(nodes)))]
+        return self._backend.sample_node(rng)
 
     def __getattr__(self, item):
         if item.startswith("_"):

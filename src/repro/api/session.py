@@ -26,6 +26,7 @@ amortised across walkers.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -62,9 +63,15 @@ class SamplingSession:
 
     Every configuration method returns ``self`` so calls chain; the API stack
     is built on first use and invalidated by any later configuration change.
+    ``source`` may also be a ``str`` / :class:`~pathlib.Path` naming on-disk
+    storage (a CSR snapshot directory or a crawl-dump file, see
+    :mod:`repro.storage`), so a session can crawl a graph larger than RAM or
+    replay a recorded crawl with the same one-liner.
     """
 
-    def __init__(self, source: Union[Graph, GraphBackend], seed: SeedLike = None) -> None:
+    def __init__(
+        self, source: Union[Graph, GraphBackend, str, Path], seed: SeedLike = None
+    ) -> None:
         self._source = source
         self._backend_kind: Optional[str] = None
         self._budget: Union[QueryBudget, int, None] = None
@@ -271,6 +278,40 @@ class SamplingSession:
         else:
             samples = target.samples
         return estimate_aggregate(samples, query, uniform_samples=uniform_samples)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save_snapshot(self, directory, name: Optional[str] = None):
+        """Persist the session's backend as a CSR snapshot directory.
+
+        The snapshot reopens memory-mapped through ``SamplingSession(path)``
+        (or :func:`repro.storage.load_snapshot`) and reproduces this
+        session's walks bit for bit under the same seeds.
+        """
+        from ..storage import save_snapshot
+
+        return save_snapshot(self.api.backend, directory, name=name)
+
+    def dump_crawl(self, path, name: Optional[str] = None):
+        """Dump every neighborhood this session's trace saw to a JSONL file.
+
+        Requires tracing (``.trace()``); the dump replays offline through
+        ``SamplingSession(path)`` (or :func:`repro.storage.load_crawl`).
+        """
+        from ..storage import dump_crawl
+
+        trace = self.query_trace
+        if trace is None:
+            raise ValueError(
+                "dump_crawl requires tracing; enable it with .trace() before "
+                "running the crawl to be recorded"
+            )
+        if len(trace) == 0:
+            raise ValueError(
+                "the query trace is empty — run the crawl before dumping it"
+            )
+        return dump_crawl(self.api, path, name=name)
 
     # ------------------------------------------------------------------
     # Introspection

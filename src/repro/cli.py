@@ -10,6 +10,10 @@ Usage::
     python -m repro.cli walk --dataset facebook_like --walker cnrw --budget 500
     python -m repro.cli walk --walker cnrw --walkers 8 --budget 500
     python -m repro.cli sweep --sweep-walkers srw,cnrw --budgets 100,200 --jobs 4
+    python -m repro.cli snapshot --dataset facebook_like --out snapshots/fb
+    python -m repro.cli walk --source snapshots/fb --walker cnrw --budget 500
+    python -m repro.cli replay --record --dump crawl.jsonl --walker cnrw --budget 200
+    python -m repro.cli replay --dump crawl.jsonl --walker cnrw --budget 200
 
 Each figure command runs the corresponding experiment definition from
 :mod:`repro.experiments.figures`, prints the measured series in the paper's
@@ -22,6 +26,12 @@ N-walker ensemble through the batched
 :class:`~repro.engine.scheduler.WalkScheduler` and pools the samples.  The
 ``sweep`` command runs a custom error-versus-cost sweep, optionally fanned out
 over a process pool with ``--jobs``.
+
+The storage commands persist graphs on disk (see :mod:`repro.storage`):
+``snapshot`` compiles a dataset into a versioned memory-mapped CSR snapshot
+directory that any later ``walk --source`` serves without rebuilding, and
+``replay`` either records a traced crawl to a JSONL dump (``--record``) or
+replays an existing dump offline as the walk's backend.
 """
 
 from __future__ import annotations
@@ -92,59 +102,114 @@ def _run_table1(args: argparse.Namespace, out_dir: Optional[Path]) -> None:
         print(f"wrote {path}")
 
 
+def _policy_from_args(args: argparse.Namespace):
+    """Resolve --rate-limit into a policy (shared by walk and replay --record)."""
+    from .api import twitter_policy, yelp_policy
+
+    return {"none": None, "twitter": twitter_policy(), "yelp": yelp_policy()}[args.rate_limit]
+
+
+def _budget_from_args(args: argparse.Namespace) -> Optional[int]:
+    """Resolve --budget, defaulting to a terminating 500 when --steps is unset."""
+    if args.budget is None and args.steps is None:
+        return 500  # matches the quickstart default
+    return args.budget
+
+
 def _run_walk(args: argparse.Namespace) -> None:
     """Run a budgeted crawl (single walk or scheduled ensemble)."""
-    from .api import SamplingSession, estimate_crawl_time, twitter_policy, yelp_policy
+    from .api import SamplingSession, as_backend, estimate_crawl_time
     from .estimation import AggregateQuery, ground_truth
     from .graphs import load_dataset
     from .metrics import relative_error
 
-    graph = load_dataset(args.dataset, seed=args.seed, scale=args.scale or 1.0)
-    policy = {"none": None, "twitter": twitter_policy(), "yelp": yelp_policy()}[args.rate_limit]
-    budget = args.budget
-    if budget is None and args.steps is None:
-        budget = 500  # a terminating default matching the quickstart
-    session = (
-        SamplingSession(graph, seed=args.seed)
-        .backend(args.backend)
-        .walker(args.walker, seed=args.seed)
-    )
+    from .storage import ReplayBackend
+
+    graph = None
+    start = None
+    if args.source is not None:
+        # On-disk source (CSR snapshot directory or crawl dump): the backend
+        # kind, dataset and scale are baked into the files, so asking for a
+        # different one must error rather than be silently dropped.
+        for flag, value in (("--backend", args.backend),
+                            ("--dataset", args.dataset),
+                            ("--scale", args.scale)):
+            if value is not None:
+                raise ValueError(
+                    f"{flag} does not apply to --source (the graph is read "
+                    f"as-is from the snapshot/dump files)"
+                )
+        source = as_backend(args.source)
+        if isinstance(source, ReplayBackend):
+            # The dump preserves first-query order, so starting at the first
+            # record replays the recorded crawl (same walker + seed) instead
+            # of straying straight into a ReplayMissError.
+            recorded = source.node_ids()
+            if not recorded:
+                raise ValueError(f"crawl dump {args.source} contains no records")
+            start = recorded[0]
+        print(f"Source: {source.name} from {args.source} with {len(source)} nodes")
+    else:
+        graph = load_dataset(args.dataset or "facebook_like", seed=args.seed, scale=args.scale or 1.0)
+        source = graph
+        print(f"Graph: {graph.name} with {graph.number_of_nodes} nodes, "
+              f"{graph.number_of_edges} edges")
+    policy = _policy_from_args(args)
+    budget = _budget_from_args(args)
+    session = SamplingSession(source, seed=args.seed).walker(args.walker, seed=args.seed)
+    if graph is not None:
+        session.backend(args.backend or "memory")
     if budget is not None:
         session.budget(budget)
     if policy is not None:
         session.rate_limit(policy)
+    from .exceptions import ReplayMissError
 
-    print(f"Graph: {graph.name} with {graph.number_of_nodes} nodes, "
-          f"{graph.number_of_edges} edges")
+    backend_label = (args.backend or "memory") if graph is not None else source.name
+    try:
+        if args.walkers > 1:
+            starts = [start] * args.walkers if start is not None else None
+            results = session.run_ensemble(
+                args.walkers, steps=args.steps, seed=args.seed, starts=starts,
+                burn_in=args.burn_in, thinning=args.thinning,
+            )
+        else:
+            result = session.run(
+                start=start, max_steps=args.steps,
+                burn_in=args.burn_in, thinning=args.thinning,
+            )
+    except ReplayMissError as error:
+        # Walking past the edge of a recorded crawl is an expected way for a
+        # replay to end (e.g. a larger budget than the recording); report how
+        # far it got instead of failing.
+        print(f"walk left the recorded crawl after "
+              f"{session.unique_queries} unique queries: {error}")
+        return
     if args.walkers > 1:
-        results = session.run_ensemble(
-            args.walkers, steps=args.steps, seed=args.seed,
-            burn_in=args.burn_in, thinning=args.thinning,
-        )
         steps = sum(result.steps for result in results)
         samples = sum(len(result.samples) for result in results)
         stopped = any(result.stopped_by_budget for result in results)
-        print(f"Ensemble ({args.walkers} x {args.walker} over {args.backend} backend, "
+        print(f"Ensemble ({args.walkers} x {args.walker} over {backend_label} backend, "
               f"batched scheduler): {steps} steps total, "
               f"{session.unique_queries} unique / {session.total_queries} total queries, "
               f"{samples} pooled samples"
               + (", stopped by budget" if stopped else ""))
         has_samples = samples > 0
     else:
-        result = session.run(max_steps=args.steps, burn_in=args.burn_in, thinning=args.thinning)
-        print(f"Walk ({args.walker} over {args.backend} backend): {result.steps} steps, "
+        print(f"Walk ({args.walker} over {backend_label} backend): {result.steps} steps, "
               f"{result.unique_queries} unique / {result.total_queries} total queries, "
               f"{len(result.samples)} samples"
               + (", stopped by budget" if result.stopped_by_budget else ""))
         has_samples = bool(result.samples)
 
     query = AggregateQuery.average_degree()
-    truth = ground_truth(graph, query)
     if has_samples:
         answer = session.estimate(query)
         print(f"Estimated average degree: {answer.value:.3f}")
-        print(f"True average degree:      {truth:.3f}")
-        print(f"Relative error:           {relative_error(answer.value, truth):.2%}")
+        if graph is not None:
+            truth = ground_truth(graph, query)
+            print(f"True average degree:      {truth:.3f}")
+            print(f"Relative error:           {relative_error(answer.value, truth):.2%}")
     else:
         print("No samples collected (budget too small to leave the start node); "
               "no estimate available.")
@@ -152,6 +217,75 @@ def _run_walk(args: argparse.Namespace) -> None:
         seconds = estimate_crawl_time(session.unique_queries, policy)
         print(f"Simulated crawl time under the {args.rate_limit} limit: "
               f"{seconds / 3600:.2f} hours")
+
+
+def _run_snapshot(args: argparse.Namespace) -> None:
+    """Compile a dataset into an on-disk memory-mapped CSR snapshot."""
+    from .graphs import load_dataset
+    from .storage import load_snapshot, save_snapshot
+
+    if args.out is None:
+        raise ValueError("snapshot requires --out DIRECTORY to write into")
+    graph = load_dataset(args.dataset or "facebook_like", seed=args.seed, scale=args.scale or 1.0)
+    directory = save_snapshot(graph, args.out)
+    backend = load_snapshot(directory)  # open mmapped to verify the round trip
+    print(f"Snapshot of {graph.name}: {len(backend)} nodes, "
+          f"{backend.number_of_edges} edges")
+    print(f"wrote {directory} (reopen with: python -m repro.cli walk "
+          f"--source {directory})")
+
+
+def _run_replay(args: argparse.Namespace) -> None:
+    """Record a traced crawl to a JSONL dump, or replay one offline."""
+    from .api import SamplingSession
+    from .graphs import load_dataset
+
+    if args.dump is None:
+        raise ValueError("replay requires --dump FILE (the crawl dump to "
+                         "write with --record, or to replay)")
+    if args.record:
+        if args.walkers > 1:
+            raise ValueError(
+                "replay --record captures a single walk; --walkers is not "
+                "supported (record one walk, or dump a full node set via the "
+                "library's dump_crawl)"
+            )
+        from .api import estimate_crawl_time
+
+        policy = _policy_from_args(args)
+        budget = _budget_from_args(args)
+        graph = load_dataset(args.dataset or "facebook_like", seed=args.seed, scale=args.scale or 1.0)
+        session = (
+            SamplingSession(graph, seed=args.seed)
+            .trace()
+            .walker(args.walker, seed=args.seed)
+        )
+        if budget is not None:
+            session.budget(budget)
+        if policy is not None:
+            session.rate_limit(policy)
+        result = session.run(
+            max_steps=args.steps, burn_in=args.burn_in, thinning=args.thinning
+        )
+        path = session.dump_crawl(args.dump, name=f"{graph.name}:{args.walker}")
+        print(f"Recorded {args.walker} crawl over {graph.name}: "
+              f"{result.steps} steps, {session.unique_queries} unique queries")
+        print(f"wrote {path} ({session.unique_queries} records)")
+        if policy is not None:
+            seconds = estimate_crawl_time(session.unique_queries, policy)
+            print(f"Simulated crawl time under the {args.rate_limit} limit: "
+                  f"{seconds / 3600:.2f} hours")
+        return
+    # Replaying a dump is exactly 'walk --source DUMP' (restart at the
+    # recorded start node, friendly out-of-dump reporting); delegate so the
+    # two paths cannot drift apart.  The dataset-shaping flags described the
+    # *recording* run — drop them so the exact command line that recorded a
+    # dump replays it by just removing --record.
+    args.source = args.dump
+    args.dataset = None
+    args.scale = None
+    args.backend = None
+    _run_walk(args)
 
 
 def _run_sweep(args: argparse.Namespace, out_dir: Optional[Path]) -> None:
@@ -163,7 +297,7 @@ def _run_sweep(args: argparse.Namespace, out_dir: Optional[Path]) -> None:
 
     walker_names = [name.strip() for name in args.sweep_walkers.split(",") if name.strip()]
     budgets = [int(value) for value in args.budgets.split(",") if value.strip()]
-    graph = load_dataset(args.dataset, seed=args.seed, scale=args.scale or 0.5)
+    graph = load_dataset(args.dataset or "facebook_like", seed=args.seed, scale=args.scale or 0.5)
     config = CostSweepConfig(
         walkers=tuple(WalkerSpec.make(name) for name in walker_names),
         query=AggregateQuery.average_degree(),
@@ -173,7 +307,7 @@ def _run_sweep(args: argparse.Namespace, out_dir: Optional[Path]) -> None:
     )
     print(f"Sweep over {graph.name}: walkers={','.join(walker_names)} "
           f"budgets={budgets} trials={config.trials} jobs={args.jobs}")
-    report = run_cost_sweep(graph, config, title=f"sweep {args.dataset}", jobs=args.jobs)
+    report = run_cost_sweep(graph, config, title=f"sweep {args.dataset or 'facebook_like'}", jobs=args.jobs)
     _print_and_save(report, out_dir)
 
 
@@ -196,10 +330,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=["list", "all", "table1", "walk", "sweep", *EXPERIMENTS.keys()],
+        choices=["list", "all", "table1", "walk", "sweep", "snapshot", "replay",
+                 *EXPERIMENTS.keys()],
         help="experiment to run ('list' prints the available names; 'walk' runs "
         "a budgeted crawl through the SamplingSession facade; 'sweep' runs a "
-        "custom cost sweep, optionally across --jobs worker processes)",
+        "custom cost sweep, optionally across --jobs worker processes; "
+        "'snapshot' persists a dataset as a memory-mapped CSR snapshot "
+        "directory; 'replay' records a traced crawl to a JSONL dump or "
+        "replays one offline)",
     )
     parser.add_argument("--seed", type=int, default=0, help="base random seed (default 0)")
     parser.add_argument(
@@ -215,15 +353,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     walk = parser.add_argument_group("walk options")
     walk.add_argument(
-        "--dataset", default="facebook_like",
-        help="dataset name for 'walk' (default facebook_like)",
+        "--dataset", default=None,
+        help="dataset name for 'walk'/'sweep'/'snapshot'/'replay --record' "
+        "(default facebook_like; not applicable with --source)",
     )
     walk.add_argument(
         "--walker", default="cnrw", help="sampler name for 'walk' (default cnrw)"
     )
     walk.add_argument(
-        "--backend", choices=["memory", "csr"], default="memory",
-        help="storage backend for 'walk' (default memory)",
+        "--backend", choices=["memory", "csr"], default=None,
+        help="storage backend for 'walk' over a --dataset (default memory; "
+        "not applicable with --source, whose kind is baked into the files)",
     )
     walk.add_argument(
         "--budget", type=int, default=None,
@@ -242,6 +382,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--walkers", type=int, default=1,
         help="number of lockstep walkers for 'walk' (>1 runs a batched "
         "WalkScheduler ensemble and pools the samples; default 1)",
+    )
+    walk.add_argument(
+        "--source", type=Path, default=None,
+        help="on-disk graph source for 'walk' instead of --dataset: a CSR "
+        "snapshot directory (served memory-mapped) or a crawl-dump file "
+        "(replayed offline)",
+    )
+    storage = parser.add_argument_group("snapshot / replay options")
+    storage.add_argument(
+        "--dump", type=Path, default=None,
+        help="crawl-dump file for 'replay' ('.gz' suffix gzip-compresses); "
+        "written when --record is given, replayed otherwise",
+    )
+    storage.add_argument(
+        "--record", action="store_true",
+        help="for 'replay': run a traced --walker crawl over --dataset and "
+        "record every fetched neighborhood to --dump",
     )
     sweep = parser.add_argument_group("sweep options")
     sweep.add_argument(
@@ -271,14 +428,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"  {name}")
         print("  walk (ad-hoc SamplingSession crawl; see --dataset/--walker/--budget/--walkers)")
         print("  sweep (custom cost sweep; see --sweep-walkers/--budgets/--trials/--jobs)")
+        print("  snapshot (persist a dataset as a mmap CSR snapshot; see --dataset/--out)")
+        print("  replay (record a traced crawl to --dump with --record, or replay one)")
         return 0
 
-    if args.experiment == "walk":
+    if args.experiment in ("walk", "snapshot", "replay"):
         from .exceptions import ReproError
 
+        handler = {"walk": _run_walk, "snapshot": _run_snapshot, "replay": _run_replay}
         try:
-            _run_walk(args)
-        except (ReproError, ValueError) as error:
+            handler[args.experiment](args)
+        except (ReproError, ValueError, FileNotFoundError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
         return 0

@@ -23,6 +23,17 @@ class NodeNotFoundError(GraphError, KeyError):
         super().__init__(f"node {node!r} is not in the graph")
         self.node = node
 
+    def __str__(self) -> str:
+        # KeyError.__str__ reprs its argument (useful for bare keys, noisy
+        # quotes around a full sentence); restore the plain message.
+        return Exception.__str__(self)
+
+    def __reduce__(self):
+        # args holds the rendered message, not the constructor arguments;
+        # rebuild from the real ones so pickling across a process pool
+        # round-trips instead of re-wrapping the message.
+        return (type(self), (self.node,))
+
 
 class EdgeNotFoundError(GraphError, KeyError):
     """Raised when an edge is not present in a graph."""
@@ -31,6 +42,12 @@ class EdgeNotFoundError(GraphError, KeyError):
         super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
         self.u = u
         self.v = v
+
+    def __str__(self) -> str:
+        return Exception.__str__(self)
+
+    def __reduce__(self):
+        return (type(self), (self.u, self.v))
 
 
 class EmptyGraphError(GraphError):
@@ -49,9 +66,50 @@ class AttributeNotFoundError(GraphError, KeyError):
         self.node = node
         self.attribute = attribute
 
+    def __str__(self) -> str:
+        return Exception.__str__(self)
+
+    def __reduce__(self):
+        return (type(self), (self.node, self.attribute))
+
 
 class LoaderError(GraphError):
     """Raised when an edge-list file cannot be parsed."""
+
+
+class StorageError(ReproError):
+    """Base class for on-disk storage errors (snapshots, crawl dumps)."""
+
+
+class SnapshotError(StorageError):
+    """Raised when a CSR snapshot directory is missing or malformed."""
+
+
+class CrawlDumpError(StorageError):
+    """Raised when a crawl-dump file is missing or malformed."""
+
+
+class ReplayMissError(NodeNotFoundError, StorageError):
+    """Raised when a replayed crawl is asked for a node outside its dump.
+
+    Subclasses :class:`NodeNotFoundError` so the middleware's batch-accounting
+    semantics treat a replay miss exactly like a missing node, while callers
+    that care can still distinguish "never crawled" from "not in the graph".
+    """
+
+    def __init__(self, node, source=None):
+        detail = f"node {node!r} was never fetched in the recorded crawl"
+        if source is not None:
+            detail += f" (dump: {source})"
+        Exception.__init__(self, detail)
+        self.node = node
+        self.source = source
+
+    def __reduce__(self):
+        # args holds the rendered message, not (node, source); rebuild from
+        # the real constructor arguments so pickling (e.g. across a process
+        # pool) round-trips instead of re-wrapping the message.
+        return (type(self), (self.node, self.source))
 
 
 class APIError(ReproError):

@@ -21,12 +21,21 @@ from .graph import Graph
 PathLike = Union[str, Path]
 
 
-def _open_text(path: PathLike) -> io.TextIOBase:
-    """Open a (possibly gzip-compressed) text file for reading."""
+def open_text(path: PathLike, mode: str = "r") -> io.TextIOBase:
+    """Open a text file for reading or writing, gzip-compressed by ``.gz`` suffix.
+
+    ``mode`` is ``"r"`` or ``"w"``.  Shared by the edge-list I/O here and the
+    crawl-dump I/O of :mod:`repro.storage.replay`, so the suffix-detection and
+    encoding rules live in one place.
+    """
     path = Path(path)
     if path.suffix == ".gz":
-        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8")
-    return open(path, "r", encoding="utf-8")
+        return io.TextIOWrapper(gzip.open(path, mode + "b"), encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+#: Backwards-compatible read-only alias (the original private helper name).
+_open_text = open_text
 
 
 def parse_edge_lines(
@@ -135,9 +144,14 @@ def from_directed_edges(
 
 
 def save_edge_list(graph: Graph, path: PathLike, header: bool = True) -> None:
-    """Write the graph as a whitespace-delimited edge list."""
+    """Write the graph as a whitespace-delimited edge list.
+
+    A ``.gz`` suffix gzip-compresses the output, mirroring the suffix
+    detection of :func:`load_edge_list`, so ``save_edge_list`` →
+    ``load_edge_list`` round-trips through either form.
+    """
     path = Path(path)
-    with open(path, "w", encoding="utf-8") as handle:
+    with open_text(path, "w") as handle:
         if header:
             handle.write(f"# {graph.name}: {graph.number_of_nodes} nodes, "
                          f"{graph.number_of_edges} edges\n")

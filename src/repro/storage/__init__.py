@@ -1,0 +1,78 @@
+"""On-disk graph storage: mmap CSR snapshots and crawl-dump replay.
+
+Two persistence formats sit behind the same two-method
+:class:`~repro.api.backend.GraphBackend` protocol the rest of the library
+already speaks, so persistent graphs drive every sampler, middleware layer and
+scheduler unchanged:
+
+* **CSR snapshots** (:mod:`repro.storage.snapshot`) — ``save_snapshot`` /
+  ``load_snapshot`` persist a graph as two ``.npy`` arrays plus a versioned
+  JSON manifest; :class:`MmapCSRBackend` serves fetches straight from
+  ``np.memmap`` arrays, so opening is O(1) and graphs larger than RAM walk
+  through the existing stack.
+* **Crawl dumps** (:mod:`repro.storage.replay`) — ``dump_crawl`` records a
+  traced run (or an explicit node set) to JSONL; :class:`ReplayBackend`
+  replays it offline, raising :class:`~repro.exceptions.ReplayMissError` on
+  any node the crawl never fetched.
+
+:func:`open_backend` is the path dispatcher used by
+:func:`repro.api.backend.as_backend`: a directory opens as a snapshot, a file
+as a crawl dump.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from ..api.backend import GraphBackend
+from .replay import (
+    DUMP_FORMAT,
+    DUMP_VERSION,
+    ReplayBackend,
+    dump_crawl,
+    load_crawl,
+)
+from .snapshot import (
+    MANIFEST_NAME,
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    MmapCSRBackend,
+    load_snapshot,
+    read_manifest,
+    save_snapshot,
+)
+
+__all__ = [
+    "DUMP_FORMAT",
+    "DUMP_VERSION",
+    "MANIFEST_NAME",
+    "MmapCSRBackend",
+    "ReplayBackend",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "dump_crawl",
+    "load_crawl",
+    "load_snapshot",
+    "open_backend",
+    "read_manifest",
+    "save_snapshot",
+]
+
+
+def open_backend(path: Union[str, Path]) -> GraphBackend:
+    """Open an on-disk graph source as a :class:`GraphBackend`.
+
+    A directory is read as a CSR snapshot (:func:`load_snapshot`, served
+    memory-mapped); a file as a crawl dump (:func:`load_crawl`).  A path that
+    does not exist raises :class:`FileNotFoundError` naming both formats.
+    """
+    path = Path(path)
+    if path.is_dir():
+        return load_snapshot(path)
+    if path.is_file():
+        return load_crawl(path)
+    raise FileNotFoundError(
+        f"no graph storage at {path}: expected a CSR snapshot directory "
+        f"(containing {MANIFEST_NAME}) or a crawl-dump file"
+    )

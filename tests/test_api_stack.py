@@ -125,6 +125,51 @@ class TestCSRBackend:
         assert set(csr.fetch("b").neighbors) == {"a", "c"}
         assert csr.contains("a") and not csr.contains("z")
 
+    def test_from_edges_dedup_matches_in_memory_semantics(self):
+        """Duplicate and mirrored input edges collapse to one simple edge.
+
+        ``Graph.add_edge`` ignores duplicates, so an :class:`InMemoryBackend`
+        built from the same messy edge list is the degree/edge-count
+        reference the CSR compiler must agree with.
+        """
+        from repro.graphs import undirected_from_edges
+
+        edges = [(0, 1), (1, 0), (0, 1), (1, 2), (2, 1), (1, 2), (3, 0), (0, 3)]
+        memory = InMemoryBackend(undirected_from_edges(edges))
+        csr = CSRBackend.from_edges(edges)
+        assert csr.number_of_edges == memory.graph.number_of_edges == 3
+        for node in range(4):
+            a = memory.fetch(node)
+            b = csr.fetch(node)
+            assert a.degree == b.degree
+            assert sorted(a.neighbors) == sorted(b.neighbors)
+            assert len(b.neighbors) == len(set(b.neighbors)), "duplicate slot leaked"
+
+    def test_from_edges_self_loops_never_count(self):
+        """Self-loops neither create adjacency slots nor inflate edge counts."""
+        from repro.graphs import undirected_from_edges
+
+        edges = [(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 2)]
+        memory = InMemoryBackend(undirected_from_edges(edges))
+        csr = CSRBackend.from_edges(edges)
+        assert csr.number_of_edges == memory.graph.number_of_edges == 2
+        for node in range(3):
+            assert node not in csr.fetch(node).neighbors
+            assert csr.metadata(node)["degree"] == memory.metadata(node)["degree"]
+
+    def test_from_graph_pins_degrees_against_in_memory(self):
+        """``from_graph`` inherits the graph's already-simple adjacency."""
+        from repro.graphs import Graph
+
+        graph = Graph()
+        for u, v in [(0, 1), (0, 1), (1, 0), (1, 2), (2, 0)]:
+            graph.add_edge(u, v)  # duplicates ignored by the graph itself
+        memory = InMemoryBackend(graph)
+        csr = CSRBackend.from_graph(graph)
+        assert csr.number_of_edges == graph.number_of_edges == 3
+        for node in graph.nodes():
+            assert csr.fetch(node) == memory.fetch(node)
+
 
 # ----------------------------------------------------------------------
 # Middleware stack behaviour

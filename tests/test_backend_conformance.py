@@ -1,0 +1,518 @@
+"""Cross-backend conformance suite: the contract every GraphBackend must pass.
+
+One suite, parametrized over all four shipped backends — InMemory, CSR,
+memory-mapped CSR snapshot, and crawl-dump replay — asserting that they are
+*indistinguishable* through the access layer: identical ``RawRecord``s
+(neighbor order included), identical golden walk fingerprints for every
+transition kernel under fixed seeds, identical ``QueryStats`` accounting
+through the full middleware stack, and loss-free snapshot / dump round trips.
+
+Any future backend (remote, async, sharded) must be added to
+``BACKEND_KINDS`` and pass unchanged: the paper's cost model and every seeded
+experiment depend on storage being invisible above the backend protocol.
+"""
+
+from __future__ import annotations
+
+import zlib
+from pathlib import Path
+
+import pytest
+
+from repro.api import (
+    CSRBackend,
+    GraphBackend,
+    InMemoryBackend,
+    as_backend,
+    build_api,
+)
+from repro.api.ratelimit import FixedWindowPolicy
+from repro.exceptions import (
+    CrawlDumpError,
+    NodeNotFoundError,
+    ReplayMissError,
+    SnapshotError,
+)
+from repro.graphs import Graph, load_dataset
+from repro.storage import (
+    MmapCSRBackend,
+    ReplayBackend,
+    dump_crawl,
+    load_crawl,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.walks import make_walker
+
+#: Every backend the library ships; the whole suite runs once per entry.
+BACKEND_KINDS = ("memory", "csr", "mmap", "replay")
+
+#: Kernels whose walks must fingerprint identically on every backend.
+KERNEL_NAMES = ("srw", "mhrw", "nbsrw", "cnrw", "nbcnrw", "gnrw_by_degree")
+
+# Golden fingerprints for the conformance graph (facebook_like, seed=7,
+# scale=0.12; start nodes()[0]; walker seed 7; budget 60) — the exact walks
+# the pre-refactor monolithic GraphAPI produced, re-pinned here independently
+# of tests/test_api_stack.py so storage backends are checked against the
+# historic behaviour, not merely against each other.
+GOLDEN = {
+    "srw": dict(unique=60, total=309, path_len=155, crc=4134503233),
+    "cnrw": dict(unique=60, total=313, path_len=157, crc=4053506785),
+    "gnrw_by_degree": dict(unique=60, total=265, path_len=133, crc=3972249094),
+    "nbcnrw": dict(unique=60, total=251, path_len=126, crc=2042235279),
+    "mhrw": dict(unique=60, total=405, path_len=203, crc=726656939),
+}
+GOLDEN_BUDGET = 60
+GOLDEN_SEED = 7
+
+
+def _path_crc(path):
+    return zlib.crc32(",".join(map(str, path)).encode())
+
+
+@pytest.fixture(scope="module")
+def conformance_graph() -> Graph:
+    return load_dataset("facebook_like", seed=7, scale=0.12)
+
+
+@pytest.fixture(scope="module")
+def snapshot_dir(conformance_graph, tmp_path_factory) -> Path:
+    return save_snapshot(conformance_graph, tmp_path_factory.mktemp("snap") / "csr")
+
+
+@pytest.fixture(scope="module")
+def dump_path(conformance_graph, tmp_path_factory) -> Path:
+    # A full dump (every node) so any seeded walk stays inside the replay.
+    backend = InMemoryBackend(conformance_graph)
+    return dump_crawl(
+        backend,
+        tmp_path_factory.mktemp("dump") / "crawl.jsonl",
+        nodes=backend.node_ids(),
+    )
+
+
+@pytest.fixture(params=BACKEND_KINDS)
+def backend(request, conformance_graph, snapshot_dir, dump_path) -> GraphBackend:
+    kind = request.param
+    if kind == "memory":
+        return InMemoryBackend(conformance_graph)
+    if kind == "csr":
+        return CSRBackend.from_graph(conformance_graph)
+    if kind == "mmap":
+        return load_snapshot(snapshot_dir)
+    return load_crawl(dump_path)
+
+
+@pytest.fixture
+def reference(conformance_graph) -> InMemoryBackend:
+    return InMemoryBackend(conformance_graph)
+
+
+# ----------------------------------------------------------------------
+# Raw record conformance
+# ----------------------------------------------------------------------
+class TestRawRecords:
+    def test_every_record_identical_to_reference(self, backend, reference):
+        for node in reference.node_ids():
+            assert backend.fetch(node) == reference.fetch(node)
+
+    def test_fetch_many_preserves_order_and_duplicates(self, backend, reference):
+        nodes = reference.node_ids()
+        probe = [nodes[2], nodes[0], nodes[2], nodes[5]]
+        records = backend.fetch_many(probe)
+        assert [record.node for record in records] == probe
+        assert records == reference.fetch_many(probe)
+
+    def test_missing_node_raises_node_not_found(self, backend):
+        missing = "no-such-node"
+        with pytest.raises(NodeNotFoundError):
+            backend.fetch(missing)
+        with pytest.raises(NodeNotFoundError):
+            backend.fetch_many([missing])
+        assert not backend.contains(missing)
+
+    @pytest.mark.parametrize("bogus", ["zzz", 1.5, -1, 10**9])
+    def test_identity_id_backends_reject_foreign_ids(self, tmp_path, bogus):
+        """Identity-id CSR (and its snapshot) must match fetch()'s typed miss.
+
+        The fetch_many fast path skips the id table entirely, so it needs its
+        own guard: a float, string or out-of-range id raises
+        NodeNotFoundError — never ValueError, never a silently wrong record.
+        """
+        csr = CSRBackend.from_edges([(0, 1), (1, 2), (2, 0)])
+        mmapped = load_snapshot(save_snapshot(csr, tmp_path / "identity"))
+        for identity_backend in (csr, mmapped):
+            with pytest.raises(NodeNotFoundError):
+                identity_backend.fetch(bogus)
+            with pytest.raises(NodeNotFoundError):
+                identity_backend.fetch_many([0, bogus])
+            assert not identity_backend.contains(bogus)
+
+    def test_contains_metadata_and_len_agree(self, backend, reference):
+        assert len(backend) == len(reference)
+        assert sorted(backend.node_ids()) == sorted(reference.node_ids())
+        for node in reference.node_ids()[:25]:
+            assert backend.contains(node)
+            assert backend.metadata(node) == reference.metadata(node)
+        assert backend.metadata("no-such-node") is None
+
+
+# ----------------------------------------------------------------------
+# Golden walk fingerprints
+# ----------------------------------------------------------------------
+class TestGoldenWalks:
+    @pytest.mark.parametrize("kernel_name", KERNEL_NAMES)
+    def test_kernel_fingerprint_identical_on_every_backend(
+        self, backend, reference, conformance_graph, kernel_name
+    ):
+        def run(source):
+            api = build_api(source, budget=GOLDEN_BUDGET)
+            result = make_walker(kernel_name, api=api, seed=GOLDEN_SEED).run(
+                conformance_graph.nodes()[0], max_steps=None
+            )
+            return result.path, result.unique_queries, result.total_queries
+
+        path, unique, total = run(backend)
+        assert (path, unique, total) == run(reference)
+        golden = GOLDEN.get(kernel_name)
+        if golden is not None:
+            assert unique == golden["unique"]
+            assert total == golden["total"]
+            assert len(path) == golden["path_len"]
+            assert _path_crc(path) == golden["crc"]
+
+    def test_scheduler_ensemble_identical_on_every_backend(
+        self, backend, reference, conformance_graph
+    ):
+        """Batched lockstep ensembles fingerprint identically too."""
+        from repro.engine import WalkScheduler
+
+        def run(source):
+            api = build_api(source, budget=120)
+            walkers = [make_walker("cnrw", api=api, seed=seed) for seed in (1, 2, 3, 4)]
+            starts = conformance_graph.nodes()[:4]
+            results = WalkScheduler(api).run(walkers, starts, steps=40)
+            return (
+                [result.path for result in results],
+                api.unique_queries,
+                api.total_queries,
+            )
+
+        assert run(backend) == run(reference)
+
+
+# ----------------------------------------------------------------------
+# QueryStats through the full middleware stack
+# ----------------------------------------------------------------------
+class TestQueryStatsConformance:
+    def _crawl(self, source, conformance_graph):
+        api = build_api(
+            source,
+            budget=GOLDEN_BUDGET,
+            rate_limit=FixedWindowPolicy(max_calls=100, window_seconds=1.0),
+            trace=True,
+        )
+        make_walker("cnrw", api=api, seed=GOLDEN_SEED).run(
+            conformance_graph.nodes()[0], max_steps=None
+        )
+        return api
+
+    def test_full_stack_accounting_identical(self, backend, reference, conformance_graph):
+        stacked = self._crawl(backend, conformance_graph)
+        expected = self._crawl(reference, conformance_graph)
+        assert stacked.unique_queries == expected.unique_queries
+        assert stacked.total_queries == expected.total_queries
+        assert stacked.trace.queried_nodes == expected.trace.queried_nodes
+        assert stacked.trace.fresh_nodes == expected.trace.fresh_nodes
+        assert stacked.trace.frequency() == expected.trace.frequency()
+        assert stacked.clock.now == expected.clock.now
+
+    def test_batched_query_many_accounting_identical(self, backend, reference):
+        def batch(source):
+            api = build_api(source)
+            nodes = sorted(source.node_ids(), key=repr)[:10]
+            views = api.query_many(nodes + nodes)  # second half are cache hits
+            return (
+                [view.node for view in views],
+                [view.neighbors for view in views],
+                api.unique_queries,
+                api.total_queries,
+            )
+
+        assert batch(backend) == batch(reference)
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+class TestRoundTrips:
+    def test_snapshot_roundtrip_is_lossless(self, conformance_graph, tmp_path):
+        csr = CSRBackend.from_graph(conformance_graph)
+        directory = save_snapshot(csr, tmp_path / "snap")
+        for loaded in (load_snapshot(directory), load_snapshot(directory, mmap=False)):
+            assert len(loaded) == len(csr)
+            assert loaded.node_ids() == csr.node_ids()
+            for node in csr.node_ids():
+                assert loaded.fetch(node) == csr.fetch(node)
+        assert isinstance(load_snapshot(directory), MmapCSRBackend)
+        assert not isinstance(load_snapshot(directory, mmap=False), MmapCSRBackend)
+
+    def test_snapshot_of_mmap_backend_copies(self, snapshot_dir, tmp_path):
+        first = load_snapshot(snapshot_dir)
+        copied = save_snapshot(first, tmp_path / "copy")
+        second = load_snapshot(copied)
+        assert second.node_ids() == first.node_ids()
+        assert second.fetch(first.node_ids()[0]) == first.fetch(first.node_ids()[0])
+
+    def test_resaving_snapshot_onto_itself_is_safe(self, conformance_graph, tmp_path):
+        """Saving a live mmap backend back over its own directory must not
+        truncate the files its arrays are mapped from."""
+        directory = save_snapshot(conformance_graph, tmp_path / "self")
+        live = load_snapshot(directory)
+        reference = live.fetch(live.node_ids()[0])
+        save_snapshot(live, directory)
+        # Both the still-open backend and a fresh load stay intact.
+        assert live.fetch(live.node_ids()[0]) == reference
+        reopened = load_snapshot(directory)
+        assert reopened.node_ids() == live.node_ids()
+        assert reopened.fetch(live.node_ids()[0]) == reference
+
+    def test_dump_roundtrip_is_lossless(self, conformance_graph, tmp_path):
+        backend = InMemoryBackend(conformance_graph)
+        path = dump_crawl(backend, tmp_path / "crawl.jsonl", nodes=backend.node_ids())
+        replay = load_crawl(path)
+        assert replay.node_ids() == backend.node_ids()
+        for node in backend.node_ids():
+            assert replay.fetch(node) == backend.fetch(node)
+
+    def test_gzip_dump_roundtrip(self, conformance_graph, tmp_path):
+        backend = InMemoryBackend(conformance_graph)
+        nodes = backend.node_ids()[:10]
+        path = dump_crawl(backend, tmp_path / "crawl.jsonl.gz", nodes=nodes)
+        replay = load_crawl(path)
+        assert replay.node_ids() == nodes
+
+    @pytest.mark.parametrize("kernel_name", KERNEL_NAMES)
+    def test_traced_run_dump_replays_the_same_walk(
+        self, conformance_graph, tmp_path, kernel_name
+    ):
+        """Record -> dump -> replay reproduces the walk for *every* kernel.
+
+        The metadata-peeking kernels (MHRW degree lookups, GNRW grouping) are
+        the demanding cases: they consult neighbors the crawl never fetched,
+        so the dump's boundary ``meta`` records must answer those peeks.
+        """
+        api = build_api(conformance_graph, budget=GOLDEN_BUDGET, trace=True)
+        start = conformance_graph.nodes()[0]
+        original = make_walker(kernel_name, api=api, seed=GOLDEN_SEED).run(
+            start, max_steps=None
+        )
+        path = dump_crawl(api, tmp_path / "run.jsonl")
+        replay_api = build_api(load_crawl(path), budget=GOLDEN_BUDGET)
+        replayed = make_walker(kernel_name, api=replay_api, seed=GOLDEN_SEED).run(
+            start, max_steps=None
+        )
+        assert replayed.path == original.path
+        assert replayed.unique_queries == original.unique_queries
+        assert replayed.total_queries == original.total_queries
+
+    def test_dump_requires_nodes_or_trace(self, conformance_graph, tmp_path):
+        with pytest.raises(ValueError, match="trace"):
+            dump_crawl(build_api(conformance_graph), tmp_path / "x.jsonl")
+
+
+# ----------------------------------------------------------------------
+# Replay misses and malformed storage
+# ----------------------------------------------------------------------
+class TestStorageErrors:
+    def test_out_of_dump_query_raises_typed_error(self, conformance_graph, tmp_path):
+        backend = InMemoryBackend(conformance_graph)
+        nodes = backend.node_ids()[:5]
+        replay = load_crawl(dump_crawl(backend, tmp_path / "part.jsonl", nodes=nodes))
+        outside = backend.node_ids()[10]
+        with pytest.raises(ReplayMissError) as excinfo:
+            replay.fetch(outside)
+        assert excinfo.value.node == outside
+        assert isinstance(excinfo.value, NodeNotFoundError)
+        # Through a full stack the miss surfaces unchanged.
+        api = build_api(replay, budget=50)
+        with pytest.raises(ReplayMissError):
+            api.query(outside)
+
+    def test_snapshot_rejects_missing_or_foreign_directory(self, tmp_path):
+        with pytest.raises(SnapshotError, match="manifest"):
+            load_snapshot(tmp_path)
+
+    def test_snapshot_rejects_malformed_manifest_shapes(self, snapshot_dir, tmp_path):
+        """Valid JSON of the wrong shape must still fail with SnapshotError."""
+        import json
+        import shutil
+
+        non_object = tmp_path / "non-object"
+        non_object.mkdir()
+        (non_object / "manifest.json").write_text("[]")
+        with pytest.raises(SnapshotError, match="JSON object"):
+            load_snapshot(non_object)
+
+        clone = tmp_path / "no-counts"
+        shutil.copytree(snapshot_dir, clone)
+        manifest = json.loads((clone / "manifest.json").read_text())
+        del manifest["nodes"]
+        (clone / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="nodes"):
+            load_snapshot(clone)
+
+    def test_snapshot_rejects_foreign_dtype(self, snapshot_dir, tmp_path):
+        """A non-int64 snapshot must fail loudly, not silently copy into RAM."""
+        import json
+        import shutil
+
+        clone = tmp_path / "int32"
+        shutil.copytree(snapshot_dir, clone)
+        manifest = json.loads((clone / "manifest.json").read_text())
+        manifest["dtype"] = "int32"
+        (clone / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="dtype"):
+            load_snapshot(clone)
+
+    def test_session_dump_requires_a_recorded_run(self, conformance_graph, tmp_path):
+        from repro.api import SamplingSession
+
+        session = SamplingSession(conformance_graph).trace()
+        with pytest.raises(ValueError, match="empty"):
+            session.dump_crawl(tmp_path / "early.jsonl")
+        untraced = SamplingSession(conformance_graph)
+        with pytest.raises(ValueError, match="trac"):
+            untraced.dump_crawl(tmp_path / "untraced.jsonl")
+
+    def test_snapshot_rejects_future_version(self, snapshot_dir, tmp_path):
+        import json
+        import shutil
+
+        clone = tmp_path / "future"
+        shutil.copytree(snapshot_dir, clone)
+        manifest = json.loads((clone / "manifest.json").read_text())
+        manifest["version"] = 99
+        (clone / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="version"):
+            load_snapshot(clone)
+
+    def test_save_rejects_ids_and_attributes_json_would_degrade(self, tmp_path):
+        """Tuple ids / non-native attribute values fail loudly at save time.
+
+        JSON would silently turn them into lists (reported as a successful
+        save, then an unreadable or different snapshot), so both writers must
+        refuse before touching the disk.
+        """
+        tuple_ids = Graph(name="tuples")
+        tuple_ids.add_edges([(("a", 1), ("b", 2)), (("b", 2), ("c", 3))])
+        with pytest.raises(SnapshotError, match="JSON round trip"):
+            save_snapshot(tuple_ids, tmp_path / "bad-ids")
+        assert not (tmp_path / "bad-ids" / "manifest.json").exists()
+        with pytest.raises(CrawlDumpError, match="JSON-representable"):
+            backend = InMemoryBackend(tuple_ids)
+            dump_crawl(backend, tmp_path / "bad.jsonl", nodes=backend.node_ids())
+
+        tuple_attrs = Graph(name="attrs")
+        tuple_attrs.add_edges([(0, 1)])
+        tuple_attrs.set_attributes(0, coords=(1, 2))
+        with pytest.raises(SnapshotError, match="attributes"):
+            save_snapshot(tuple_attrs, tmp_path / "bad-attrs")
+        with pytest.raises(CrawlDumpError, match="JSON-representable"):
+            dump_crawl(InMemoryBackend(tuple_attrs), tmp_path / "bad2.jsonl", nodes=[0])
+
+    def test_truncated_gzip_dump_raises_typed_error(self, conformance_graph, tmp_path):
+        backend = InMemoryBackend(conformance_graph)
+        path = dump_crawl(
+            backend, tmp_path / "crawl.jsonl.gz", nodes=backend.node_ids()
+        )
+        cut = tmp_path / "cut.jsonl.gz"
+        cut.write_bytes(path.read_bytes()[:-20])
+        with pytest.raises(CrawlDumpError, match="truncated"):
+            load_crawl(cut)
+
+    def test_corrupt_sidecar_files_raise_snapshot_error(self, tmp_path):
+        graph = Graph(name="named")
+        graph.add_edges([("a", "b"), ("b", "c")])  # forces node_ids.json
+        directory = save_snapshot(graph, tmp_path / "snap")
+        (directory / "node_ids.json").write_text("{not json")
+        with pytest.raises(SnapshotError, match="node_ids"):
+            load_snapshot(directory)
+        (directory / "node_ids.json").unlink()
+        with pytest.raises(SnapshotError, match="node_ids"):
+            load_snapshot(directory)
+
+    def test_dump_rejects_foreign_and_truncated_files(self, conformance_graph, tmp_path):
+        foreign = tmp_path / "foreign.jsonl"
+        foreign.write_text('{"format": "something-else"}\n')
+        with pytest.raises(CrawlDumpError, match="format"):
+            load_crawl(foreign)
+        backend = InMemoryBackend(conformance_graph)
+        path = dump_crawl(backend, tmp_path / "t.jsonl", nodes=backend.node_ids()[:5])
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(CrawlDumpError, match="truncated"):
+            load_crawl(path)
+
+
+# ----------------------------------------------------------------------
+# as_backend coercion (satellite: clear errors + path branch)
+# ----------------------------------------------------------------------
+class TestAsBackend:
+    def test_backend_passes_through(self, reference):
+        assert as_backend(reference) is reference
+
+    def test_graph_wraps_in_memory(self, conformance_graph):
+        assert isinstance(as_backend(conformance_graph), InMemoryBackend)
+
+    def test_str_path_opens_snapshot(self, snapshot_dir):
+        assert isinstance(as_backend(str(snapshot_dir)), MmapCSRBackend)
+
+    def test_pathlib_path_opens_dump(self, dump_path):
+        assert isinstance(as_backend(Path(dump_path)), ReplayBackend)
+
+    def test_missing_path_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="snapshot"):
+            as_backend(tmp_path / "nowhere")
+
+    @pytest.mark.parametrize("bogus", [42, 3.5, ["edges"], {"a": 1}, None])
+    def test_unsupported_type_lists_accepted_types(self, bogus):
+        with pytest.raises(TypeError) as excinfo:
+            as_backend(bogus)
+        message = str(excinfo.value)
+        assert type(bogus).__name__ in message
+        for accepted in ("Graph", "GraphBackend", "str", "Path"):
+            assert accepted in message
+
+    def test_build_api_accepts_paths(self, snapshot_dir, conformance_graph):
+        api = build_api(snapshot_dir, budget=10)
+        node = conformance_graph.nodes()[0]
+        assert api.query(node).neighbors == tuple(conformance_graph.neighbors(node))
+
+    def test_random_node_identical_and_lazy_for_identity_ids(self, tmp_path):
+        """Identity backends sample starts without materialising node_ids.
+
+        The direct draw must consume the rng exactly like the historic
+        node_ids()[rng.integers(...)] lookup, so seeded runs are unchanged.
+        """
+        from repro.rng import make_rng
+
+        csr = CSRBackend.from_edges([(i, i + 1) for i in range(50)])
+        mmapped = load_snapshot(save_snapshot(csr, tmp_path / "ids"))
+        assert csr.identity_ids and mmapped.identity_ids
+        for identity_backend in (csr, mmapped):
+            direct = identity_backend.sample_node(make_rng(11))
+            legacy = identity_backend.node_ids()[
+                int(make_rng(11).integers(0, len(identity_backend)))
+            ]
+            assert direct == legacy
+            api = build_api(identity_backend)
+            assert api.random_node(seed=11) == direct
+
+    def test_session_accepts_paths(self, snapshot_dir, dump_path):
+        from repro.api import SamplingSession
+
+        for source in (snapshot_dir, str(dump_path)):
+            session = SamplingSession(source, seed=1).budget(20).walker("srw", seed=1)
+            result = session.run(max_steps=5)
+            assert result.steps <= 5

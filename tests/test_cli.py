@@ -70,6 +70,77 @@ class TestMain:
         assert "pooled samples" in out
         assert "Estimated average degree" in out
 
+    def test_snapshot_then_walk_from_source(self, tmp_path, capsys):
+        snap = tmp_path / "snap"
+        assert main([
+            "snapshot", "--dataset", "facebook_like", "--scale", "0.15",
+            "--seed", "2", "--out", str(snap),
+        ]) == 0
+        assert "Snapshot of facebook_like" in capsys.readouterr().out
+        assert main([
+            "walk", "--source", str(snap), "--walker", "cnrw",
+            "--budget", "80", "--seed", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mmap:" in out
+        assert "Estimated average degree" in out
+
+    def test_replay_record_then_replay_reproduces_crawl(self, tmp_path, capsys):
+        dump = tmp_path / "crawl.jsonl"
+        record_args = ["--dump", str(dump), "--scale", "0.15",
+                       "--walker", "cnrw", "--budget", "80", "--seed", "9"]
+        assert main(["replay", "--record", *record_args]) == 0
+        recorded = capsys.readouterr().out
+        assert "wrote" in recorded and "80 records" in recorded
+        # Same walker/seed/budget replay the recorded crawl exactly.
+        assert main(["replay", *record_args]) == 0
+        replayed = capsys.readouterr().out
+        assert "80 unique" in replayed
+        assert "stopped by budget" in replayed
+        # walk --source on the dump also restarts from the recorded start.
+        assert main(["walk", "--source", str(dump), "--walker", "cnrw",
+                     "--budget", "80", "--seed", "9"]) == 0
+        assert "80 unique" in capsys.readouterr().out
+
+    def test_storage_commands_report_friendly_errors(self, tmp_path, capsys):
+        assert main(["snapshot", "--dataset", "facebook_like"]) == 2
+        assert "requires --out" in capsys.readouterr().err
+        assert main(["replay", "--walker", "srw"]) == 2
+        assert "requires --dump" in capsys.readouterr().err
+        missing = tmp_path / "nowhere"
+        assert main(["walk", "--source", str(missing), "--budget", "10"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "no graph storage" in err
+        # A structurally valid but empty dump must not crash either surface.
+        from repro.api import InMemoryBackend
+        from repro.graphs import load_dataset
+        from repro.storage import dump_crawl
+
+        backend = InMemoryBackend(load_dataset("facebook_like", seed=1, scale=0.15))
+        empty = dump_crawl(backend, tmp_path / "empty.jsonl", nodes=[])
+        for command in (["walk", "--source", str(empty), "--budget", "10"],
+                        ["replay", "--dump", str(empty), "--budget", "10"]):
+            assert main(command) == 2
+            err = capsys.readouterr().err
+            assert "no records" in err
+        # --out pointing at an existing file, and recording an ensemble, are
+        # rejected with messages rather than tracebacks.
+        occupied = tmp_path / "occupied"
+        occupied.write_text("file, not a directory")
+        assert main(["snapshot", "--dataset", "facebook_like", "--scale", "0.15",
+                     "--out", str(occupied)]) == 2
+        assert "cannot create snapshot directory" in capsys.readouterr().err
+        assert main(["replay", "--record", "--dump", str(tmp_path / "e.jsonl"),
+                     "--walkers", "4", "--budget", "20"]) == 2
+        assert "--walkers is not supported" in capsys.readouterr().err
+        # Explicit dataset-shaping flags conflict with --source instead of
+        # being silently dropped.
+        for flag, value in (("--backend", "csr"), ("--dataset", "facebook_like"),
+                            ("--scale", "0.2")):
+            assert main(["walk", "--source", str(empty), flag, value,
+                         "--budget", "10"]) == 2
+            assert f"{flag} does not apply" in capsys.readouterr().err
+
     def test_sweep_with_jobs_and_csv(self, tmp_path, capsys):
         code = main([
             "sweep", "--dataset", "facebook_like", "--scale", "0.12",

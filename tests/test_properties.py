@@ -2,12 +2,17 @@
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.api import GraphAPI, LRUCache, QueryBudget, QueryCache
+from repro.api import GraphAPI, InMemoryBackend, LRUCache, QueryBudget, QueryCache
 from repro.estimation import AggregateQuery, reweighted_mean
 from repro.graphs import Graph, undirected_from_edges
+from repro.graphs.loaders import load_edge_list, save_edge_list
+from repro.storage import dump_crawl, load_crawl, load_snapshot, save_snapshot
 from repro.metrics import (
     Distribution,
     empirical_distribution,
@@ -259,6 +264,57 @@ class TestEstimatorProperties:
         assert total_variation_distance(p, q) <= 1.0 + 1e-9
         assert l2_distance(p, q) == l2_distance(q, p)
         assert total_variation_distance(p, p) < 1e-9
+
+
+# ---------------------------------------------------------------------------
+# On-disk round trips (storage subsystem + edge-list I/O)
+# ---------------------------------------------------------------------------
+# hypothesis forbids reusing pytest's function-scoped tmp_path across
+# examples, so each example makes (and cleans) its own temporary directory.
+
+
+class TestStorageRoundTripProperties:
+    @given(edge_lists(min_edges=1), st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_snapshot_roundtrip_reproduces_exact_adjacency(self, edges, mmap):
+        graph = undirected_from_edges(edges, name="prop")
+        if graph.number_of_nodes == 0:
+            return
+        with tempfile.TemporaryDirectory() as tmp:
+            backend = load_snapshot(save_snapshot(graph, Path(tmp) / "snap"), mmap=mmap)
+            assert backend.node_ids() == graph.nodes()
+            for node in graph.nodes():
+                # from_graph preserves neighbor order, so the round trip is
+                # exact — not merely set-equal.
+                assert backend.fetch(node).neighbors == tuple(graph.neighbors(node))
+
+    @given(edge_lists(min_edges=1))
+    @settings(max_examples=25, deadline=None)
+    def test_crawl_dump_roundtrip_reproduces_exact_records(self, edges):
+        graph = undirected_from_edges(edges, name="prop")
+        if graph.number_of_nodes == 0:
+            return
+        source = InMemoryBackend(graph)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = dump_crawl(source, Path(tmp) / "crawl.jsonl", nodes=source.node_ids())
+            replay = load_crawl(path)
+            assert replay.node_ids() == source.node_ids()
+            for node in source.node_ids():
+                assert replay.fetch(node) == source.fetch(node)
+
+    @given(edge_lists(min_edges=1), st.booleans(), st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_edge_list_roundtrip_reproduces_exact_adjacency(self, edges, compress, header):
+        graph = undirected_from_edges(edges, name="prop")
+        if graph.number_of_edges == 0:
+            return  # isolated nodes are not representable in an edge list
+        suffix = "edges.txt.gz" if compress else "edges.txt"
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / suffix
+            save_edge_list(graph, path, header=header)
+            loaded = load_edge_list(path)
+            assert set(map(frozenset, loaded.edges())) == set(map(frozenset, graph.edges()))
+            assert loaded.degrees() == graph.degrees()
 
 
 # ---------------------------------------------------------------------------
