@@ -51,6 +51,7 @@ from .api import (
     CSRBackend,
     GraphAPI,
     GraphBackend,
+    HTTPGraphBackend,
     InMemoryBackend,
     InstrumentedAPI,
     NodeView,
@@ -78,6 +79,7 @@ from .exceptions import (
     ExperimentError,
     GraphError,
     QueryBudgetExceededError,
+    RemoteBackendError,
     ReproError,
     WalkError,
 )
@@ -99,6 +101,7 @@ from .metrics import (
     theoretical_distribution,
 )
 from .engine import SchedulerPolicy, WalkScheduler
+from .server import GraphHTTPServer, serve_backend
 from .storage import (
     MmapCSRBackend,
     ReplayBackend,
@@ -144,7 +147,9 @@ __all__ = [
     "GraphAPI",
     "GraphBackend",
     "GraphError",
+    "GraphHTTPServer",
     "GroupByNeighborsRandomWalk",
+    "HTTPGraphBackend",
     "InMemoryBackend",
     "InstrumentedAPI",
     "MHRW",
@@ -158,6 +163,7 @@ __all__ = [
     "QueryBudget",
     "QueryBudgetExceededError",
     "RandomWalk",
+    "RemoteBackendError",
     "ReplayBackend",
     "ReproError",
     "RunningEstimator",
@@ -191,6 +197,7 @@ __all__ = [
     "make_walker",
     "relative_error",
     "save_snapshot",
+    "serve_backend",
     "summarize",
     "symmetric_kl_divergence",
     "theoretical_distribution",

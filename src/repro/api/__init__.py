@@ -42,6 +42,7 @@ from .middleware import (
     describe_stack,
     iter_layers,
 )
+from .remote import HTTPGraphBackend, WIRE_FORMAT, WIRE_VERSION
 from .ratelimit import (
     FixedWindowPolicy,
     RateLimitPolicy,
@@ -66,6 +67,7 @@ __all__ = [
     "FixedWindowPolicy",
     "GraphAPI",
     "GraphBackend",
+    "HTTPGraphBackend",
     "InMemoryBackend",
     "InstrumentedAPI",
     "LRUCache",
@@ -87,6 +89,8 @@ __all__ = [
     "TokenBucketPolicy",
     "TraceLayer",
     "UnlimitedPolicy",
+    "WIRE_FORMAT",
+    "WIRE_VERSION",
     "as_backend",
     "build_api",
     "describe_stack",

@@ -375,22 +375,27 @@ def as_backend(source) -> GraphBackend:
 
     Accepts an existing backend (returned unchanged), a
     :class:`~repro.graphs.graph.Graph` (wrapped in :class:`InMemoryBackend`),
-    or an on-disk source given as a ``str`` / :class:`~pathlib.Path`: a CSR
-    snapshot directory (served memory-mapped through
-    :class:`~repro.storage.MmapCSRBackend`) or a crawl-dump file (replayed
-    through :class:`~repro.storage.ReplayBackend`).  Any other input raises
-    :class:`TypeError` listing the accepted types.
+    an ``http://`` / ``https://`` URL (driven remotely through
+    :class:`~repro.api.remote.HTTPGraphBackend`), or an on-disk source given
+    as a ``str`` / :class:`~pathlib.Path`: a CSR snapshot directory (served
+    memory-mapped through :class:`~repro.storage.MmapCSRBackend`) or a
+    crawl-dump file (replayed through :class:`~repro.storage.ReplayBackend`).
+    Any other input raises :class:`TypeError` listing the accepted types.
     """
     if isinstance(source, GraphBackend):
         return source
     if isinstance(source, Graph):
         return InMemoryBackend(source)
+    if isinstance(source, str) and source.startswith(("http://", "https://")):
+        from .remote import HTTPGraphBackend
+
+        return HTTPGraphBackend(source)
     if isinstance(source, (str, Path)):
         from ..storage import open_backend
 
         return open_backend(source)
     raise TypeError(
         f"cannot build a GraphBackend from {type(source).__name__}; accepted "
-        "types: Graph, GraphBackend, or a str / pathlib.Path pointing at a "
-        "CSR snapshot directory or a crawl-dump file"
+        "types: Graph, GraphBackend, an http(s):// service URL, or a str / "
+        "pathlib.Path pointing at a CSR snapshot directory or a crawl-dump file"
     )

@@ -51,10 +51,13 @@ def build_api(
 
     Args:
         source: A :class:`~repro.graphs.graph.Graph`, a
-            :class:`~repro.api.backend.GraphBackend`, or a ``str`` /
-            :class:`~pathlib.Path` naming on-disk storage — a CSR snapshot
-            directory (opened memory-mapped) or a crawl-dump file (replayed
-            offline); see :mod:`repro.storage`.
+            :class:`~repro.api.backend.GraphBackend`, an ``http(s)://`` URL
+            of a graph service (driven remotely through
+            :class:`~repro.api.remote.HTTPGraphBackend`; see
+            :mod:`repro.server`), or a ``str`` / :class:`~pathlib.Path`
+            naming on-disk storage — a CSR snapshot directory (opened
+            memory-mapped) or a crawl-dump file (replayed offline); see
+            :mod:`repro.storage`.
         backend: Optional backend kind for graph sources: ``"memory"`` (the
             default) or ``"csr"`` to compile the graph into the array-based
             :class:`~repro.api.backend.CSRBackend`.

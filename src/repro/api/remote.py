@@ -1,0 +1,386 @@
+"""HTTP client backend: drive a remote graph service through the backend protocol.
+
+The paper's whole premise is sampling a graph that is only reachable through a
+remote, rate-limited API — yet until this module every backend was local.
+:class:`HTTPGraphBackend` implements the two-method
+:class:`~repro.api.backend.GraphBackend` protocol over a JSON-over-HTTP wire,
+so every kernel, middleware layer and scheduler drives a graph served on
+another machine *bit-identically* to a local run (the conformance suite in
+``tests/test_backend_conformance.py`` asserts exactly that).
+
+The wire format is the PR-3 crawl-record JSON — the same
+``{"node": ..., "neighbors": [...], "attributes": {...}}`` lines a crawl dump
+holds — served by :mod:`repro.server` from any existing backend:
+
+========================  =====================================================
+``GET /info``             service descriptor (format, version, name, nodes)
+``GET /node/<id>``        one crawl record; 404 + error JSON when missing
+``POST /nodes``           batched ``fetch_many``: ``{"nodes": [...]}`` in,
+                          ``{"records": [...]}`` out (atomic: a missing node
+                          404s the whole batch, mirroring a local batch fetch)
+``GET /meta/<id>``        free profile summary (the crawl-dump ``meta`` line)
+``GET /node-ids``         every node id, in backend order
+========================  =====================================================
+
+Node ids in URL paths are JSON-encoded then percent-encoded, so string ids
+(unicode included) and integer ids stay distinguishable and round-trip losslessly.
+
+The client keeps one persistent connection (HTTP/1.1 keep-alive), applies a
+per-request timeout, and retries transient failures — timeouts, connection
+resets, 5xx responses and malformed JSON bodies — a bounded number of times
+with deterministic exponential backoff.  Failures map to typed exceptions:
+node-level 404s become :class:`~repro.exceptions.NodeNotFoundError` (or
+:class:`~repro.exceptions.ReplayMissError` when the server replays a crawl
+dump), everything else becomes :class:`~repro.exceptions.RemoteBackendError`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+import urllib.parse
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import NodeNotFoundError, RemoteBackendError, ReplayMissError
+from ..types import NodeId
+from .backend import GraphBackend, RawRecord
+
+#: Format identifier served by ``GET /info`` (and demanded by the client).
+WIRE_FORMAT = "repro-graph-http"
+#: Current wire-protocol version; bump on any incompatible change.
+WIRE_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Wire schema: the crawl-record JSON of repro.storage.replay, reused
+# ----------------------------------------------------------------------
+def record_to_wire(record: RawRecord) -> Dict[str, Any]:
+    """Encode one :class:`RawRecord` as a crawl-record JSON object."""
+    line: Dict[str, Any] = {"node": record.node, "neighbors": list(record.neighbors)}
+    if record.attributes:
+        line["attributes"] = record.attributes
+    return line
+
+
+def record_from_wire(payload: Any) -> RawRecord:
+    """Decode a crawl-record JSON object back into a :class:`RawRecord`."""
+    try:
+        return RawRecord(
+            node=payload["node"],
+            neighbors=tuple(payload["neighbors"]),
+            attributes=dict(payload.get("attributes", {})),
+        )
+    except (KeyError, TypeError) as exc:
+        raise RemoteBackendError(
+            f"malformed node record on the wire ({exc}): {payload!r}"
+        ) from exc
+
+
+def _coerce_id(value):
+    """JSON encoder default: numpy integers travel as plain ints."""
+    if isinstance(value, np.integer):
+        return int(value)
+    raise TypeError(
+        f"node id of type {type(value).__name__} is not JSON-representable"
+    )
+
+
+_SCALAR_ID_TYPES = (str, int, float, bool, type(None), np.integer)
+
+
+def _require_scalar_id(node: NodeId) -> None:
+    """Reject node ids JSON would silently restructure.
+
+    A tuple id is perfectly valid locally but JSON encodes it as a list, so
+    it would come back unhashable and wrong-typed; failing fast with a typed
+    error beats a confusing server-side 500 after the retries burn out.
+    """
+    if not isinstance(node, _SCALAR_ID_TYPES):
+        raise RemoteBackendError(
+            f"node id {node!r} cannot travel over the wire: only scalar "
+            f"JSON values (str, int, float, bool, null) survive the round "
+            f"trip, not {type(node).__name__}"
+        )
+
+
+def encode_node_id(node: NodeId) -> str:
+    """Return the URL path segment for ``node``: JSON, percent-encoded.
+
+    JSON keeps integer and string ids distinguishable (``5`` vs ``"5"``);
+    percent-encoding with no safe characters keeps slashes, quotes, spaces and
+    non-ASCII out of the request line.
+    """
+    _require_scalar_id(node)
+    try:
+        encoded = json.dumps(node, default=_coerce_id)
+    except (TypeError, ValueError) as exc:
+        raise RemoteBackendError(
+            f"node id {node!r} cannot travel over the wire: {exc}"
+        ) from exc
+    return urllib.parse.quote(encoded, safe="")
+
+
+def decode_node_id(segment: str) -> NodeId:
+    """Invert :func:`encode_node_id` (raises ``ValueError`` on bad input)."""
+    return json.loads(urllib.parse.unquote(segment))
+
+
+class HTTPGraphBackend(GraphBackend):
+    """Serve fetches from a remote graph service over JSON/HTTP.
+
+    Args:
+        base_url: Service root, e.g. ``"http://127.0.0.1:8000"``.  An optional
+            path prefix is honoured (``"http://host/graphs/fb"``).
+        timeout: Per-request socket timeout in seconds.
+        retries: How many times a failed request is retried (transient
+            failures only: timeouts, connection errors, 5xx, malformed JSON).
+            ``retries=3`` means up to four attempts in total.
+        backoff: Base of the deterministic exponential backoff: retry ``k``
+            (1-based) sleeps ``backoff * 2 ** (k - 1)`` seconds.
+        sleep: The sleep callable (injectable so tests pin the exact backoff
+            schedule without waiting it out).
+        name: Backend name; defaults to ``http:<netloc>``.
+
+    The graph behind the service is treated as immutable for the lifetime of
+    the client (like a snapshot or crawl dump): ``node_ids``, the ``/info``
+    descriptor and the ``/meta`` profile summaries are fetched once and
+    cached.  The metadata cache is what keeps ``peek_metadata``-hungry
+    kernels (MHRW degree checks, GNRW grouping) from paying one network
+    round trip per peek — peeks are free against local backends, so over the
+    wire they must at least be free on revisit.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 10.0,
+        retries: int = 3,
+        backoff: float = 0.05,
+        sleep: Callable[[float], None] = time.sleep,
+        name: Optional[str] = None,
+    ) -> None:
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme not in ("http", "https") or not parsed.netloc:
+            raise ValueError(
+                f"base_url must be an http:// or https:// URL, got {base_url!r}"
+            )
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.base_url = base_url.rstrip("/")
+        self._scheme = parsed.scheme
+        self._netloc = parsed.netloc
+        self._prefix = parsed.path.rstrip("/")
+        self._timeout = float(timeout)
+        self._retries = int(retries)
+        self._backoff = float(backoff)
+        self._sleep = sleep
+        self._connection: Optional[http.client.HTTPConnection] = None
+        self._info: Optional[Dict[str, Any]] = None
+        self._node_ids: Optional[List[NodeId]] = None
+        self._meta_cache: Dict[NodeId, Dict[str, Any]] = {}
+        self.name = name if name is not None else f"http:{parsed.netloc}"
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        connection_class = (
+            http.client.HTTPSConnection
+            if self._scheme == "https"
+            else http.client.HTTPConnection
+        )
+        connection = connection_class(self._netloc, timeout=self._timeout)
+        connection.connect()
+        # Small request/response exchanges must not stall behind Nagle +
+        # delayed ACK; a crawl is thousands of tiny round trips.
+        connection.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return connection
+
+    def _drop_connection(self) -> None:
+        connection = self._connection
+        self._connection = None
+        if connection is not None:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+    def close(self) -> None:
+        """Close the persistent connection (the client stays usable)."""
+        self._drop_connection()
+
+    def __enter__(self) -> "HTTPGraphBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _send(self, method: str, path: str, body: Optional[bytes]):
+        connection = self._connection
+        if connection is None:
+            connection = self._connect()
+            self._connection = connection
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        data = response.read()
+        if response.will_close:
+            self._drop_connection()
+        return response.status, data
+
+    @staticmethod
+    def _error_payload(data: bytes) -> Dict[str, Any]:
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return {}
+        return payload if isinstance(payload, dict) else {}
+
+    def _request(self, method: str, path: str, body: Optional[bytes] = None):
+        """One logical request: retries, backoff and error mapping live here."""
+        attempts = self._retries + 1
+        failure = "no attempt made"
+        for attempt in range(attempts):
+            if attempt:
+                # Deterministic exponential backoff: 1x, 2x, 4x, ... the base.
+                self._sleep(self._backoff * (2 ** (attempt - 1)))
+            try:
+                status, data = self._send(method, path, body)
+            except (http.client.HTTPException, OSError) as error:
+                # Timeout, refused connection, reset mid-response, stale
+                # keep-alive socket: drop the connection and retry.
+                self._drop_connection()
+                failure = f"{type(error).__name__}: {error}"
+                continue
+            if status >= 500:
+                failure = f"HTTP {status}: {self._error_payload(data).get('message', 'server error')}"
+                continue
+            if status == 404:
+                payload = self._error_payload(data)
+                if "node" in payload:
+                    # A node-level miss, not a transport problem: surface the
+                    # same typed error a local backend would raise, with the
+                    # original (JSON round-tripped) node id.
+                    if payload.get("error") == "replay_miss":
+                        raise ReplayMissError(
+                            payload["node"], source=payload.get("source", self.base_url)
+                        )
+                    raise NodeNotFoundError(payload["node"])
+                raise RemoteBackendError(
+                    f"{method} {path} is not an endpoint of {self.base_url}: "
+                    f"{payload.get('message', 'unknown endpoint')}",
+                    url=self.base_url,
+                    status=status,
+                )
+            if status != 200:
+                raise RemoteBackendError(
+                    f"{method} {path} returned HTTP {status}: "
+                    f"{self._error_payload(data).get('message', 'unexpected status')}",
+                    url=self.base_url,
+                    status=status,
+                )
+            try:
+                return json.loads(data.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as error:
+                failure = f"malformed JSON response body ({error})"
+                continue
+        raise RemoteBackendError(
+            f"{method} {path} failed after {attempts} attempt"
+            f"{'s' if attempts != 1 else ''}: {failure}",
+            url=self.base_url,
+            attempts=attempts,
+        )
+
+    # ------------------------------------------------------------------
+    # GraphBackend interface
+    # ------------------------------------------------------------------
+    def fetch(self, node: NodeId) -> RawRecord:
+        payload = self._request("GET", f"{self._prefix}/node/{encode_node_id(node)}")
+        return record_from_wire(payload)
+
+    def fetch_many(self, nodes: Sequence[NodeId]) -> List[RawRecord]:
+        order = list(nodes)
+        if not order:
+            return []
+        for node in order:
+            _require_scalar_id(node)
+        try:
+            body = json.dumps({"nodes": order}, default=_coerce_id).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise RemoteBackendError(
+                f"batch contains a node id that cannot travel over the wire: {exc}"
+            ) from exc
+        payload = self._request("POST", f"{self._prefix}/nodes", body=body)
+        records = payload.get("records") if isinstance(payload, dict) else None
+        if not isinstance(records, list) or len(records) != len(order):
+            raise RemoteBackendError(
+                f"POST /nodes returned {len(records) if isinstance(records, list) else 'no'}"
+                f" records for a {len(order)}-node batch",
+                url=self.base_url,
+            )
+        return [record_from_wire(record) for record in records]
+
+    def _meta(self, node: NodeId) -> Dict[str, Any]:
+        """The (cached) ``/meta`` payload of ``node``: one request, ever."""
+        if node in self._meta_cache:
+            return self._meta_cache[node]
+        payload = self._request("GET", f"{self._prefix}/meta/{encode_node_id(node)}")
+        if not isinstance(payload, dict):
+            raise RemoteBackendError(f"malformed /meta response: {payload!r}")
+        self._meta_cache[node] = payload
+        return payload
+
+    def metadata(self, node: NodeId) -> Optional[Dict[str, Any]]:
+        payload = self._meta(node)
+        if "degree" not in payload and "attributes" not in payload:
+            return None
+        return {
+            "degree": payload.get("degree"),
+            "attributes": dict(payload.get("attributes", {})),
+        }
+
+    def contains(self, node: NodeId) -> bool:
+        return bool(self._meta(node).get("contains"))
+
+    def info(self) -> Dict[str, Any]:
+        """The cached ``GET /info`` service descriptor (validated once)."""
+        if self._info is None:
+            payload = self._request("GET", f"{self._prefix}/info")
+            if not isinstance(payload, dict) or payload.get("format") != WIRE_FORMAT:
+                raise RemoteBackendError(
+                    f"{self.base_url} is not a {WIRE_FORMAT} service "
+                    f"(format={payload.get('format') if isinstance(payload, dict) else payload!r})",
+                    url=self.base_url,
+                )
+            if payload.get("version") != WIRE_VERSION:
+                raise RemoteBackendError(
+                    f"{self.base_url} speaks wire version {payload.get('version')!r}; "
+                    f"this client speaks version {WIRE_VERSION}",
+                    url=self.base_url,
+                )
+            self._info = payload
+        return dict(self._info)
+
+    def node_ids(self) -> List[NodeId]:
+        if self._node_ids is None:
+            payload = self._request("GET", f"{self._prefix}/node-ids")
+            nodes = payload.get("nodes") if isinstance(payload, dict) else None
+            if not isinstance(nodes, list):
+                raise RemoteBackendError(
+                    f"malformed /node-ids response: {payload!r}", url=self.base_url
+                )
+            self._node_ids = nodes
+        return list(self._node_ids)
+
+    def __len__(self) -> int:
+        return int(self.info()["nodes"])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"HTTPGraphBackend(base_url={self.base_url!r}, name={self.name!r})"

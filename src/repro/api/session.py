@@ -65,8 +65,10 @@ class SamplingSession:
     is built on first use and invalidated by any later configuration change.
     ``source`` may also be a ``str`` / :class:`~pathlib.Path` naming on-disk
     storage (a CSR snapshot directory or a crawl-dump file, see
-    :mod:`repro.storage`), so a session can crawl a graph larger than RAM or
-    replay a recorded crawl with the same one-liner.
+    :mod:`repro.storage`), or an ``http(s)://`` URL of a graph service (see
+    :mod:`repro.server`), so a session can crawl a graph larger than RAM,
+    replay a recorded crawl, or drive a graph served on another machine with
+    the same one-liner.
     """
 
     def __init__(

@@ -32,6 +32,16 @@ The storage commands persist graphs on disk (see :mod:`repro.storage`):
 directory that any later ``walk --source`` serves without rebuilding, and
 ``replay`` either records a traced crawl to a JSONL dump (``--record``) or
 replays an existing dump offline as the walk's backend.
+
+``serve`` exposes any graph source — a dataset, snapshot directory or crawl
+dump — as a JSON-over-HTTP graph service (see :mod:`repro.server`)::
+
+    python -m repro.cli serve --source snapshots/fb --port 8642
+    python -m repro.cli walk --source http://127.0.0.1:8642 --walker cnrw --budget 500
+
+A ``walk --source URL`` drives the remote service through
+:class:`~repro.api.remote.HTTPGraphBackend` and is bit-identical to the same
+walk over the served files locally.
 """
 
 from __future__ import annotations
@@ -109,6 +119,23 @@ def _policy_from_args(args: argparse.Namespace):
     return {"none": None, "twitter": twitter_policy(), "yelp": yelp_policy()}[args.rate_limit]
 
 
+def _reject_source_conflicts(args: argparse.Namespace) -> None:
+    """Refuse dataset-shaping flags combined with --source.
+
+    The backend kind, dataset and scale are baked into the served files, so a
+    conflicting ask must error rather than be silently dropped (shared by
+    'walk' and 'serve').
+    """
+    for flag, value in (("--backend", args.backend),
+                        ("--dataset", args.dataset),
+                        ("--scale", args.scale)):
+        if value is not None:
+            raise ValueError(
+                f"{flag} does not apply to --source (the graph is read "
+                f"as-is from the snapshot/dump files)"
+            )
+
+
 def _budget_from_args(args: argparse.Namespace) -> Optional[int]:
     """Resolve --budget, defaulting to a terminating 500 when --steps is unset."""
     if args.budget is None and args.steps is None:
@@ -128,26 +155,28 @@ def _run_walk(args: argparse.Namespace) -> None:
     graph = None
     start = None
     if args.source is not None:
-        # On-disk source (CSR snapshot directory or crawl dump): the backend
-        # kind, dataset and scale are baked into the files, so asking for a
-        # different one must error rather than be silently dropped.
-        for flag, value in (("--backend", args.backend),
-                            ("--dataset", args.dataset),
-                            ("--scale", args.scale)):
-            if value is not None:
-                raise ValueError(
-                    f"{flag} does not apply to --source (the graph is read "
-                    f"as-is from the snapshot/dump files)"
-                )
+        _reject_source_conflicts(args)
+        from .api import HTTPGraphBackend
+
         source = as_backend(args.source)
         if isinstance(source, ReplayBackend):
             # The dump preserves first-query order, so starting at the first
             # record replays the recorded crawl (same walker + seed) instead
             # of straying straight into a ReplayMissError.
-            recorded = source.node_ids()
-            if not recorded:
+            start = source.recorded_start
+            if start is None:
                 raise ValueError(f"crawl dump {args.source} contains no records")
-            start = recorded[0]
+        elif isinstance(source, HTTPGraphBackend):
+            # A remote server may itself be replay-backed; /info then carries
+            # the dump's recorded start (duck-typed off recorded_start, so
+            # wrappers work too) and the restart costs nothing beyond the
+            # descriptor fetch.
+            info = source.info()
+            start = info.get("start")
+            if start is None and info.get("backend") == "ReplayBackend":
+                raise ValueError(
+                    f"replay served at {args.source} contains no records"
+                )
         print(f"Source: {source.name} from {args.source} with {len(source)} nodes")
     else:
         graph = load_dataset(args.dataset or "facebook_like", seed=args.seed, scale=args.scale or 1.0)
@@ -217,6 +246,36 @@ def _run_walk(args: argparse.Namespace) -> None:
         seconds = estimate_crawl_time(session.unique_queries, policy)
         print(f"Simulated crawl time under the {args.rate_limit} limit: "
               f"{seconds / 3600:.2f} hours")
+
+
+def _run_serve(args: argparse.Namespace) -> None:
+    """Serve a graph source over JSON/HTTP until interrupted."""
+    from .api import as_backend
+    from .graphs import load_dataset
+    from .server import serve_backend
+
+    if args.source is not None:
+        _reject_source_conflicts(args)
+        backend = as_backend(args.source)
+    else:
+        graph = load_dataset(args.dataset or "facebook_like", seed=args.seed,
+                             scale=args.scale or 1.0)
+        backend = as_backend(graph)
+    server = serve_backend(backend, host=args.host, port=args.port)
+    print(f"Serving {backend.name} ({len(backend)} nodes) at {server.url}", flush=True)
+    print("endpoints: GET /info  GET /node/<id>  POST /nodes  GET /meta/<id>  "
+          "GET /node-ids", flush=True)
+    # A wildcard bind address is not connectable; suggest a URL that is.
+    port = server.server_address[1]
+    reach = f"http://<this-host>:{port}" if args.host in ("0.0.0.0", "::") else server.url
+    print(f"walk it remotely with: python -m repro.cli walk --source {reach}",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nstopping")
+    finally:
+        server.close()
 
 
 def _run_snapshot(args: argparse.Namespace) -> None:
@@ -331,13 +390,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=["list", "all", "table1", "walk", "sweep", "snapshot", "replay",
-                 *EXPERIMENTS.keys()],
+                 "serve", *EXPERIMENTS.keys()],
         help="experiment to run ('list' prints the available names; 'walk' runs "
         "a budgeted crawl through the SamplingSession facade; 'sweep' runs a "
         "custom cost sweep, optionally across --jobs worker processes; "
         "'snapshot' persists a dataset as a memory-mapped CSR snapshot "
         "directory; 'replay' records a traced crawl to a JSONL dump or "
-        "replays one offline)",
+        "replays one offline; 'serve' exposes a graph source as a "
+        "JSON-over-HTTP service that 'walk --source URL' drives remotely)",
     )
     parser.add_argument("--seed", type=int, default=0, help="base random seed (default 0)")
     parser.add_argument(
@@ -384,10 +444,11 @@ def build_parser() -> argparse.ArgumentParser:
         "WalkScheduler ensemble and pools the samples; default 1)",
     )
     walk.add_argument(
-        "--source", type=Path, default=None,
-        help="on-disk graph source for 'walk' instead of --dataset: a CSR "
-        "snapshot directory (served memory-mapped) or a crawl-dump file "
-        "(replayed offline)",
+        "--source", default=None,
+        help="graph source for 'walk'/'serve' instead of --dataset: a CSR "
+        "snapshot directory (served memory-mapped), a crawl-dump file "
+        "(replayed offline), or an http(s):// URL of a 'serve' instance "
+        "(driven remotely)",
     )
     storage = parser.add_argument_group("snapshot / replay options")
     storage.add_argument(
@@ -399,6 +460,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--record", action="store_true",
         help="for 'replay': run a traced --walker crawl over --dataset and "
         "record every fetched neighborhood to --dump",
+    )
+    serve = parser.add_argument_group("serve options")
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address for 'serve' (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8000,
+        help="port for 'serve' (default 8000; 0 binds an ephemeral port, "
+        "printed at startup)",
     )
     sweep = parser.add_argument_group("sweep options")
     sweep.add_argument(
@@ -430,12 +501,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("  sweep (custom cost sweep; see --sweep-walkers/--budgets/--trials/--jobs)")
         print("  snapshot (persist a dataset as a mmap CSR snapshot; see --dataset/--out)")
         print("  replay (record a traced crawl to --dump with --record, or replay one)")
+        print("  serve (expose a graph source over JSON/HTTP; see --source/--host/--port)")
         return 0
 
-    if args.experiment in ("walk", "snapshot", "replay"):
+    if args.experiment in ("walk", "snapshot", "replay", "serve"):
         from .exceptions import ReproError
 
-        handler = {"walk": _run_walk, "snapshot": _run_snapshot, "replay": _run_replay}
+        handler = {"walk": _run_walk, "snapshot": _run_snapshot,
+                   "replay": _run_replay, "serve": _run_serve}
         try:
             handler[args.experiment](args)
         except (ReproError, ValueError, FileNotFoundError) as error:

@@ -112,6 +112,24 @@ class ReplayMissError(NodeNotFoundError, StorageError):
         return (type(self), (self.node, self.source))
 
 
+class RemoteBackendError(ReproError):
+    """Raised when a remote graph service cannot satisfy a request.
+
+    Covers transport failures (connection refused, timeouts), persistent
+    server errors (5xx after the bounded retries are exhausted), malformed
+    response bodies, and protocol violations.  Node-level misses are *not*
+    remote errors: the client maps an HTTP 404 carrying a node id back to
+    :class:`NodeNotFoundError` / :class:`ReplayMissError`, so remote and
+    local backends raise identically.
+    """
+
+    def __init__(self, message, url=None, status=None, attempts=None):
+        super().__init__(message)
+        self.url = url
+        self.status = status
+        self.attempts = attempts
+
+
 class APIError(ReproError):
     """Base class for simulated-API errors."""
 

@@ -1,0 +1,14 @@
+"""HTTP server tier: serve any :class:`GraphBackend` as a JSON graph service.
+
+The client/server split of the access layer: :func:`serve_backend` puts any
+existing backend — in-memory graph, CSR, mmap snapshot, crawl-dump replay —
+behind a stdlib ``http.server`` service speaking the crawl-record JSON wire
+format, and :class:`~repro.api.remote.HTTPGraphBackend` (the client half, in
+:mod:`repro.api`) drives it through the unchanged two-method backend
+protocol.  ``python -m repro.cli serve --source PATH --port N`` is the
+command-line entry point.
+"""
+
+from .app import GraphHTTPServer, GraphRequestHandler, serve_backend
+
+__all__ = ["GraphHTTPServer", "GraphRequestHandler", "serve_backend"]

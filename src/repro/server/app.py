@@ -1,0 +1,390 @@
+"""Stdlib JSON-over-HTTP graph service over any :class:`GraphBackend`.
+
+:func:`serve_backend` binds a :class:`GraphHTTPServer` (a
+``http.server.ThreadingHTTPServer``) over any graph source —
+an in-memory :class:`~repro.graphs.graph.Graph`, a CSR backend, a
+memory-mapped snapshot directory or a crawl-dump replay — and
+:class:`GraphRequestHandler` answers the wire protocol of
+:mod:`repro.api.remote` (the PR-3 crawl-record JSON):
+
+* ``GET /info`` — service descriptor,
+* ``GET /node/<id>`` — one neighborhood record (404 + error JSON on a miss),
+* ``POST /nodes`` — batched ``fetch_many`` (atomic; a miss 404s the batch),
+* ``GET /meta/<id>`` — the free profile summary ``peek_metadata`` serves,
+* ``GET /node-ids`` — every node id in backend order.
+
+Node-level errors carry typed JSON bodies so the client can reconstruct the
+exact local exception: ``{"error": "not_found" | "replay_miss", "node": ...,
+"message": ...}`` — a replay-backed server reports out-of-dump queries with
+the original node id and dump path intact.  Backend or serialisation failures
+become 500s with an ``error: server_error`` body.
+
+The server counts requests per endpoint and the total node records served
+(``endpoint_counts`` / ``nodes_served``), which is how the test suite pins
+"a cached walk hits the network exactly ``unique_queries`` times".
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import urllib.parse
+import weakref
+from collections import Counter
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional
+
+from ..api.backend import GraphBackend, as_backend
+from ..api.remote import WIRE_FORMAT, WIRE_VERSION, decode_node_id, record_to_wire
+from ..exceptions import NodeNotFoundError, ReplayMissError
+
+
+class _BadRequest(Exception):
+    """Internal: a request the handler rejects with HTTP 400."""
+
+
+class GraphRequestHandler(BaseHTTPRequestHandler):
+    """Route one HTTP request to the server's backend.
+
+    ``protocol_version = "HTTP/1.1"`` enables keep-alive, so a client reuses
+    one connection for a whole crawl; every response carries an exact
+    ``Content-Length``.  Subclasses may override :meth:`inject_fault` to
+    simulate a misbehaving service (the test suite's fault-injection layer).
+    """
+
+    protocol_version = "HTTP/1.1"
+    server_version = f"{WIRE_FORMAT}/{WIRE_VERSION}"
+    #: Idle keep-alive connections are dropped after this many seconds, so a
+    #: vanished client can never pin a handler thread forever.
+    timeout = 30
+    #: TCP_NODELAY: the response is written as headers then body; with Nagle
+    #: on, the body write stalls behind the peer's delayed ACK (~40ms per
+    #: request), which would dominate a whole crawl of small responses.
+    disable_nagle_algorithm = True
+
+    @property
+    def backend(self) -> GraphBackend:
+        return self.server.graph_backend
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Silence the default per-request stderr logging."""
+
+    def inject_fault(self) -> bool:
+        """Hook for fault injection; return True to swallow the request."""
+        return False
+
+    # ------------------------------------------------------------------
+    # Responses
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Tell the client the keep-alive ends here (e.g. after a request
+            # whose body could not be drained), so it reconnects cleanly
+            # instead of discovering a dead socket on its next request.
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_node_error(self, error: NodeNotFoundError) -> None:
+        payload: Dict[str, Any] = {
+            "error": "replay_miss" if isinstance(error, ReplayMissError) else "not_found",
+            "message": str(error),
+        }
+        try:
+            json.dumps(error.node)
+            payload["node"] = error.node
+        except (TypeError, ValueError):
+            # A non-JSON-able id can only have been produced server-side (the
+            # wire always delivers JSON values); degrade to its repr.
+            payload["node"] = repr(error.node)
+        source = getattr(error, "source", None)
+        if source is not None:
+            payload["source"] = str(source)
+        self._send_json(404, payload)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _decode_node(segment: str):
+        try:
+            return decode_node_id(segment)
+        except ValueError:
+            raise _BadRequest(
+                f"node id path segment {segment!r} is not JSON "
+                f"(ids travel JSON-encoded, percent-escaped)"
+            ) from None
+
+    def _read_body(self) -> Optional[bytes]:
+        """Drain the request body exactly once, before any response.
+
+        Responding without consuming the body would leave it in the socket,
+        where it poisons the next keep-alive request's parse — so this runs
+        for *every* request (fault-injected and error responses included).
+        ``None`` means the Content-Length header was unreadable; the
+        connection is already marked for closing.
+        """
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            return b""
+        try:
+            length = int(length_header)
+        except ValueError:
+            length = -1
+        if length < 0:
+            # Unreadable or negative: rfile.read(-1) would block on the
+            # keep-alive socket until the handler timeout, pinning a worker.
+            self.close_connection = True
+            return None
+        return self.rfile.read(length)
+
+    def _dispatch(self, route) -> None:
+        self.server.note_request(self.command, urllib.parse.urlsplit(self.path).path)
+        self._body = self._read_body()
+        if self.inject_fault():
+            return
+        try:
+            route()
+        except _BadRequest as error:
+            self._send_json(400, {"error": "bad_request", "message": str(error)})
+        except NodeNotFoundError as error:
+            self._send_node_error(error)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            self.close_connection = True
+        except Exception as error:  # noqa: BLE001 - surface as HTTP 500
+            self._send_json(
+                500,
+                {"error": "server_error", "message": f"{type(error).__name__}: {error}"},
+            )
+
+    def do_GET(self) -> None:
+        self._dispatch(self._route_get)
+
+    def do_POST(self) -> None:
+        self._dispatch(self._route_post)
+
+    def _route_get(self) -> None:
+        path = urllib.parse.urlsplit(self.path).path
+        backend = self.backend
+        if path == "/info":
+            descriptor = {
+                "format": WIRE_FORMAT,
+                "version": WIRE_VERSION,
+                "name": backend.name,
+                "nodes": len(backend),
+                "backend": type(backend).__name__,
+            }
+            # Replay-backed servers publish the dump's recorded start so a
+            # remote client can restart the recorded crawl without pulling
+            # the whole id table.
+            start = getattr(backend, "recorded_start", None)
+            if start is not None:
+                descriptor["start"] = start
+            self._send_json(200, descriptor)
+        elif path == "/node-ids":
+            self._send_json(200, {"nodes": backend.node_ids()})
+        elif path.startswith("/node/"):
+            node = self._decode_node(path[len("/node/"):])
+            record = backend.fetch(node)
+            self.server.note_served(1)
+            self._send_json(200, record_to_wire(record))
+        elif path.startswith("/meta/"):
+            node = self._decode_node(path[len("/meta/"):])
+            payload: Dict[str, Any] = {"meta": node, "contains": bool(backend.contains(node))}
+            summary = backend.metadata(node)
+            if summary is not None:
+                payload["degree"] = summary.get("degree")
+                payload["attributes"] = summary.get("attributes", {})
+            self._send_json(200, payload)
+        else:
+            self._send_json(
+                404, {"error": "unknown_endpoint", "message": f"no endpoint at {path}"}
+            )
+
+    def _route_post(self) -> None:
+        path = urllib.parse.urlsplit(self.path).path
+        if path != "/nodes":
+            self._send_json(
+                404, {"error": "unknown_endpoint", "message": f"no endpoint at {path}"}
+            )
+            return
+        if self._body is None:
+            raise _BadRequest("Content-Length is not an integer")
+        try:
+            payload = json.loads(self._body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise _BadRequest(f"request body is not JSON: {error}") from None
+        nodes = payload.get("nodes") if isinstance(payload, dict) else None
+        if not isinstance(nodes, list):
+            raise _BadRequest('request body must be {"nodes": [...]}')
+        records = self.backend.fetch_many(nodes)
+        self.server.note_served(len(records))
+        self._send_json(200, {"records": [record_to_wire(record) for record in records]})
+
+
+class GraphHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`GraphBackend`.
+
+    Build one with :func:`serve_backend`.  :meth:`start` serves from a named
+    daemon thread; :meth:`close` stops the accept loop, force-closes any
+    still-open keep-alive connections (so no handler thread can linger on a
+    blocked read) and joins every thread — the test suite asserts that no
+    server outlives its fixture.  Use as a context manager for the
+    start/close pairing.
+    """
+
+    daemon_threads = True
+    #: Every not-yet-closed server, so the test suite can assert zero leaks.
+    _live: "weakref.WeakSet[GraphHTTPServer]" = weakref.WeakSet()
+
+    def __init__(self, address, handler_class, backend: GraphBackend) -> None:
+        super().__init__(address, handler_class)
+        self.graph_backend = backend
+        self.endpoint_counts: Counter = Counter()
+        self._nodes_served = 0
+        self._stats_lock = threading.Lock()
+        self._connections_lock = threading.Lock()
+        self._connections: set = set()
+        self._handler_threads: List[threading.Thread] = []
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        GraphHTTPServer._live.add(self)
+
+    # ------------------------------------------------------------------
+    # Request accounting (used by tests to pin network-hit counts)
+    # ------------------------------------------------------------------
+    def note_request(self, method: str, path: str) -> None:
+        endpoint = "/" + path.lstrip("/").split("/", 1)[0] if path.strip("/") else "/"
+        with self._stats_lock:
+            self.endpoint_counts[endpoint] += 1
+
+    def note_served(self, count: int) -> None:
+        with self._stats_lock:
+            self._nodes_served += count
+
+    @property
+    def nodes_served(self) -> int:
+        """Total node records served across ``/node`` and ``/nodes``."""
+        with self._stats_lock:
+            return self._nodes_served
+
+    def reset_stats(self) -> None:
+        with self._stats_lock:
+            self.endpoint_counts.clear()
+            self._nodes_served = 0
+
+    # ------------------------------------------------------------------
+    # Connection tracking (so close() never hangs on a keep-alive socket)
+    # ------------------------------------------------------------------
+    def get_request(self):
+        request, client_address = super().get_request()
+        with self._connections_lock:
+            self._connections.add(request)
+        return request, client_address
+
+    def shutdown_request(self, request) -> None:
+        with self._connections_lock:
+            self._connections.discard(request)
+        super().shutdown_request(request)
+
+    def process_request(self, request, client_address) -> None:
+        # ThreadingMixIn only records non-daemon threads before Python 3.11,
+        # so close() could not join ours through server_close() everywhere;
+        # spawn and track handler threads explicitly (named, so the test
+        # suite's leak check can see them).
+        thread = threading.Thread(
+            target=self.process_request_thread,
+            args=(request, client_address),
+            name="repro-http-handler",
+            daemon=True,
+        )
+        with self._connections_lock:
+            self._handler_threads = [t for t in self._handler_threads if t.is_alive()]
+            self._handler_threads.append(thread)
+        thread.start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "GraphHTTPServer":
+        """Serve from a background daemon thread; returns self."""
+        if self._thread is not None:
+            raise RuntimeError("server is already started")
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-http-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving, unblock every open connection, join all threads."""
+        if self._closed:
+            return
+        self._closed = True
+        GraphHTTPServer._live.discard(self)
+        if self._thread is not None:
+            self.shutdown()
+        with self._connections_lock:
+            open_connections = list(self._connections)
+        for connection in open_connections:
+            # Wake handler threads blocked reading the next keep-alive
+            # request; their readline returns EOF and the thread exits.
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        self.server_close()
+        with self._connections_lock:
+            handler_threads = list(self._handler_threads)
+            self._handler_threads = []
+        for thread in handler_threads:
+            thread.join(timeout=10)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @classmethod
+    def live_servers(cls) -> List["GraphHTTPServer"]:
+        """Every server not yet closed (leak detection in the test suite)."""
+        return list(cls._live)
+
+    def __enter__(self) -> "GraphHTTPServer":
+        if self._thread is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def serve_backend(
+    source,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    handler_class=GraphRequestHandler,
+) -> GraphHTTPServer:
+    """Bind a :class:`GraphHTTPServer` over ``source`` and return it (not serving yet).
+
+    ``source`` is anything :func:`~repro.api.backend.as_backend` accepts: a
+    graph, a backend, or a path to a snapshot directory / crawl dump.
+    ``port=0`` binds an ephemeral port (read it back from ``server.url``).
+    Call :meth:`~GraphHTTPServer.start` (or enter the context manager) to
+    serve from a background thread, or ``serve_forever()`` to serve in the
+    foreground as the CLI does.
+    """
+    backend = as_backend(source)
+    return GraphHTTPServer((host, port), handler_class, backend)

@@ -34,7 +34,8 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..api.backend import GraphBackend, RawRecord, as_backend
-from ..exceptions import CrawlDumpError, ReplayMissError
+from ..api.remote import record_from_wire, record_to_wire
+from ..exceptions import CrawlDumpError, RemoteBackendError, ReplayMissError
 from ..graphs.loaders import open_text
 from ..types import NodeId
 
@@ -108,6 +109,16 @@ class ReplayBackend(GraphBackend):
     def node_ids(self) -> List[NodeId]:
         return list(self._records)
 
+    @property
+    def recorded_start(self) -> Optional[NodeId]:
+        """The first fetched node of the recorded crawl (``None`` when empty).
+
+        Dumps preserve first-query order, so restarting a walk here replays
+        the recording; the graph server publishes it in ``GET /info`` so a
+        remote client can restart without downloading the whole id table.
+        """
+        return next(iter(self._records), None)
+
     def __len__(self) -> int:
         return len(self._records)
 
@@ -174,9 +185,10 @@ def dump_crawl(
 
     encoded_lines: List[str] = []
     for record in records:
-        line: Dict[str, Any] = {"node": record.node, "neighbors": list(record.neighbors)}
-        if record.attributes:
-            line["attributes"] = record.attributes
+        # record_to_wire is the single source of the record schema: the HTTP
+        # graph service serves the same objects, so dump and wire formats
+        # cannot drift apart.
+        line = record_to_wire(record)
         encoded_lines.append(encode(line, f"record for node {record.node!r}"))
     # Boundary neighbors: nodes the crawl saw listed but never fetched.
     # Samplers consult their free profile summaries through peek_metadata
@@ -249,14 +261,8 @@ def load_crawl(path: PathLike) -> ReplayBackend:
                             "attributes": dict(entry.get("attributes", {})),
                         }
                     else:
-                        records.append(
-                            RawRecord(
-                                node=entry["node"],
-                                neighbors=tuple(entry["neighbors"]),
-                                attributes=dict(entry.get("attributes", {})),
-                            )
-                        )
-                except (ValueError, KeyError, TypeError) as exc:
+                        records.append(record_from_wire(entry))
+                except (ValueError, KeyError, TypeError, RemoteBackendError) as exc:
                     raise CrawlDumpError(
                         f"{path} line {line_number}: bad record: {exc}"
                     ) from exc

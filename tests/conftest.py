@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.api import GraphAPI, QueryBudget
@@ -74,6 +76,49 @@ def small_clustered() -> Graph:
 def facebook_small() -> Graph:
     """A small instance of the facebook_like dataset for walk tests."""
     return load_dataset("facebook_like", seed=7, scale=0.12)
+
+
+@pytest.fixture(scope="module")
+def graph_server():
+    """Factory booting in-process graph HTTP servers, torn down per module.
+
+    Yields ``serve(source, **kwargs) -> GraphHTTPServer``: each call binds an
+    ephemeral port, starts the server on a background thread and registers it
+    for teardown, so a whole conformance matrix shares one live server
+    instead of booting one per test.  Teardown asserts every server actually
+    released its thread and listening socket.
+    """
+    from repro.server import serve_backend
+
+    servers = []
+
+    def serve(source, **kwargs):
+        server = serve_backend(source, **kwargs).start()
+        servers.append(server)
+        return server
+
+    yield serve
+    for server in servers:
+        server.close()
+        assert server.closed
+        # The listening socket must be released (fileno -1 once closed) and
+        # the serve thread joined — close() hangs, loudly, otherwise.
+        assert server.socket.fileno() == -1
+
+
+@pytest.fixture(autouse=True, scope="session")
+def no_graph_server_leaks():
+    """Assert no graph HTTP server (or its threads) outlives the suite."""
+    yield
+    from repro.server import GraphHTTPServer
+
+    leaked = GraphHTTPServer.live_servers()
+    assert not leaked, f"graph servers never closed: {leaked}"
+    lingering = [
+        thread for thread in threading.enumerate()
+        if thread.name.startswith("repro-http") and thread.is_alive()
+    ]
+    assert not lingering, f"graph server threads leaked: {lingering}"
 
 
 @pytest.fixture

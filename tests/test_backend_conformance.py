@@ -1,15 +1,18 @@
 """Cross-backend conformance suite: the contract every GraphBackend must pass.
 
-One suite, parametrized over all four shipped backends — InMemory, CSR,
-memory-mapped CSR snapshot, and crawl-dump replay — asserting that they are
-*indistinguishable* through the access layer: identical ``RawRecord``s
+One suite, parametrized over all five shipped backends — InMemory, CSR,
+memory-mapped CSR snapshot, crawl-dump replay, and the remote
+``HTTPGraphBackend`` driving a live in-process server — asserting that they
+are *indistinguishable* through the access layer: identical ``RawRecord``s
 (neighbor order included), identical golden walk fingerprints for every
 transition kernel under fixed seeds, identical ``QueryStats`` accounting
 through the full middleware stack, and loss-free snapshot / dump round trips.
 
-Any future backend (remote, async, sharded) must be added to
-``BACKEND_KINDS`` and pass unchanged: the paper's cost model and every seeded
-experiment depend on storage being invisible above the backend protocol.
+Any future backend (async, sharded) must be added to ``BACKEND_KINDS`` and
+pass unchanged: the paper's cost model and every seeded experiment depend on
+storage being invisible above the backend protocol.  The ``http`` entry is
+the proof for the client/server split: a remote graph walks bit-identically
+to a local one, with the exact same accounting.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ import pytest
 from repro.api import (
     CSRBackend,
     GraphBackend,
+    HTTPGraphBackend,
     InMemoryBackend,
     as_backend,
     build_api,
@@ -45,7 +49,7 @@ from repro.storage import (
 from repro.walks import make_walker
 
 #: Every backend the library ships; the whole suite runs once per entry.
-BACKEND_KINDS = ("memory", "csr", "mmap", "replay")
+BACKEND_KINDS = ("memory", "csr", "mmap", "replay", "http")
 
 #: Kernels whose walks must fingerprint identically on every backend.
 KERNEL_NAMES = ("srw", "mhrw", "nbsrw", "cnrw", "nbcnrw", "gnrw_by_degree")
@@ -91,16 +95,28 @@ def dump_path(conformance_graph, tmp_path_factory) -> Path:
     )
 
 
+@pytest.fixture(scope="module")
+def http_server(conformance_graph, graph_server):
+    """One live in-process server over the conformance graph, per module."""
+    return graph_server(InMemoryBackend(conformance_graph))
+
+
 @pytest.fixture(params=BACKEND_KINDS)
-def backend(request, conformance_graph, snapshot_dir, dump_path) -> GraphBackend:
+def backend(request, conformance_graph, snapshot_dir, dump_path, http_server):
     kind = request.param
     if kind == "memory":
-        return InMemoryBackend(conformance_graph)
-    if kind == "csr":
-        return CSRBackend.from_graph(conformance_graph)
-    if kind == "mmap":
-        return load_snapshot(snapshot_dir)
-    return load_crawl(dump_path)
+        made: GraphBackend = InMemoryBackend(conformance_graph)
+    elif kind == "csr":
+        made = CSRBackend.from_graph(conformance_graph)
+    elif kind == "mmap":
+        made = load_snapshot(snapshot_dir)
+    elif kind == "replay":
+        made = load_crawl(dump_path)
+    else:
+        made = HTTPGraphBackend(http_server.url, timeout=10.0)
+    yield made
+    if kind == "http":
+        made.close()
 
 
 @pytest.fixture
@@ -339,6 +355,38 @@ class TestStorageErrors:
         with pytest.raises(ReplayMissError):
             api.query(outside)
 
+    def test_replay_miss_roundtrips_over_http(
+        self, conformance_graph, graph_server, tmp_path
+    ):
+        """ReplayMissError -> HTTP 404 -> client typed error, id intact.
+
+        A replay-backed *server* must report out-of-dump queries exactly like
+        a local replay: the client raises a NodeNotFoundError (specifically
+        ReplayMissError) carrying the original node id — both as the typed
+        ``.node`` attribute and in the human-readable message.
+        """
+        backend = InMemoryBackend(conformance_graph)
+        nodes = backend.node_ids()[:5]
+        dump = dump_crawl(backend, tmp_path / "part.jsonl", nodes=nodes)
+        server = graph_server(load_crawl(dump))
+        outside = backend.node_ids()[10]
+        with HTTPGraphBackend(server.url) as client:
+            # Recorded nodes replay identically through the service.
+            assert client.fetch(nodes[0]) == backend.fetch(nodes[0])
+            with pytest.raises(NodeNotFoundError) as excinfo:
+                client.fetch(outside)
+            assert isinstance(excinfo.value, ReplayMissError)
+            assert excinfo.value.node == outside
+            assert str(outside) in str(excinfo.value)
+            # Through a full middleware stack the typed miss surfaces too.
+            api = build_api(client, budget=20)
+            with pytest.raises(ReplayMissError):
+                api.query(outside)
+            # Batched fetches 404 with the same typed, id-carrying error.
+            with pytest.raises(ReplayMissError) as batch_info:
+                client.fetch_many([nodes[0], outside])
+            assert batch_info.value.node == outside
+
     def test_snapshot_rejects_missing_or_foreign_directory(self, tmp_path):
         with pytest.raises(SnapshotError, match="manifest"):
             load_snapshot(tmp_path)
@@ -470,6 +518,11 @@ class TestAsBackend:
 
     def test_pathlib_path_opens_dump(self, dump_path):
         assert isinstance(as_backend(Path(dump_path)), ReplayBackend)
+
+    def test_url_opens_http_backend(self, http_server):
+        backend = as_backend(http_server.url)
+        assert isinstance(backend, HTTPGraphBackend)
+        backend.close()
 
     def test_missing_path_raises_file_not_found(self, tmp_path):
         with pytest.raises(FileNotFoundError, match="snapshot"):

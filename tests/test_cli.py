@@ -2,6 +2,13 @@
 
 from __future__ import annotations
 
+import os
+import re
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main
@@ -140,6 +147,89 @@ class TestMain:
             assert main(["walk", "--source", str(empty), flag, value,
                          "--budget", "10"]) == 2
             assert f"{flag} does not apply" in capsys.readouterr().err
+
+    def test_serve_rejects_conflicting_flags_and_bad_sources(self, tmp_path, capsys):
+        assert main(["serve", "--source", str(tmp_path / "nowhere")]) == 2
+        assert "no graph storage" in capsys.readouterr().err
+        snap = tmp_path / "snap"
+        assert main(["snapshot", "--dataset", "facebook_like", "--scale", "0.12",
+                     "--out", str(snap)]) == 0
+        capsys.readouterr()
+        for flag, value in (("--dataset", "facebook_like"), ("--scale", "0.2")):
+            assert main(["serve", "--source", str(snap), flag, value]) == 2
+            assert f"{flag} does not apply" in capsys.readouterr().err
+
+    def test_serve_then_remote_walk_matches_local_walk(self, tmp_path, capsys):
+        """End to end: `serve` a snapshot, `walk --source URL` against it, and
+        the remote walk reports exactly the numbers of the local walk."""
+        snap = tmp_path / "snap"
+        assert main(["snapshot", "--dataset", "facebook_like", "--scale", "0.15",
+                     "--seed", "2", "--out", str(snap)]) == 0
+        capsys.readouterr()
+        repo_root = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(repo_root / "src")] + env.get("PYTHONPATH", "").split(os.pathsep)
+        ).rstrip(os.pathsep)
+        env["PYTHONUNBUFFERED"] = "1"
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--source", str(snap),
+             "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+        )
+        # Never hang the suite on a server that fails to announce itself.
+        killer = threading.Timer(60, process.kill)
+        killer.start()
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r"at (http://[0-9.:]+)", banner)
+            assert match, f"serve printed no URL: {banner!r}"
+            url = match.group(1)
+            walk_args = ["--walker", "cnrw", "--budget", "60", "--seed", "5"]
+            assert main(["walk", "--source", url, *walk_args]) == 0
+            remote_out = capsys.readouterr().out
+            assert main(["walk", "--source", str(snap), *walk_args]) == 0
+            local_out = capsys.readouterr().out
+
+            def fingerprint(text):
+                walk_line = next(line for line in text.splitlines() if "steps," in line)
+                estimate = next(line for line in text.splitlines() if "Estimated" in line)
+                return re.sub(r"\([^)]*\)", "", walk_line), estimate
+
+            assert fingerprint(remote_out) == fingerprint(local_out)
+        finally:
+            killer.cancel()
+            process.terminate()
+            process.wait(timeout=30)
+
+    def test_remote_walk_over_replay_server_reproduces_recorded_crawl(
+        self, tmp_path, capsys
+    ):
+        """A replay-backed *server* restarts remote walks from the dump's
+        recorded start (discovered via /info), exactly like a local
+        `walk --source DUMP` — not from a random node straight into a miss."""
+        from repro.server import serve_backend
+
+        dump = tmp_path / "crawl.jsonl"
+        record_args = ["--dump", str(dump), "--scale", "0.15",
+                       "--walker", "cnrw", "--budget", "80", "--seed", "9"]
+        assert main(["replay", "--record", *record_args]) == 0
+        capsys.readouterr()
+        assert main(["replay", *record_args]) == 0
+        local = capsys.readouterr().out
+        with serve_backend(dump) as server:
+            assert main(["walk", "--source", server.url, "--walker", "cnrw",
+                         "--budget", "80", "--seed", "9"]) == 0
+            remote = capsys.readouterr().out
+
+        def numbers(text):
+            return re.sub(
+                r"\([^)]*\)", "",
+                next(line for line in text.splitlines() if line.startswith("Walk")),
+            )
+
+        assert numbers(remote) == numbers(local)
+        assert "80 unique" in remote
 
     def test_sweep_with_jobs_and_csv(self, tmp_path, capsys):
         code = main([

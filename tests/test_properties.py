@@ -322,6 +322,73 @@ class TestStorageRoundTripProperties:
 # ---------------------------------------------------------------------------
 
 
+class TestRemoteWireProperties:
+    """Serving any graph over HTTP round-trips it losslessly (satellite).
+
+    Random graphs with non-identity ids (negative ints, unicode strings, the
+    empty string) and unicode attribute values travel through
+    ``serve -> HTTPGraphBackend`` with neighbors (order included) and
+    attributes intact — no id type gets coerced, no string gets mangled.
+    """
+
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_served_graph_round_trips_losslessly(self, data):
+        from repro.api import HTTPGraphBackend
+        from repro.server import serve_backend
+
+        wire_ids = st.one_of(
+            st.integers(min_value=-5, max_value=99),
+            st.text(max_size=6),  # unicode included, "" included
+        )
+        size = data.draw(st.integers(min_value=2, max_value=7), label="size")
+        ids = data.draw(
+            st.lists(wire_ids, min_size=size, max_size=size, unique=True),
+            label="ids",
+        )
+        edges = list(zip(ids, ids[1:]))
+        extra = data.draw(
+            st.lists(st.tuples(st.sampled_from(ids), st.sampled_from(ids)), max_size=8),
+            label="extra",
+        )
+        edges.extend((u, v) for u, v in extra if u != v)
+        graph = Graph(name="wire")
+        graph.add_edges(edges)
+        attributes = data.draw(
+            st.dictionaries(
+                st.sampled_from(ids),
+                st.dictionaries(
+                    st.text(min_size=1, max_size=5),
+                    st.one_of(st.integers(), st.text(max_size=8)),
+                    min_size=1,
+                    max_size=3,
+                ),
+                max_size=3,
+            ),
+            label="attributes",
+        )
+        for node, node_attributes in attributes.items():
+            graph.set_attributes(node, **node_attributes)
+
+        backend = InMemoryBackend(graph)
+        with serve_backend(backend) as server:
+            with HTTPGraphBackend(server.url, timeout=5) as client:
+                assert client.node_ids() == backend.node_ids()
+                assert len(client) == len(backend)
+                for node in backend.node_ids():
+                    remote = client.fetch(node)
+                    local = backend.fetch(node)
+                    assert remote == local
+                    assert [type(n) for n in remote.neighbors] == [
+                        type(n) for n in local.neighbors
+                    ]
+                    assert client.metadata(node) == backend.metadata(node)
+                    assert client.contains(node)
+                assert client.fetch_many(backend.node_ids()) == backend.fetch_many(
+                    backend.node_ids()
+                )
+
+
 class TestCacheProperties:
     @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 100)), max_size=200))
     @settings(max_examples=60, deadline=None)
