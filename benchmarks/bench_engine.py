@@ -26,7 +26,7 @@ from repro.engine import WalkScheduler
 from repro.rng import derive_seed
 from repro.walks import make_walker
 
-from conftest import bench_scale
+from conftest import bench_scale, record_bench_result
 
 #: Graph size: 100k nodes at the default scale (the acceptance target).
 NUM_NODES = max(10_000, int(100_000 * bench_scale()))
@@ -149,6 +149,16 @@ def test_scheduler_beats_sequential_execution(csr_backend, starts):
         f"\n{WALKERS}x {WALKER_NAME} x {STEPS} steps on {NUM_NODES} nodes: "
         f"sequential {sequential_seconds * 1e3:.1f} ms, scheduled "
         f"{scheduled_seconds * 1e3:.1f} ms ({speedup:.2f}x)"
+    )
+    record_bench_result(
+        "engine.scheduler_vs_sequential",
+        nodes=NUM_NODES,
+        walkers=WALKERS,
+        steps=STEPS,
+        sequential_seconds=sequential_seconds,
+        scheduled_seconds=scheduled_seconds,
+        speedup=speedup,
+        required_speedup=REQUIRED_SPEEDUP,
     )
     if REQUIRED_SPEEDUP is not None:
         assert speedup >= REQUIRED_SPEEDUP, (

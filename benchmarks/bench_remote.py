@@ -27,7 +27,7 @@ from repro.engine import WalkScheduler
 from repro.server import serve_backend
 from repro.walks import make_walker
 
-from conftest import bench_scale
+from conftest import bench_scale, record_bench_result
 
 #: Graph size: 20k nodes at the default scale.
 NUM_NODES = max(4_000, int(20_000 * bench_scale()))
@@ -121,6 +121,18 @@ def test_batched_posts_beat_per_node_gets_2x(server):
         f"({sequential_requests // 3} requests/run), batched "
         f"{batched_seconds * 1e3:.1f} ms ({batched_requests // 3} requests/run), "
         f"{speedup:.1f}x"
+    )
+    record_bench_result(
+        "remote.batched_vs_per_node",
+        nodes=NUM_NODES,
+        walkers=NUM_WALKERS,
+        steps=WALK_STEPS,
+        sequential_seconds=sequential_seconds,
+        batched_seconds=batched_seconds,
+        sequential_requests=sequential_requests // 3,
+        batched_requests=batched_requests // 3,
+        speedup=speedup,
+        required_speedup=MIN_BATCH_SPEEDUP,
     )
     assert batched_requests < sequential_requests
     assert speedup >= MIN_BATCH_SPEEDUP, (

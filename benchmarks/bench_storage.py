@@ -28,7 +28,7 @@ from repro.engine import WalkScheduler
 from repro.storage import MmapCSRBackend, load_snapshot, save_snapshot
 from repro.walks import make_walker
 
-from conftest import bench_scale
+from conftest import bench_scale, record_bench_result
 
 #: Graph size: 100k nodes at the default scale (the acceptance target).
 NUM_NODES = max(10_000, int(100_000 * bench_scale()))
@@ -110,6 +110,14 @@ def test_snapshot_open_beats_rebuild_5x(edges, snapshot_dir):
         f"from_edges {rebuild_seconds * 1e3:.1f} ms, load_snapshot "
         f"{open_seconds * 1e3:.1f} ms ({speedup:.1f}x)"
     )
+    record_bench_result(
+        "storage.snapshot_open_vs_rebuild",
+        nodes=NUM_NODES,
+        rebuild_seconds=rebuild_seconds,
+        open_seconds=open_seconds,
+        speedup=speedup,
+        required_speedup=MIN_COLD_START_SPEEDUP,
+    )
     assert speedup >= MIN_COLD_START_SPEEDUP, (
         f"expected load_snapshot to open >= {MIN_COLD_START_SPEEDUP}x faster than "
         f"CSRBackend.from_edges (rebuild {rebuild_seconds:.4f}s vs open "
@@ -137,6 +145,16 @@ def test_mmap_walks_within_1_3x_of_ram_csr(csr_backend, snapshot_dir):
         f"\n{NUM_WALKERS}-walker x {WALK_STEPS}-step ensemble over {NUM_NODES} "
         f"nodes: ram {ram_seconds * 1e3:.1f} ms, mmap {mmap_seconds * 1e3:.1f} ms "
         f"({ratio:.2f}x)"
+    )
+    record_bench_result(
+        "storage.mmap_walk_vs_ram",
+        nodes=NUM_NODES,
+        walkers=NUM_WALKERS,
+        steps=WALK_STEPS,
+        ram_seconds=ram_seconds,
+        mmap_seconds=mmap_seconds,
+        ratio=ratio,
+        max_ratio=MAX_WALK_SLOWDOWN,
     )
     assert ratio <= MAX_WALK_SLOWDOWN, (
         f"expected mmap ensemble within {MAX_WALK_SLOWDOWN}x of in-RAM CSR "

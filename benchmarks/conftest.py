@@ -9,7 +9,9 @@ to a float > 1 to run closer to paper scale.
 
 from __future__ import annotations
 
+import json
 import os
+from typing import Any, Dict, List
 
 import pytest
 
@@ -20,6 +22,50 @@ def bench_scale(default: float = 1.0) -> float:
         return float(os.environ.get("REPRO_BENCH_SCALE", default))
     except ValueError:
         return default
+
+
+#: Results recorded by the acceptance benchmarks during this pytest session,
+#: written out by ``--json PATH`` (see :func:`record_bench_result`).
+_BENCH_RESULTS: List[Dict[str, Any]] = []
+
+
+def record_bench_result(name: str, **fields: Any) -> None:
+    """Record one machine-readable benchmark result.
+
+    Every acceptance benchmark calls this with its headline numbers (the
+    measured ratios it asserts on, plus the workload parameters).  When the
+    run was started with ``--json PATH`` the collected results are written to
+    ``PATH`` at session end, so CI can accumulate a ``BENCH_*.json``
+    trajectory instead of parsing stdout.
+    """
+    entry: Dict[str, Any] = {"name": name, "scale": bench_scale()}
+    entry.update(fields)
+    _BENCH_RESULTS.append(entry)
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--json",
+        dest="repro_bench_json",
+        default=None,
+        metavar="PATH",
+        help="write machine-readable benchmark results (name, scale, measured "
+        "ratios) to PATH as JSON at the end of the run",
+    )
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    path = session.config.getoption("repro_bench_json", None)
+    if not path:
+        return
+    payload = {
+        "format": "repro-bench-results",
+        "version": 1,
+        "results": _BENCH_RESULTS,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
 
 
 @pytest.fixture(scope="session")

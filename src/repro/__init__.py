@@ -14,6 +14,10 @@ Faster Sampling of Online Social Networks* (VLDB 2015).  The library provides:
   protocol: memory-mapped CSR snapshots (``save_snapshot`` /
   ``load_snapshot``) and JSONL crawl dumps replayed offline
   (``dump_crawl`` / ``load_crawl``);
+* :mod:`repro.cluster` — the sharded graph tier: ``partition_snapshot``
+  splits a snapshot across N shard servers by deterministic consistent
+  hashing, and ``ShardedBackend`` presents them as one backend (batched
+  fetches fan out concurrently and re-merge in request order);
 * :mod:`repro.walks` — the baseline samplers (SRW, MHRW, NB-SRW) and the
   paper's contributions (CNRW, GNRW, NB-CNRW);
 * :mod:`repro.estimation` — aggregate queries, reweighted estimators and
@@ -73,14 +77,23 @@ from .estimation import (
     estimate,
     ground_truth,
 )
+from .cluster import (
+    HashRing,
+    ShardedBackend,
+    load_cluster,
+    load_shard,
+    partition_snapshot,
+)
 from .exceptions import (
     APIError,
+    ClusterError,
     EstimationError,
     ExperimentError,
     GraphError,
     QueryBudgetExceededError,
     RemoteBackendError,
     ReproError,
+    ShardError,
     WalkError,
 )
 from .graphs import (
@@ -133,12 +146,13 @@ from .walks import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "APIError",
     "AggregateKind",
     "AggregateQuery",
-    "APIError",
     "CNRW",
     "CSRBackend",
     "CirculatedNeighborsRandomWalk",
+    "ClusterError",
     "Estimate",
     "EstimationError",
     "ExperimentError",
@@ -150,6 +164,7 @@ __all__ = [
     "GraphHTTPServer",
     "GroupByNeighborsRandomWalk",
     "HTTPGraphBackend",
+    "HashRing",
     "InMemoryBackend",
     "InstrumentedAPI",
     "MHRW",
@@ -171,16 +186,19 @@ __all__ = [
     "SamplingSession",
     "SchedulerPolicy",
     "Session",
+    "ShardError",
+    "ShardedBackend",
     "SimpleRandomWalk",
     "SocialNetworkAPI",
     "TraceLayer",
     "WalkError",
     "WalkResult",
     "WalkScheduler",
+    "__version__",
     "available_datasets",
-    "build_api",
     "available_walkers",
     "barbell_graph",
+    "build_api",
     "clustered_cliques_graph",
     "dump_crawl",
     "empirical_distribution",
@@ -189,12 +207,15 @@ __all__ = [
     "ground_truth",
     "kl_divergence",
     "l2_distance",
+    "load_cluster",
     "load_crawl",
     "load_dataset",
     "load_edge_list",
+    "load_shard",
     "load_snapshot",
     "make_grouping",
     "make_walker",
+    "partition_snapshot",
     "relative_error",
     "save_snapshot",
     "serve_backend",
@@ -203,5 +224,4 @@ __all__ = [
     "theoretical_distribution",
     "twitter_policy",
     "yelp_policy",
-    "__version__",
 ]

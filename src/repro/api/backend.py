@@ -96,6 +96,23 @@ class GraphBackend:
         nodes = self.node_ids()
         return nodes[int(rng.integers(0, len(nodes)))]
 
+    def close(self) -> None:
+        """Release any resources the backend holds.
+
+        Purely local backends hold none, so the default is a no-op; backends
+        with real resources (keep-alive sockets, shard dispatch pools)
+        override it.  Every backend is therefore a context manager, so
+        ``with as_backend(source) as backend: ...`` closes connections
+        deterministically no matter what kind of backend the source resolved
+        to.
+        """
+
+    def __enter__(self) -> "GraphBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def __len__(self) -> int:
         return len(self.node_ids())
 
@@ -376,10 +393,13 @@ def as_backend(source) -> GraphBackend:
     Accepts an existing backend (returned unchanged), a
     :class:`~repro.graphs.graph.Graph` (wrapped in :class:`InMemoryBackend`),
     an ``http://`` / ``https://`` URL (driven remotely through
-    :class:`~repro.api.remote.HTTPGraphBackend`), or an on-disk source given
-    as a ``str`` / :class:`~pathlib.Path`: a CSR snapshot directory (served
-    memory-mapped through :class:`~repro.storage.MmapCSRBackend`) or a
-    crawl-dump file (replayed through :class:`~repro.storage.ReplayBackend`).
+    :class:`~repro.api.remote.HTTPGraphBackend`), a ``cluster://`` URL list
+    or ``cluster.json`` manifest (a consistent-hashed shard tier driven
+    through :class:`~repro.cluster.ShardedBackend`), or an on-disk source
+    given as a ``str`` / :class:`~pathlib.Path`: a CSR snapshot directory
+    (served memory-mapped through :class:`~repro.storage.MmapCSRBackend`), a
+    shard directory written by :func:`~repro.cluster.partition_snapshot`, or
+    a crawl-dump file (replayed through :class:`~repro.storage.ReplayBackend`).
     Any other input raises :class:`TypeError` listing the accepted types.
     """
     if isinstance(source, GraphBackend):
@@ -390,12 +410,18 @@ def as_backend(source) -> GraphBackend:
         from .remote import HTTPGraphBackend
 
         return HTTPGraphBackend(source)
+    if isinstance(source, str) and source.startswith("cluster://"):
+        from ..cluster import open_cluster
+
+        return open_cluster(source)
     if isinstance(source, (str, Path)):
         from ..storage import open_backend
 
         return open_backend(source)
     raise TypeError(
         f"cannot build a GraphBackend from {type(source).__name__}; accepted "
-        "types: Graph, GraphBackend, an http(s):// service URL, or a str / "
-        "pathlib.Path pointing at a CSR snapshot directory or a crawl-dump file"
+        "types: Graph, GraphBackend, an http(s):// service URL, a cluster:// "
+        "shard list, or a str / pathlib.Path pointing at a CSR snapshot "
+        "directory, a shard directory, a cluster.json manifest, or a "
+        "crawl-dump file"
     )

@@ -32,16 +32,27 @@ with deterministic exponential backoff.  Failures map to typed exceptions:
 node-level 404s become :class:`~repro.exceptions.NodeNotFoundError` (or
 :class:`~repro.exceptions.ReplayMissError` when the server replays a crawl
 dump), everything else becomes :class:`~repro.exceptions.RemoteBackendError`.
+
+The transport is a purpose-built :class:`_LeanHTTPConnection` rather than
+``http.client``: a crawl is thousands of tiny keep-alive exchanges, and
+``http.client`` burns ~0.2 ms of pure CPU per response parsing headers
+through ``email.parser`` — several times the cost of the fetch itself on
+loopback, and the dominant term once a sharded cluster multiplies the
+request count by the shard fan-out.  The lean connection also splits one
+exchange into :meth:`~_LeanHTTPConnection.send_request` /
+:meth:`~_LeanHTTPConnection.read_response`, which is what lets
+:class:`~repro.cluster.ShardedBackend` *pipeline* a frontier batch: post
+every shard's sub-batch first, then collect the responses while the shard
+servers work concurrently.
 """
 
 from __future__ import annotations
 
-import http.client
 import json
 import socket
 import time
 import urllib.parse
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -129,6 +140,165 @@ def decode_node_id(segment: str) -> NodeId:
     return json.loads(urllib.parse.unquote(segment))
 
 
+class _WireError(Exception):
+    """A malformed or truncated HTTP response on the lean transport.
+
+    Treated exactly like a dropped connection: the client closes the socket
+    and retries (bounded, with backoff) — never parses on hopefully.
+    """
+
+
+class _TransientResponse(Exception):
+    """A complete, well-framed response worth retrying (5xx, garbage JSON).
+
+    Unlike :class:`_WireError` the connection itself is healthy — the body
+    was fully read — so the retry reuses the keep-alive socket.
+    """
+
+
+class _LeanHTTPConnection:
+    """Minimal HTTP/1.1 keep-alive connection tuned for the graph wire.
+
+    Speaks exactly the subset of HTTP/1.1 the graph service emits — one
+    status line, plain ``Name: value`` header lines, a ``Content-Length``
+    framed body (the server never chunks) — and parses it with
+    ``bytes.partition`` instead of ``email.parser``, which cuts the fixed
+    per-response CPU cost by an order of magnitude.  Any response outside
+    that subset raises :class:`_WireError` and the caller reconnects.
+
+    One exchange is two calls — :meth:`send_request` then
+    :meth:`read_response` — so several connections can have requests in
+    flight at once (the sharded tier's pipelined fan-out) while each single
+    connection stays strictly request/response.
+    """
+
+    #: Hard cap on one header line (mirrors http.client's sanity limit).
+    _MAX_LINE = 65536
+
+    def __init__(self, scheme: str, host: str, port: Optional[int],
+                 timeout: float, host_header: str) -> None:
+        self._scheme = scheme
+        self._host = host
+        self._port = port if port is not None else (443 if scheme == "https" else 80)
+        self._timeout = timeout
+        self._host_header = host_header
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._reusable = True
+
+    def _connect(self) -> None:
+        sock = socket.create_connection((self._host, self._port), timeout=self._timeout)
+        # Small request/response exchanges must not stall behind Nagle +
+        # delayed ACK; a crawl is thousands of tiny round trips.
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        if self._scheme == "https":
+            import ssl
+
+            sock = ssl.create_default_context().wrap_socket(
+                sock, server_hostname=self._host
+            )
+        self._sock = sock
+        self._file = sock.makefile("rb")
+        self._reusable = True
+
+    @property
+    def reusable(self) -> bool:
+        """Whether the connection survives for another exchange."""
+        return self._reusable and self._sock is not None
+
+    def close(self) -> None:
+        sock = self._sock
+        self._sock = None
+        file = self._file
+        self._file = None
+        for closable in (file, sock):
+            if closable is not None:
+                try:
+                    closable.close()
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+
+    def send_request(self, method: str, path: str, body: Optional[bytes]) -> None:
+        """Send one request (connecting lazily); does not read the response."""
+        if self._sock is None:
+            self._connect()
+        # Minimal headers: every line costs parse time on both ends.
+        head = f"{method} {path} HTTP/1.1\r\nHost: {self._host_header}\r\n"
+        if body is not None:
+            head += f"Content-Type: application/json\r\nContent-Length: {len(body)}\r\n"
+        self._sock.sendall(head.encode("ascii") + b"\r\n" + (body or b""))
+
+    def read_response(self) -> Tuple[int, bytes]:
+        """Read one response; returns ``(status, body)``.
+
+        Raises :class:`_WireError` on anything outside the service's HTTP
+        subset and ``OSError`` (incl. timeouts) on transport failures.  After
+        a ``Connection: close`` / HTTP/1.0 response :attr:`reusable` is
+        False and the caller must drop the connection.
+        """
+        if self._file is None:
+            raise _WireError("connection is not open")
+        status_line = self._file.readline(self._MAX_LINE + 1)
+        if not status_line:
+            raise _WireError("connection closed before the status line")
+        parts = status_line.split(None, 2)
+        if len(parts) < 2 or not parts[0].startswith(b"HTTP/"):
+            raise _WireError(f"malformed status line {status_line!r}")
+        try:
+            status = int(parts[1])
+        except ValueError:
+            raise _WireError(f"malformed status code in {status_line!r}") from None
+        will_close = parts[0] == b"HTTP/1.0"
+        content_length: Optional[int] = None
+        header_count = 0
+        while True:
+            line = self._file.readline(self._MAX_LINE + 1)
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                raise _WireError("connection closed inside the response headers")
+            if len(line) > self._MAX_LINE:
+                raise _WireError("oversized response header line")
+            header_count += 1
+            if header_count > 100:
+                # Mirror http.client's _MAXHEADERS: a hostile server could
+                # otherwise stream header lines forever (the socket timeout
+                # never fires while data keeps arriving).
+                raise _WireError("got more than 100 response headers")
+            name, separator, value = line.partition(b":")
+            if not separator:
+                raise _WireError(f"malformed header line {line!r}")
+            name = name.strip().lower()
+            if name == b"content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _WireError(f"malformed Content-Length {value!r}") from None
+            elif name == b"connection":
+                token = value.strip().lower()
+                if token == b"close":
+                    will_close = True
+                elif token == b"keep-alive":
+                    will_close = False
+            elif name == b"transfer-encoding":
+                # The graph service always frames with Content-Length; a
+                # chunked body means this is not a graph service.
+                raise _WireError("unsupported Transfer-Encoding response")
+        if content_length is None:
+            if not will_close:
+                raise _WireError("keep-alive response without Content-Length")
+            body = self._file.read()
+        else:
+            body = self._file.read(content_length)
+            if len(body) != content_length:
+                raise _WireError(
+                    f"response body truncated at {len(body)}/{content_length} bytes"
+                )
+        if will_close:
+            self._reusable = False
+        return status, body
+
+
 class HTTPGraphBackend(GraphBackend):
     """Serve fetches from a remote graph service over JSON/HTTP.
 
@@ -174,12 +344,14 @@ class HTTPGraphBackend(GraphBackend):
         self.base_url = base_url.rstrip("/")
         self._scheme = parsed.scheme
         self._netloc = parsed.netloc
+        self._host = parsed.hostname or ""
+        self._port = parsed.port
         self._prefix = parsed.path.rstrip("/")
         self._timeout = float(timeout)
         self._retries = int(retries)
         self._backoff = float(backoff)
         self._sleep = sleep
-        self._connection: Optional[http.client.HTTPConnection] = None
+        self._connection: Optional[_LeanHTTPConnection] = None
         self._info: Optional[Dict[str, Any]] = None
         self._node_ids: Optional[List[NodeId]] = None
         self._meta_cache: Dict[NodeId, Dict[str, Any]] = {}
@@ -188,27 +360,16 @@ class HTTPGraphBackend(GraphBackend):
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
-    def _connect(self) -> http.client.HTTPConnection:
-        connection_class = (
-            http.client.HTTPSConnection
-            if self._scheme == "https"
-            else http.client.HTTPConnection
+    def _connect(self) -> _LeanHTTPConnection:
+        return _LeanHTTPConnection(
+            self._scheme, self._host, self._port, self._timeout, self._netloc
         )
-        connection = connection_class(self._netloc, timeout=self._timeout)
-        connection.connect()
-        # Small request/response exchanges must not stall behind Nagle +
-        # delayed ACK; a crawl is thousands of tiny round trips.
-        connection.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        return connection
 
     def _drop_connection(self) -> None:
         connection = self._connection
         self._connection = None
         if connection is not None:
-            try:
-                connection.close()
-            except OSError:  # pragma: no cover - best-effort cleanup
-                pass
+            connection.close()
 
     def close(self) -> None:
         """Close the persistent connection (the client stays usable)."""
@@ -225,15 +386,11 @@ class HTTPGraphBackend(GraphBackend):
         if connection is None:
             connection = self._connect()
             self._connection = connection
-        headers = {"Accept": "application/json"}
-        if body is not None:
-            headers["Content-Type"] = "application/json"
-        connection.request(method, path, body=body, headers=headers)
-        response = connection.getresponse()
-        data = response.read()
-        if response.will_close:
+        connection.send_request(method, path, body)
+        status, data = connection.read_response()
+        if not connection.reusable:
             self._drop_connection()
-        return response.status, data
+        return status, data
 
     @staticmethod
     def _error_payload(data: bytes) -> Dict[str, Any]:
@@ -242,6 +399,48 @@ class HTTPGraphBackend(GraphBackend):
         except (ValueError, UnicodeDecodeError):
             return {}
         return payload if isinstance(payload, dict) else {}
+
+    def _interpret(self, method: str, path: str, status: int, data: bytes):
+        """Map one complete response to its payload or a typed error.
+
+        Raises :class:`_TransientResponse` for conditions worth retrying on
+        the still-healthy connection (5xx, malformed JSON body), the typed
+        node errors for node-level 404s, and
+        :class:`~repro.exceptions.RemoteBackendError` for everything
+        protocol-fatal.
+        """
+        if status >= 500:
+            raise _TransientResponse(
+                f"HTTP {status}: {self._error_payload(data).get('message', 'server error')}"
+            )
+        if status == 404:
+            payload = self._error_payload(data)
+            if "node" in payload:
+                # A node-level miss, not a transport problem: surface the
+                # same typed error a local backend would raise, with the
+                # original (JSON round-tripped) node id.
+                if payload.get("error") == "replay_miss":
+                    raise ReplayMissError(
+                        payload["node"], source=payload.get("source", self.base_url)
+                    )
+                raise NodeNotFoundError(payload["node"])
+            raise RemoteBackendError(
+                f"{method} {path} is not an endpoint of {self.base_url}: "
+                f"{payload.get('message', 'unknown endpoint')}",
+                url=self.base_url,
+                status=status,
+            )
+        if status != 200:
+            raise RemoteBackendError(
+                f"{method} {path} returned HTTP {status}: "
+                f"{self._error_payload(data).get('message', 'unexpected status')}",
+                url=self.base_url,
+                status=status,
+            )
+        try:
+            return json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise _TransientResponse(f"malformed JSON response body ({error})") from None
 
     def _request(self, method: str, path: str, body: Optional[bytes] = None):
         """One logical request: retries, backoff and error mapping live here."""
@@ -253,43 +452,17 @@ class HTTPGraphBackend(GraphBackend):
                 self._sleep(self._backoff * (2 ** (attempt - 1)))
             try:
                 status, data = self._send(method, path, body)
-            except (http.client.HTTPException, OSError) as error:
+            except (_WireError, OSError) as error:
                 # Timeout, refused connection, reset mid-response, stale
-                # keep-alive socket: drop the connection and retry.
+                # keep-alive socket, malformed framing: drop the connection
+                # and retry.
                 self._drop_connection()
                 failure = f"{type(error).__name__}: {error}"
                 continue
-            if status >= 500:
-                failure = f"HTTP {status}: {self._error_payload(data).get('message', 'server error')}"
-                continue
-            if status == 404:
-                payload = self._error_payload(data)
-                if "node" in payload:
-                    # A node-level miss, not a transport problem: surface the
-                    # same typed error a local backend would raise, with the
-                    # original (JSON round-tripped) node id.
-                    if payload.get("error") == "replay_miss":
-                        raise ReplayMissError(
-                            payload["node"], source=payload.get("source", self.base_url)
-                        )
-                    raise NodeNotFoundError(payload["node"])
-                raise RemoteBackendError(
-                    f"{method} {path} is not an endpoint of {self.base_url}: "
-                    f"{payload.get('message', 'unknown endpoint')}",
-                    url=self.base_url,
-                    status=status,
-                )
-            if status != 200:
-                raise RemoteBackendError(
-                    f"{method} {path} returned HTTP {status}: "
-                    f"{self._error_payload(data).get('message', 'unexpected status')}",
-                    url=self.base_url,
-                    status=status,
-                )
             try:
-                return json.loads(data.decode("utf-8"))
-            except (ValueError, UnicodeDecodeError) as error:
-                failure = f"malformed JSON response body ({error})"
+                return self._interpret(method, path, status, data)
+            except _TransientResponse as error:
+                failure = str(error)
                 continue
         raise RemoteBackendError(
             f"{method} {path} failed after {attempts} attempt"
@@ -305,10 +478,8 @@ class HTTPGraphBackend(GraphBackend):
         payload = self._request("GET", f"{self._prefix}/node/{encode_node_id(node)}")
         return record_from_wire(payload)
 
-    def fetch_many(self, nodes: Sequence[NodeId]) -> List[RawRecord]:
+    def _encode_batch(self, nodes: Sequence[NodeId]) -> Tuple[List[NodeId], bytes]:
         order = list(nodes)
-        if not order:
-            return []
         for node in order:
             _require_scalar_id(node)
         try:
@@ -317,15 +488,81 @@ class HTTPGraphBackend(GraphBackend):
             raise RemoteBackendError(
                 f"batch contains a node id that cannot travel over the wire: {exc}"
             ) from exc
-        payload = self._request("POST", f"{self._prefix}/nodes", body=body)
+        return order, body
+
+    def _decode_batch(self, payload, count: int) -> List[RawRecord]:
         records = payload.get("records") if isinstance(payload, dict) else None
-        if not isinstance(records, list) or len(records) != len(order):
+        if not isinstance(records, list) or len(records) != count:
             raise RemoteBackendError(
                 f"POST /nodes returned {len(records) if isinstance(records, list) else 'no'}"
-                f" records for a {len(order)}-node batch",
+                f" records for a {count}-node batch",
                 url=self.base_url,
             )
         return [record_from_wire(record) for record in records]
+
+    def fetch_many(self, nodes: Sequence[NodeId]) -> List[RawRecord]:
+        order, body = self._encode_batch(nodes)
+        if not order:
+            return []
+        payload = self._request("POST", f"{self._prefix}/nodes", body=body)
+        return self._decode_batch(payload, len(order))
+
+    # ------------------------------------------------------------------
+    # Pipelined batched fetch (the sharded tier's fan-out primitive)
+    # ------------------------------------------------------------------
+    def begin_fetch_many(self, nodes: Sequence[NodeId]):
+        """Post a batched fetch without waiting for the response.
+
+        Returns an opaque handle that **must** be passed to
+        :meth:`end_fetch_many` before any other request on this client.  A
+        :class:`~repro.cluster.ShardedBackend` posts every shard's sub-batch
+        first and collects the responses afterwards, so the shard servers
+        work concurrently instead of one waiting on the next — the request
+        is a read, so a failed pipelined send is simply retried through the
+        normal bounded-retry path by :meth:`end_fetch_many`.
+        """
+        order, body = self._encode_batch(nodes)
+        sent = False
+        if order:
+            connection = self._connection
+            if connection is None:
+                connection = self._connect()
+                self._connection = connection
+            try:
+                connection.send_request("POST", f"{self._prefix}/nodes", body)
+                sent = True
+            except (_WireError, OSError):
+                # Stale keep-alive socket, refused connection: drop it and
+                # let end_fetch_many's fallback re-send with retries.
+                self._drop_connection()
+        return order, sent
+
+    def end_fetch_many(self, handle) -> List[RawRecord]:
+        """Collect the response of a :meth:`begin_fetch_many` call.
+
+        Node-level misses raise the usual typed errors; transient failures
+        (dropped connection, 5xx, malformed body) fall back to a fresh
+        :meth:`fetch_many`, which re-sends the batch with the full bounded
+        retry schedule.
+        """
+        order, sent = handle
+        if not order:
+            return []
+        if sent:
+            path = f"{self._prefix}/nodes"
+            connection = self._connection
+            try:
+                status, data = connection.read_response()
+                if not connection.reusable:
+                    self._drop_connection()
+                return self._decode_batch(
+                    self._interpret("POST", path, status, data), len(order)
+                )
+            except (_WireError, OSError):
+                self._drop_connection()
+            except _TransientResponse:
+                pass
+        return self.fetch_many(order)
 
     def _meta(self, node: NodeId) -> Dict[str, Any]:
         """The (cached) ``/meta`` payload of ``node``: one request, ever."""

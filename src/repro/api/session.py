@@ -337,6 +337,32 @@ class SamplingSession:
         self.last_result = None
         return self
 
+    def close(self) -> None:
+        """Close the session's backend (delegates to ``GraphBackend.close``).
+
+        Remote and sharded backends hold real resources — keep-alive sockets,
+        shard dispatch pools — which this releases deterministically; local
+        backends close as a no-op.  The session object stays usable (a later
+        query reconnects), and sessions are context managers::
+
+            with SamplingSession("cluster/cluster.json") as session:
+                session.budget(500).walker("cnrw", seed=1).run()
+        """
+        if self._api is not None:
+            backend = getattr(self._api, "backend", None)
+            if backend is not None:
+                backend.close()
+        elif isinstance(self._source, GraphBackend):
+            # Never built a stack: close a caller-provided backend directly
+            # (a path / URL source only opens resources when the stack does).
+            self._source.close()
+
+    def __enter__(self) -> "SamplingSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def _pick_start(self, offset: int = 0) -> NodeId:
         """Draw a uniformly random start node with degree >= 1."""
         if isinstance(self._seed, (int, np.integer)):

@@ -42,11 +42,29 @@ dump — as a JSON-over-HTTP graph service (see :mod:`repro.server`)::
 A ``walk --source URL`` drives the remote service through
 :class:`~repro.api.remote.HTTPGraphBackend` and is bit-identical to the same
 walk over the served files locally.
+
+The cluster commands scale the service tier horizontally (see
+:mod:`repro.cluster`): ``partition`` splits a CSR snapshot into N per-shard
+snapshot directories plus a ``cluster.json`` manifest (consistent-hashed by
+node id), and ``serve-cluster`` boots every shard of a manifest as its own
+HTTP server::
+
+    python -m repro.cli partition --source snapshots/fb --out cluster --shards 3
+    python -m repro.cli serve-cluster --source cluster --port 8700
+    python -m repro.cli walk --source cluster/cluster.json --walker cnrw
+    python -m repro.cli walk --source cluster://127.0.0.1:8700,127.0.0.1:8701,127.0.0.1:8702
+
+A sharded walk routes every fetch to the owning shard and is bit-identical
+to the same walk over the unpartitioned graph.  ``serve`` and
+``serve-cluster`` shut down gracefully on SIGTERM/SIGINT: keep-alive sockets
+are drained and the process exits 0.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
@@ -145,10 +163,8 @@ def _budget_from_args(args: argparse.Namespace) -> Optional[int]:
 
 def _run_walk(args: argparse.Namespace) -> None:
     """Run a budgeted crawl (single walk or scheduled ensemble)."""
-    from .api import SamplingSession, as_backend, estimate_crawl_time
-    from .estimation import AggregateQuery, ground_truth
+    from .api import GraphBackend, as_backend
     from .graphs import load_dataset
-    from .metrics import relative_error
 
     from .storage import ReplayBackend
 
@@ -183,6 +199,31 @@ def _run_walk(args: argparse.Namespace) -> None:
         source = graph
         print(f"Graph: {graph.name} with {graph.number_of_nodes} nodes, "
               f"{graph.number_of_edges} edges")
+    if args.start is not None:
+        # An explicit start overrides even a replay's recorded start: the
+        # user asked for this node, and a replay that never crawled it will
+        # report the miss in the usual friendly way.
+        import json
+
+        try:
+            start = json.loads(args.start)
+        except ValueError:
+            start = args.start  # bare word: treat as a string id
+    try:
+        _drive_walk(args, source, graph, start)
+    finally:
+        # Release whatever the source holds (remote keep-alive sockets,
+        # shard dispatch pools); local backends close as a no-op.
+        if isinstance(source, GraphBackend):
+            source.close()
+
+
+def _drive_walk(args: argparse.Namespace, source, graph, start) -> None:
+    """Drive the configured walk/ensemble over an already-resolved source."""
+    from .api import SamplingSession, estimate_crawl_time
+    from .estimation import AggregateQuery, ground_truth
+    from .metrics import relative_error
+
     policy = _policy_from_args(args)
     budget = _budget_from_args(args)
     session = SamplingSession(source, seed=args.seed).walker(args.walker, seed=args.seed)
@@ -248,6 +289,33 @@ def _run_walk(args: argparse.Namespace) -> None:
               f"{seconds / 3600:.2f} hours")
 
 
+@contextlib.contextmanager
+def _graceful_signals():
+    """Convert SIGTERM/SIGINT into a clean ``SystemExit(0)`` while serving.
+
+    CI and process supervisors stop a server with SIGTERM; without a handler
+    the process dies with exit code 143 and never drains its keep-alive
+    sockets.  Raising ``SystemExit`` unwinds ``serve_forever`` through the
+    caller's ``finally`` (which closes the server: shutdown, drain, join),
+    so termination is indistinguishable from a clean exit.  Previous
+    handlers are restored on the way out.
+    """
+    def _handle(signum, frame):
+        raise SystemExit(0)
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _handle)
+        except ValueError:  # pragma: no cover - non-main thread (tests)
+            pass
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+
 def _run_serve(args: argparse.Namespace) -> None:
     """Serve a graph source over JSON/HTTP until interrupted."""
     from .api import as_backend
@@ -262,20 +330,103 @@ def _run_serve(args: argparse.Namespace) -> None:
                              scale=args.scale or 1.0)
         backend = as_backend(graph)
     server = serve_backend(backend, host=args.host, port=args.port)
-    print(f"Serving {backend.name} ({len(backend)} nodes) at {server.url}", flush=True)
-    print("endpoints: GET /info  GET /node/<id>  POST /nodes  GET /meta/<id>  "
-          "GET /node-ids", flush=True)
-    # A wildcard bind address is not connectable; suggest a URL that is.
-    port = server.server_address[1]
-    reach = f"http://<this-host>:{port}" if args.host in ("0.0.0.0", "::") else server.url
-    print(f"walk it remotely with: python -m repro.cli walk --source {reach}",
-          flush=True)
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        print("\nstopping")
-    finally:
-        server.close()
+    # Handlers go in before the readiness banner: a supervisor (or CI) may
+    # send SIGTERM the moment the banner appears.
+    with _graceful_signals():
+        try:
+            print(f"Serving {backend.name} ({len(backend)} nodes) at {server.url}",
+                  flush=True)
+            print("endpoints: GET /info  GET /node/<id>  POST /nodes  "
+                  "GET /meta/<id>  GET /node-ids", flush=True)
+            # A wildcard bind address is not connectable; suggest a URL that is.
+            port = server.server_address[1]
+            reach = (f"http://<this-host>:{port}"
+                     if args.host in ("0.0.0.0", "::") else server.url)
+            print(f"walk it remotely with: python -m repro.cli walk "
+                  f"--source {reach}", flush=True)
+            server.serve_forever()
+        except (KeyboardInterrupt, SystemExit):
+            print("\nstopping (draining connections)", flush=True)
+        finally:
+            server.close()
+
+
+def _run_partition(args: argparse.Namespace) -> None:
+    """Split a CSR snapshot into consistent-hashed per-shard snapshots."""
+    from .cluster import (
+        CLUSTER_MANIFEST_NAME,
+        DEFAULT_VNODES,
+        load_cluster,
+        partition_snapshot,
+    )
+
+    if args.source is None:
+        raise ValueError("partition requires --source SNAPSHOT_DIR to split")
+    if args.out is None:
+        raise ValueError("partition requires --out DIRECTORY to write into")
+    if args.shards < 1:
+        raise ValueError("--shards must be at least 1")
+    out_dir = partition_snapshot(
+        args.source, args.out, args.shards,
+        vnodes=args.vnodes if args.vnodes is not None else DEFAULT_VNODES,
+    )
+    # Reopen through the manifest to verify the round trip end to end.
+    with load_cluster(out_dir) as cluster:
+        sizes = [len(shard) for shard in cluster.shard_backends]
+        print(f"Partitioned {cluster.name.removeprefix('cluster:')} into "
+              f"{args.shards} shards ({len(cluster)} nodes: "
+              f"{', '.join(map(str, sizes))})")
+    print(f"wrote {out_dir / CLUSTER_MANIFEST_NAME} (walk it with: "
+          f"python -m repro.cli walk --source {out_dir / CLUSTER_MANIFEST_NAME}; "
+          f"serve it with: python -m repro.cli serve-cluster --source {out_dir})")
+
+
+def _run_serve_cluster(args: argparse.Namespace) -> None:
+    """Boot every shard of a cluster manifest as its own HTTP server."""
+    import time
+
+    from .cluster import HashRing, read_cluster_manifest
+    from .api import as_backend
+    from .server import serve_backend
+
+    if args.source is None:
+        raise ValueError(
+            "serve-cluster requires --source CLUSTER_DIR (or cluster.json)"
+        )
+    manifest, base_dir = read_cluster_manifest(args.source)
+    ring = HashRing.from_spec(manifest.get("ring"))
+    entries = sorted(manifest["shards"], key=lambda entry: entry["shard"])
+    servers = []
+    # Handlers go in before any shard banner: a supervisor (or CI) may send
+    # SIGTERM the moment the cluster announces itself.
+    with _graceful_signals():
+        try:
+            for entry in entries:
+                source = entry["source"]
+                if isinstance(source, str) and source.startswith(("http://", "https://")):
+                    raise ValueError(
+                        f"shard {entry['shard']} of {args.source} is already a "
+                        f"remote service ({source}); serve-cluster boots local "
+                        f"shard directories only"
+                    )
+                backend = as_backend(str(base_dir / source))
+                port = 0 if args.port == 0 else args.port + int(entry["shard"])
+                server = serve_backend(backend, host=args.host, port=port).start()
+                servers.append(server)
+                print(f"Serving shard {entry['shard']}/{ring.shards} "
+                      f"({len(backend)} nodes) at {server.url}", flush=True)
+            ports = [server.server_address[1] for server in servers]
+            host = "<this-host>" if args.host in ("0.0.0.0", "::") else args.host
+            shard_list = ",".join(f"{host}:{port}" for port in ports)
+            print(f"walk the cluster with: python -m repro.cli walk "
+                  f"--source cluster://{shard_list}", flush=True)
+            while True:
+                time.sleep(3600)
+        except (KeyboardInterrupt, SystemExit):
+            print("\nstopping cluster (draining connections)", flush=True)
+        finally:
+            for server in servers:
+                server.close()
 
 
 def _run_snapshot(args: argparse.Namespace) -> None:
@@ -390,14 +541,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=["list", "all", "table1", "walk", "sweep", "snapshot", "replay",
-                 "serve", *EXPERIMENTS.keys()],
+                 "serve", "partition", "serve-cluster", *EXPERIMENTS.keys()],
         help="experiment to run ('list' prints the available names; 'walk' runs "
         "a budgeted crawl through the SamplingSession facade; 'sweep' runs a "
         "custom cost sweep, optionally across --jobs worker processes; "
         "'snapshot' persists a dataset as a memory-mapped CSR snapshot "
         "directory; 'replay' records a traced crawl to a JSONL dump or "
         "replays one offline; 'serve' exposes a graph source as a "
-        "JSON-over-HTTP service that 'walk --source URL' drives remotely)",
+        "JSON-over-HTTP service that 'walk --source URL' drives remotely; "
+        "'partition' splits a snapshot into consistent-hashed shard "
+        "snapshots plus a cluster.json manifest; 'serve-cluster' boots every "
+        "shard of a manifest as its own HTTP server)",
     )
     parser.add_argument("--seed", type=int, default=0, help="base random seed (default 0)")
     parser.add_argument(
@@ -439,16 +593,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated rate-limit policy for 'walk' (default none)",
     )
     walk.add_argument(
+        "--start", default=None,
+        help="explicit start node for 'walk', JSON-encoded (5 is the integer "
+        "id, '\"5\"' the string id; bare words are taken as strings). "
+        "Default: a random non-isolated node — note that the random draw "
+        "depends on the backend's node order, so comparing a walk across "
+        "backends (local vs remote vs sharded) needs an explicit start",
+    )
+    walk.add_argument(
         "--walkers", type=int, default=1,
         help="number of lockstep walkers for 'walk' (>1 runs a batched "
         "WalkScheduler ensemble and pools the samples; default 1)",
     )
     walk.add_argument(
         "--source", default=None,
-        help="graph source for 'walk'/'serve' instead of --dataset: a CSR "
-        "snapshot directory (served memory-mapped), a crawl-dump file "
-        "(replayed offline), or an http(s):// URL of a 'serve' instance "
-        "(driven remotely)",
+        help="graph source for 'walk'/'serve'/'partition'/'serve-cluster' "
+        "instead of --dataset: a CSR snapshot directory (served "
+        "memory-mapped), a crawl-dump file (replayed offline), an "
+        "http(s):// URL of a 'serve' instance (driven remotely), or a "
+        "cluster.json manifest / cluster://host:port,... shard list "
+        "(driven through the sharded tier)",
     )
     storage = parser.add_argument_group("snapshot / replay options")
     storage.add_argument(
@@ -464,12 +628,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve = parser.add_argument_group("serve options")
     serve.add_argument(
         "--host", default="127.0.0.1",
-        help="bind address for 'serve' (default 127.0.0.1)",
+        help="bind address for 'serve'/'serve-cluster' (default 127.0.0.1)",
     )
     serve.add_argument(
         "--port", type=int, default=8000,
         help="port for 'serve' (default 8000; 0 binds an ephemeral port, "
-        "printed at startup)",
+        "printed at startup); for 'serve-cluster' the base port — shard i "
+        "binds port+i (0 gives every shard its own ephemeral port)",
+    )
+    cluster = parser.add_argument_group("partition options")
+    cluster.add_argument(
+        "--shards", type=int, default=3,
+        help="number of shards for 'partition' (default 3)",
+    )
+    cluster.add_argument(
+        "--vnodes", type=int, default=None,
+        help="virtual nodes per shard on the consistent-hash ring for "
+        "'partition' (default 64; more vnodes = more even shard sizes)",
     )
     sweep = parser.add_argument_group("sweep options")
     sweep.add_argument(
@@ -502,13 +677,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("  snapshot (persist a dataset as a mmap CSR snapshot; see --dataset/--out)")
         print("  replay (record a traced crawl to --dump with --record, or replay one)")
         print("  serve (expose a graph source over JSON/HTTP; see --source/--host/--port)")
+        print("  partition (split a snapshot into consistent-hashed shards; "
+              "see --source/--out/--shards)")
+        print("  serve-cluster (boot every shard of a cluster.json manifest; "
+              "see --source/--host/--port)")
         return 0
 
-    if args.experiment in ("walk", "snapshot", "replay", "serve"):
+    if args.experiment in ("walk", "snapshot", "replay", "serve", "partition",
+                           "serve-cluster"):
         from .exceptions import ReproError
 
         handler = {"walk": _run_walk, "snapshot": _run_snapshot,
-                   "replay": _run_replay, "serve": _run_serve}
+                   "replay": _run_replay, "serve": _run_serve,
+                   "partition": _run_partition,
+                   "serve-cluster": _run_serve_cluster}
         try:
             handler[args.experiment](args)
         except (ReproError, ValueError, FileNotFoundError) as error:

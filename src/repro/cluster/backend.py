@@ -1,0 +1,428 @@
+"""A consistent-hashed cluster of graph shards behind one backend.
+
+:class:`ShardedBackend` presents N shard backends — usually
+:class:`~repro.api.remote.HTTPGraphBackend` clients driving N ``serve``
+processes, but any :class:`~repro.api.backend.GraphBackend` works — as one
+backend: ``fetch`` routes by ring lookup (memoised per node), ``fetch_many``
+splits a batch into per-shard sub-batches dispatched *concurrently* over the
+shards' keep-alive connections and re-merged in request order, and
+``metadata`` / ``contains`` / ``node_ids`` / ``sample_node`` federate across
+the shards.  HTTP shards are dispatched by *pipelining*: every sub-batch is
+posted before the first response is read, so the shard servers work in
+parallel without any client-side threads; backends that cannot pipeline fan
+out over a thread pool (one worker per shard) instead.  Because every
+policy (cache, budget, rate limit, trace) sits in middleware above the
+backend protocol, a kernel walking a sharded cluster is bit-identical to
+the same kernel walking the unpartitioned graph — the conformance suite
+asserts exactly that.
+
+Failure semantics: node-level misses surface unchanged
+(:class:`~repro.exceptions.NodeNotFoundError` /
+:class:`~repro.exceptions.ReplayMissError`); anything else a shard raises is
+wrapped into :class:`~repro.exceptions.ShardError` carrying the failing
+shard's index and address.
+
+:func:`load_cluster` reassembles a cluster from a ``cluster.json`` manifest
+(paths or URLs per shard); :func:`open_cluster` additionally understands the
+``cluster://host:port,host:port,...`` URL-list shorthand, which assumes the
+manifest's default ring spec and shard order.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..api.backend import GraphBackend, RawRecord, as_backend
+from ..exceptions import ClusterError, NodeNotFoundError, ShardError
+from ..types import NodeId
+from .partition import (
+    CLUSTER_FORMAT,
+    CLUSTER_MANIFEST_NAME,
+    CLUSTER_VERSION,
+    DEFAULT_VNODES,
+    HashRing,
+)
+
+PathLike = Union[str, Path]
+
+#: URL scheme of the manifest-less shorthand: ``cluster://host:port,host:port``.
+CLUSTER_URL_SCHEME = "cluster://"
+
+
+def _raiser(error: Exception):
+    """A collector that re-raises a failure captured during the send phase."""
+    def collect():
+        raise error
+    return collect
+
+
+def _collector(backend, handle):
+    """A collector that finishes one shard's pipelined batched fetch."""
+    def collect():
+        return backend.end_fetch_many(handle)
+    return collect
+
+
+class ShardedBackend(GraphBackend):
+    """Route backend fetches across consistent-hashed shard backends.
+
+    Args:
+        shards: One backend per shard, in ring shard order.
+        ring: The :class:`~repro.cluster.partition.HashRing` the data was
+            partitioned with.  Defaults to ``HashRing(len(shards))`` — only
+            correct if the partition used the default vnodes count too.
+        name: Backend name; defaults to ``cluster:<N>``.
+
+    The cluster is treated as immutable for the lifetime of the backend
+    (like every other backend): per-shard sizes and the federated node-id
+    table are fetched once and cached.  ``close()`` shuts the dispatch pool
+    down and closes every shard backend; the class is a context manager.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[GraphBackend],
+        ring: Optional[HashRing] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if not shards:
+            raise ClusterError("a cluster needs at least one shard backend")
+        self._shards: List[GraphBackend] = list(shards)
+        self._ring = ring if ring is not None else HashRing(len(self._shards))
+        if self._ring.shards != len(self._shards):
+            raise ClusterError(
+                f"ring routes {self._ring.shards} shards but {len(self._shards)} "
+                f"shard backends were provided"
+            )
+        self._labels = [
+            getattr(backend, "base_url", None) or backend.name
+            for backend in self._shards
+        ]
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._sizes: Optional[List[int]] = None
+        self._node_ids: Optional[List[NodeId]] = None
+        # Ring lookups hash the JSON-encoded id; walks revisit nodes heavily,
+        # so memoising node -> shard turns the per-batch routing cost into a
+        # dict probe.  Unhashable ids can't be cached (they can't be fetched
+        # either — the ring raises its typed error for them).
+        self._route_cache: Dict[NodeId, int] = {}
+        # Every shard speaking the pipelined two-phase protocol lets a batch
+        # post all sub-batches before reading any response.
+        self._pipelined = all(
+            hasattr(backend, "begin_fetch_many") and hasattr(backend, "end_fetch_many")
+            for backend in self._shards
+        )
+        self.name = name if name is not None else f"cluster:{len(self._shards)}"
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    @property
+    def ring(self) -> HashRing:
+        return self._ring
+
+    @property
+    def shard_backends(self) -> List[GraphBackend]:
+        """The per-shard backends, in ring shard order (read-only view)."""
+        return list(self._shards)
+
+    def shard_of(self, node: NodeId) -> int:
+        """Return the shard index the ring routes ``node`` to (memoised)."""
+        try:
+            return self._route_cache[node]
+        except KeyError:
+            pass
+        except TypeError:
+            return self._ring.shard_of(node)  # unhashable id: typed ring error
+        shard = self._ring.shard_of(node)
+        self._route_cache[node] = shard
+        return shard
+
+    def _shard_error(self, shard: int, error: Exception, doing: str) -> ShardError:
+        return ShardError(
+            f"shard {shard} ({self._labels[shard]}) failed during {doing}: "
+            f"{type(error).__name__}: {error}",
+            shard=shard,
+            url=self._labels[shard],
+        )
+
+    # ------------------------------------------------------------------
+    # GraphBackend interface
+    # ------------------------------------------------------------------
+    def fetch(self, node: NodeId) -> RawRecord:
+        shard = self.shard_of(node)
+        try:
+            return self._shards[shard].fetch(node)
+        except NodeNotFoundError:
+            raise
+        except Exception as error:
+            raise self._shard_error(shard, error, f"fetch({node!r})") from error
+
+    def fetch_many(self, nodes: Sequence[NodeId]) -> List[RawRecord]:
+        order = list(nodes)
+        if not order:
+            return []
+        # Split the batch into per-shard sub-batches; each keeps its nodes in
+        # request order (duplicates included), so re-merging by remembered
+        # positions reproduces the exact sequential-fetch answer.
+        positions: Dict[int, List[int]] = {}
+        sub_batches: Dict[int, List[NodeId]] = {}
+        for position, node in enumerate(order):
+            shard = self.shard_of(node)
+            positions.setdefault(shard, []).append(position)
+            sub_batches.setdefault(shard, []).append(node)
+        if len(sub_batches) == 1:
+            ((shard, batch),) = sub_batches.items()
+            try:
+                return list(self._shards[shard].fetch_many(batch))
+            except NodeNotFoundError:
+                raise
+            except Exception as error:
+                raise self._shard_error(
+                    shard, error, f"fetch_many({len(batch)} nodes)"
+                ) from error
+        if self._pipelined:
+            tasks = self._dispatch_pipelined(sub_batches)
+        else:
+            tasks = [
+                (shard, self._dispatch_pool().submit(
+                    self._shards[shard].fetch_many, batch).result)
+                for shard, batch in sub_batches.items()
+            ]
+        records: List[Optional[RawRecord]] = [None] * len(order)
+        miss: Optional[NodeNotFoundError] = None
+        failure: Optional[ShardError] = None
+        for shard, collect in tasks:
+            try:
+                shard_records = collect()
+            except NodeNotFoundError as error:
+                # A missing node aborts the whole batch, mirroring a local
+                # sequential fetch_many; remember the first miss but keep
+                # draining the other shards so no work is abandoned mid-air.
+                if miss is None:
+                    miss = error
+            except Exception as error:
+                if failure is None:
+                    failure = self._shard_error(
+                        shard, error, f"fetch_many({len(sub_batches[shard])} nodes)"
+                    )
+                    failure.__cause__ = error
+            else:
+                for position, record in zip(positions[shard], shard_records):
+                    records[position] = record
+        if miss is not None:
+            raise miss
+        if failure is not None:
+            raise failure
+        return records  # type: ignore[return-value]
+
+    def _dispatch_pipelined(self, sub_batches: Dict[int, List[NodeId]]):
+        """Post every shard's sub-batch, then return response collectors.
+
+        All requests are in flight before the first response is read, so the
+        shard servers work concurrently without any client-side threads —
+        on loopback this beats a thread pool (no future/GIL churn), and over
+        a real network the in-flight overlap is the same.
+        """
+        tasks = []
+        for shard, batch in sub_batches.items():
+            backend = self._shards[shard]
+            try:
+                handle = backend.begin_fetch_many(batch)
+            except Exception as error:
+                exc = error
+                tasks.append((shard, _raiser(exc)))
+            else:
+                tasks.append((shard, _collector(backend, handle)))
+        return tasks
+
+    def contains(self, node: NodeId) -> bool:
+        shard = self.shard_of(node)
+        try:
+            return self._shards[shard].contains(node)
+        except Exception as error:
+            raise self._shard_error(shard, error, f"contains({node!r})") from error
+
+    def metadata(self, node: NodeId) -> Optional[Dict[str, Any]]:
+        shard = self.shard_of(node)
+        try:
+            return self._shards[shard].metadata(node)
+        except Exception as error:
+            raise self._shard_error(shard, error, f"metadata({node!r})") from error
+
+    def node_ids(self) -> List[NodeId]:
+        return list(self._all_node_ids())
+
+    def sample_node(self, rng) -> NodeId:
+        nodes = self._all_node_ids()
+        return nodes[int(rng.integers(0, len(nodes)))]
+
+    def __len__(self) -> int:
+        return sum(self._shard_sizes())
+
+    # ------------------------------------------------------------------
+    # Federation caches
+    # ------------------------------------------------------------------
+    def _shard_sizes(self) -> List[int]:
+        if self._sizes is None:
+            sizes = []
+            for shard, backend in enumerate(self._shards):
+                try:
+                    sizes.append(len(backend))
+                except Exception as error:
+                    raise self._shard_error(shard, error, "len()") from error
+            self._sizes = sizes
+        return self._sizes
+
+    def _all_node_ids(self) -> List[NodeId]:
+        if self._node_ids is None:
+            nodes: List[NodeId] = []
+            for shard, backend in enumerate(self._shards):
+                try:
+                    nodes.extend(backend.node_ids())
+                except Exception as error:
+                    raise self._shard_error(shard, error, "node_ids()") from error
+            self._node_ids = nodes
+        return self._node_ids
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _dispatch_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=len(self._shards), thread_name_prefix="repro-cluster"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the dispatch pool down and close every shard backend."""
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        for backend in self._shards:
+            backend.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ShardedBackend(name={self.name!r}, shards={len(self._shards)}, "
+            f"ring={self._ring!r})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Manifest / URL-list loading
+# ----------------------------------------------------------------------
+def read_cluster_manifest(path: PathLike) -> Tuple[Dict[str, Any], Path]:
+    """Read and validate a ``cluster.json``; returns (manifest, base dir)."""
+    path = Path(path)
+    if path.is_dir():
+        path = path / CLUSTER_MANIFEST_NAME
+    if not path.is_file():
+        raise ClusterError(f"no cluster manifest at {path}")
+    try:
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ClusterError(f"unreadable cluster manifest {path}: {exc}") from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != CLUSTER_FORMAT:
+        raise ClusterError(
+            f"{path} is not a {CLUSTER_FORMAT} manifest "
+            f"(format={manifest.get('format') if isinstance(manifest, dict) else manifest!r})"
+        )
+    if manifest.get("version") != CLUSTER_VERSION:
+        raise ClusterError(
+            f"cluster manifest {path} has version {manifest.get('version')!r}; "
+            f"this build reads version {CLUSTER_VERSION}"
+        )
+    return manifest, path.parent
+
+
+def _shard_entries(manifest: Dict[str, Any], ring: HashRing) -> List[Dict[str, Any]]:
+    entries = manifest.get("shards")
+    if not isinstance(entries, list) or not entries:
+        raise ClusterError("cluster manifest has no 'shards' entries")
+    by_index: Dict[int, Dict[str, Any]] = {}
+    for entry in entries:
+        if not isinstance(entry, dict) or "shard" not in entry or "source" not in entry:
+            raise ClusterError(f"malformed shard entry {entry!r}")
+        by_index[int(entry["shard"])] = entry
+    if sorted(by_index) != list(range(ring.shards)):
+        raise ClusterError(
+            f"cluster manifest lists shards {sorted(by_index)} but the ring "
+            f"routes {ring.shards} shards (expected 0..{ring.shards - 1})"
+        )
+    return [by_index[index] for index in range(ring.shards)]
+
+
+def load_cluster(path: PathLike, **client_options) -> ShardedBackend:
+    """Open a ``cluster.json`` manifest (or its directory) as one backend.
+
+    Each shard entry's ``source`` is an ``http(s)://`` URL (driven through
+    :class:`~repro.api.remote.HTTPGraphBackend`, with ``client_options``
+    forwarded — ``timeout``, ``retries``, ...) or a path to a shard
+    directory, resolved relative to the manifest's own directory.
+    """
+    manifest, base_dir = read_cluster_manifest(path)
+    ring = HashRing.from_spec(manifest.get("ring"))
+    backends: List[GraphBackend] = []
+    try:
+        for entry in _shard_entries(manifest, ring):
+            source = entry["source"]
+            if isinstance(source, str) and source.startswith(("http://", "https://")):
+                from ..api.remote import HTTPGraphBackend
+
+                backends.append(HTTPGraphBackend(source, **client_options))
+            else:
+                backends.append(as_backend(str(base_dir / source)))
+    except Exception:
+        for backend in backends:
+            backend.close()
+        raise
+    name = manifest.get("name")
+    return ShardedBackend(
+        backends, ring, name=f"cluster:{name}" if name else None
+    )
+
+
+def parse_cluster_url(url: str) -> List[str]:
+    """Split a ``cluster://`` URL list into per-shard base URLs.
+
+    ``cluster://host:port,host:port,...`` — entries without a scheme get
+    ``http://`` prefixed.  Shard order is list order, and the ring is the
+    default spec (``DEFAULT_VNODES`` virtual nodes), matching what
+    ``partition_snapshot`` writes when not told otherwise.
+    """
+    if not url.startswith(CLUSTER_URL_SCHEME):
+        raise ClusterError(f"not a {CLUSTER_URL_SCHEME} URL: {url!r}")
+    entries = [entry.strip() for entry in url[len(CLUSTER_URL_SCHEME):].split(",")]
+    entries = [entry for entry in entries if entry]
+    if not entries:
+        raise ClusterError(
+            f"{url!r} names no shard servers (expected "
+            f"{CLUSTER_URL_SCHEME}host:port,host:port,...)"
+        )
+    return [
+        entry if entry.startswith(("http://", "https://")) else f"http://{entry}"
+        for entry in entries
+    ]
+
+
+def cluster_from_urls(
+    urls: Sequence[str], *, vnodes: int = DEFAULT_VNODES, **client_options
+) -> ShardedBackend:
+    """Build a :class:`ShardedBackend` over shard-server URLs, in ring order."""
+    from ..api.remote import HTTPGraphBackend
+
+    backends = [HTTPGraphBackend(url, **client_options) for url in urls]
+    return ShardedBackend(backends, HashRing(len(backends), vnodes=vnodes))
+
+
+def open_cluster(source: PathLike, **client_options) -> ShardedBackend:
+    """Open a cluster from a ``cluster://`` URL list or a manifest path."""
+    if isinstance(source, str) and source.startswith(CLUSTER_URL_SCHEME):
+        return cluster_from_urls(parse_cluster_url(source), **client_options)
+    return load_cluster(source, **client_options)

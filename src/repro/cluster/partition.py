@@ -1,0 +1,382 @@
+"""Consistent-hash partitioning of a graph across shard servers.
+
+Two pieces live here:
+
+* :class:`HashRing` — a deterministic consistent-hash ring mapping node ids
+  to shard indices.  Ring points are derived from a keyed ``blake2b`` digest
+  of ``"shard:<s>:vnode:<v>"`` labels, and node ids are hashed through their
+  canonical JSON encoding, so the mapping is *stable across runs, machines
+  and Python versions* — unlike the builtin ``hash``, which is salted per
+  process.  Virtual nodes (``vnodes``) smooth the load distribution; the ring
+  is fully described by :meth:`HashRing.spec`, which is what the cluster
+  manifest persists.
+* :func:`partition_snapshot` — split a PR-3 CSR snapshot into ``shards``
+  per-shard snapshot directories plus a versioned ``cluster.json`` manifest.
+  Each shard directory is a *valid CSR snapshot* (so ``repro.cli serve
+  --source shard-00`` serves it unchanged) holding the shard's owned nodes
+  first and every boundary neighbor after them with an empty adjacency row,
+  plus a ``shard.json`` sidecar recording the owned count and the ring spec.
+  :func:`load_shard` reopens one as a :class:`ShardSliceBackend`, which
+  restricts the visible node set to the owned prefix — a mis-routed fetch
+  raises :class:`~repro.exceptions.NodeNotFoundError` instead of silently
+  answering with an empty neighborhood.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..api.backend import CSRBackend, GraphBackend, InMemoryBackend, RawRecord
+from ..exceptions import ClusterError, NodeNotFoundError
+from ..graphs.graph import Graph
+from ..types import NodeId
+
+PathLike = Union[str, Path]
+
+#: Format identifier written into (and demanded from) every cluster manifest.
+CLUSTER_FORMAT = "repro-graph-cluster"
+#: Current cluster-manifest version; bump on any incompatible change.
+CLUSTER_VERSION = 1
+CLUSTER_MANIFEST_NAME = "cluster.json"
+
+#: Format identifier of the per-shard ``shard.json`` sidecar.
+SHARD_FORMAT = "repro-graph-shard"
+SHARD_VERSION = 1
+SHARD_MANIFEST_NAME = "shard.json"
+
+#: Ring algorithm identifier persisted in manifests (validated on load).
+RING_ALGORITHM = "consistent-hash-blake2b64"
+#: Default virtual nodes per shard; enough to keep shard sizes within a few
+#: percent of even on realistic graphs without making ring lookups slow.
+DEFAULT_VNODES = 64
+
+
+def _hash64(data: bytes) -> int:
+    """A stable 64-bit hash (big-endian blake2b-8 digest)."""
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
+
+
+def node_key(node: NodeId) -> bytes:
+    """The canonical hashable encoding of a node id.
+
+    JSON keeps ``5`` and ``"5"`` distinct (the same property the HTTP wire
+    relies on) and is identical across processes, so the same node always
+    lands on the same shard no matter which client computes the route.
+    """
+    try:
+        if isinstance(node, np.integer):
+            node = int(node)
+        return json.dumps(node, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ClusterError(
+            f"node id {node!r} cannot be routed: consistent hashing requires "
+            f"a JSON-representable id ({exc})"
+        ) from exc
+
+
+class HashRing:
+    """A deterministic consistent-hash ring over ``shards`` shard indices.
+
+    Each shard contributes ``vnodes`` points on a 64-bit ring; a node id is
+    routed to the owner of the first ring point at or after its own hash
+    (wrapping at the top).  Two rings built from the same ``(shards,
+    vnodes)`` pair produce identical routes forever — the property the
+    on-disk partition layout depends on.
+    """
+
+    def __init__(self, shards: int, vnodes: int = DEFAULT_VNODES) -> None:
+        if shards < 1:
+            raise ClusterError(f"a cluster needs at least one shard (got {shards})")
+        if vnodes < 1:
+            raise ClusterError(f"vnodes must be at least 1 (got {vnodes})")
+        self.shards = int(shards)
+        self.vnodes = int(vnodes)
+        points = sorted(
+            (_hash64(f"shard:{shard}:vnode:{vnode}".encode("ascii")), shard)
+            for shard in range(self.shards)
+            for vnode in range(self.vnodes)
+        )
+        self._hashes = [point for point, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    def shard_of(self, node: NodeId) -> int:
+        """Return the shard index owning ``node``."""
+        position = bisect.bisect_right(self._hashes, _hash64(node_key(node)))
+        if position == len(self._hashes):
+            position = 0  # wrap past the top of the ring
+        return self._owners[position]
+
+    def spec(self) -> Dict[str, Any]:
+        """The JSON-able ring description persisted in cluster manifests."""
+        return {
+            "algorithm": RING_ALGORITHM,
+            "shards": self.shards,
+            "vnodes": self.vnodes,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Any) -> "HashRing":
+        """Rebuild a ring from a manifest spec (typed errors on mismatch)."""
+        if not isinstance(spec, dict):
+            raise ClusterError(
+                f"ring spec must be a JSON object, got {type(spec).__name__}"
+            )
+        algorithm = spec.get("algorithm")
+        if algorithm != RING_ALGORITHM:
+            raise ClusterError(
+                f"ring algorithm {algorithm!r} is not supported; this build "
+                f"speaks {RING_ALGORITHM!r}"
+            )
+        try:
+            return cls(int(spec["shards"]), int(spec.get("vnodes", DEFAULT_VNODES)))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ClusterError(f"malformed ring spec {spec!r}: {exc}") from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"HashRing(shards={self.shards}, vnodes={self.vnodes})"
+
+
+class ShardSliceBackend(GraphBackend):
+    """One shard's slice of a partitioned graph.
+
+    Wraps the shard's CSR snapshot — whose node table holds the owned nodes
+    first, then every boundary neighbor with an empty row — and restricts the
+    *visible* node set to the owned prefix: ``fetch`` / ``contains`` /
+    ``metadata`` / ``node_ids`` answer only for nodes this shard owns, so a
+    request the ring should have sent elsewhere fails loudly with
+    :class:`~repro.exceptions.NodeNotFoundError` instead of returning a
+    boundary node's (empty, wrong) adjacency.
+    """
+
+    def __init__(
+        self,
+        inner: CSRBackend,
+        owned_count: int,
+        *,
+        shard: int,
+        shards: int,
+        name: Optional[str] = None,
+    ) -> None:
+        if not 0 <= owned_count <= len(inner):
+            raise ClusterError(
+                f"shard manifest claims {owned_count} owned nodes but the "
+                f"snapshot holds {len(inner)}"
+            )
+        self._inner = inner
+        self._owned_ids: List[NodeId] = inner.node_ids()[:owned_count]
+        self._owned = set(self._owned_ids)
+        self.shard = int(shard)
+        self.shards = int(shards)
+        self.name = name or f"shard{shard}/{shards}:{inner.name}"
+
+    @property
+    def inner(self) -> CSRBackend:
+        """The underlying CSR store (owned + boundary rows)."""
+        return self._inner
+
+    def _require_owned(self, node: NodeId) -> None:
+        if node not in self._owned:
+            raise NodeNotFoundError(node)
+
+    def fetch(self, node: NodeId) -> RawRecord:
+        self._require_owned(node)
+        return self._inner.fetch(node)
+
+    def fetch_many(self, nodes: Sequence[NodeId]) -> List[RawRecord]:
+        for node in nodes:
+            self._require_owned(node)
+        return self._inner.fetch_many(nodes)
+
+    def contains(self, node: NodeId) -> bool:
+        return node in self._owned
+
+    def metadata(self, node: NodeId) -> Optional[Dict[str, Any]]:
+        if node not in self._owned:
+            return None
+        return self._inner.metadata(node)
+
+    def node_ids(self) -> List[NodeId]:
+        return list(self._owned_ids)
+
+    def sample_node(self, rng) -> NodeId:
+        return self._owned_ids[int(rng.integers(0, len(self._owned_ids)))]
+
+    def __len__(self) -> int:
+        return len(self._owned_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ShardSliceBackend(shard={self.shard}/{self.shards}, "
+            f"owned={len(self)}, table={len(self._inner)})"
+        )
+
+
+def _resolve_to_csr(source) -> CSRBackend:
+    """Coerce a partitionable source into a (possibly memory-mapped) CSR."""
+    from ..storage.snapshot import load_snapshot
+
+    if isinstance(source, (str, Path)):
+        return load_snapshot(source)
+    if isinstance(source, InMemoryBackend):
+        source = source.graph
+    if isinstance(source, Graph):
+        return CSRBackend.from_graph(source)
+    if isinstance(source, CSRBackend):
+        return source
+    raise TypeError(
+        f"cannot partition {type(source).__name__}; accepted sources: a CSR "
+        "snapshot directory (str / Path), Graph, InMemoryBackend, or CSRBackend"
+    )
+
+
+def partition_snapshot(
+    source,
+    out_dir: PathLike,
+    shards: int,
+    *,
+    vnodes: int = DEFAULT_VNODES,
+    name: Optional[str] = None,
+) -> Path:
+    """Split a snapshot into per-shard snapshots plus a ``cluster.json``.
+
+    ``source`` is a CSR snapshot directory (the usual case), or any in-memory
+    graph / CSR backend.  ``out_dir`` receives one ``shard-NN`` snapshot
+    directory per shard and the versioned cluster manifest; the return value
+    is ``out_dir``.  Every shard directory is independently servable
+    (``repro.cli serve --source out/shard-00``), and
+    :func:`~repro.cluster.backend.load_cluster` reassembles the whole graph.
+    """
+    from ..storage.snapshot import save_snapshot
+
+    csr = _resolve_to_csr(source)
+    ring = HashRing(shards, vnodes=vnodes)
+    graph_name = name or csr.name
+    if graph_name.startswith("mmap:"):
+        graph_name = graph_name[len("mmap:"):]
+
+    all_ids = csr.node_ids()
+    owned_by_shard: List[List[NodeId]] = [[] for _ in range(ring.shards)]
+    for node in all_ids:
+        owned_by_shard[ring.shard_of(node)].append(node)
+
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    attributes = csr.node_attributes
+    entries: List[Dict[str, Any]] = []
+    for shard, owned in enumerate(owned_by_shard):
+        # Table layout: owned nodes first (in global backend order, so walks
+        # over the reassembled cluster reproduce the original neighbor order
+        # exactly), then boundary neighbors in first-appearance order with
+        # empty rows.  The boundary entries exist only so the CSR ``indices``
+        # array has an in-table index for every neighbor.
+        table_index = {node: position for position, node in enumerate(owned)}
+        boundary: List[NodeId] = []
+        rows: List[List[int]] = []
+        for node in owned:
+            row: List[int] = []
+            for neighbor in csr.fetch(node).neighbors:
+                position = table_index.get(neighbor)
+                if position is None:
+                    position = len(owned) + len(boundary)
+                    table_index[neighbor] = position
+                    boundary.append(neighbor)
+                row.append(position)
+            rows.append(row)
+        table_ids = owned + boundary
+        indptr = np.zeros(len(table_ids) + 1, dtype=np.int64)
+        lengths = [len(row) for row in rows] + [0] * len(boundary)
+        np.cumsum(np.asarray(lengths, dtype=np.int64), out=indptr[1:])
+        indices = np.fromiter(
+            (position for row in rows for position in row),
+            dtype=np.int64,
+            count=int(indptr[-1]),
+        )
+        shard_attrs = {
+            node: attributes[node] for node in owned if attributes.get(node)
+        }
+        shard_name = f"{graph_name}@{shard}/{ring.shards}"
+        shard_csr = CSRBackend(
+            indptr, indices, node_ids=table_ids, attributes=shard_attrs,
+            name=shard_name,
+        )
+        shard_dirname = f"shard-{shard:02d}"
+        shard_dir = save_snapshot(shard_csr, out_dir / shard_dirname, name=shard_name)
+        sidecar = {
+            "format": SHARD_FORMAT,
+            "version": SHARD_VERSION,
+            "name": shard_name,
+            "shard": shard,
+            "shards": ring.shards,
+            "owned": len(owned),
+            "ring": ring.spec(),
+        }
+        (shard_dir / SHARD_MANIFEST_NAME).write_text(
+            json.dumps(sidecar, indent=2) + "\n", encoding="utf-8"
+        )
+        entries.append({"shard": shard, "source": shard_dirname, "nodes": len(owned)})
+
+    manifest = {
+        "format": CLUSTER_FORMAT,
+        "version": CLUSTER_VERSION,
+        "name": graph_name,
+        "nodes": len(all_ids),
+        "ring": ring.spec(),
+        "shards": entries,
+    }
+    (out_dir / CLUSTER_MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+    )
+    return out_dir
+
+
+def read_shard_manifest(directory: PathLike) -> Dict[str, Any]:
+    """Read and validate the ``shard.json`` sidecar of a shard directory."""
+    path = Path(directory) / SHARD_MANIFEST_NAME
+    if not path.is_file():
+        raise ClusterError(f"{directory} is not a shard directory (missing {SHARD_MANIFEST_NAME})")
+    try:
+        sidecar = json.loads(path.read_text(encoding="utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ClusterError(f"unreadable shard manifest {path}: {exc}") from exc
+    if not isinstance(sidecar, dict) or sidecar.get("format") != SHARD_FORMAT:
+        raise ClusterError(
+            f"{path} is not a {SHARD_FORMAT} manifest "
+            f"(format={sidecar.get('format') if isinstance(sidecar, dict) else sidecar!r})"
+        )
+    if sidecar.get("version") != SHARD_VERSION:
+        raise ClusterError(
+            f"shard {directory} has format version {sidecar.get('version')!r}; "
+            f"this build reads version {SHARD_VERSION}"
+        )
+    return sidecar
+
+
+def load_shard(directory: PathLike) -> ShardSliceBackend:
+    """Open one shard directory written by :func:`partition_snapshot`.
+
+    The snapshot arrays open memory-mapped (O(1) like any snapshot); the
+    returned :class:`ShardSliceBackend` serves only the shard's owned nodes.
+    """
+    from ..storage.snapshot import load_snapshot
+
+    directory = Path(directory)
+    sidecar = read_shard_manifest(directory)
+    inner = load_snapshot(directory)
+    try:
+        owned = int(sidecar["owned"])
+        shard = int(sidecar["shard"])
+        shards = int(sidecar["shards"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ClusterError(
+            f"shard manifest {directory / SHARD_MANIFEST_NAME} is missing "
+            f"valid 'owned'/'shard'/'shards' fields: {exc!r}"
+        ) from exc
+    return ShardSliceBackend(
+        inner, owned, shard=shard, shards=shards, name=sidecar.get("name")
+    )

@@ -130,6 +130,33 @@ class RemoteBackendError(ReproError):
         self.attempts = attempts
 
 
+class ClusterError(ReproError):
+    """Base class for sharded-cluster errors.
+
+    Covers malformed ``cluster.json`` manifests, ring-specification
+    mismatches, and node ids the consistent-hash ring cannot route.
+    Per-shard failures carry attribution through the :class:`ShardError`
+    subclass.
+    """
+
+
+class ShardError(ClusterError):
+    """Raised when one shard of a cluster fails to answer.
+
+    Node-level misses are *not* shard errors: a :class:`ShardedBackend`
+    surfaces :class:`NodeNotFoundError` / :class:`ReplayMissError` unchanged,
+    so sharded and local backends raise identically.  Everything else —
+    transport failures, exhausted retries, a shard process dying mid-ensemble
+    — is wrapped with the failing shard's index and address so an operator
+    knows *which* machine to look at.
+    """
+
+    def __init__(self, message, shard=None, url=None):
+        super().__init__(message)
+        self.shard = shard
+        self.url = url
+
+
 class APIError(ReproError):
     """Base class for simulated-API errors."""
 

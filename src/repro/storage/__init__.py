@@ -63,16 +63,50 @@ __all__ = [
 def open_backend(path: Union[str, Path]) -> GraphBackend:
     """Open an on-disk graph source as a :class:`GraphBackend`.
 
-    A directory is read as a CSR snapshot (:func:`load_snapshot`, served
-    memory-mapped); a file as a crawl dump (:func:`load_crawl`).  A path that
-    does not exist raises :class:`FileNotFoundError` naming both formats.
+    A directory is read as a cluster (when it holds a ``cluster.json``
+    manifest, reassembled through :func:`repro.cluster.load_cluster`), a
+    shard slice (when it holds a ``shard.json`` sidecar, opened through
+    :func:`repro.cluster.load_shard`), or a plain CSR snapshot
+    (:func:`load_snapshot`, served memory-mapped).  A file is read as a
+    ``cluster.json`` manifest when its JSON says so, and as a crawl dump
+    (:func:`load_crawl`) otherwise.  A path that does not exist raises
+    :class:`FileNotFoundError` naming the accepted formats.
     """
     path = Path(path)
     if path.is_dir():
+        from ..cluster import (
+            CLUSTER_MANIFEST_NAME,
+            SHARD_MANIFEST_NAME,
+            load_cluster,
+            load_shard,
+        )
+
+        if (path / CLUSTER_MANIFEST_NAME).is_file():
+            return load_cluster(path)
+        if (path / SHARD_MANIFEST_NAME).is_file():
+            return load_shard(path)
         return load_snapshot(path)
     if path.is_file():
+        if path.suffix == ".json" and _is_cluster_manifest(path):
+            from ..cluster import load_cluster
+
+            return load_cluster(path)
         return load_crawl(path)
     raise FileNotFoundError(
         f"no graph storage at {path}: expected a CSR snapshot directory "
-        f"(containing {MANIFEST_NAME}) or a crawl-dump file"
+        f"(containing {MANIFEST_NAME}), a shard directory, a cluster.json "
+        f"manifest, or a crawl-dump file"
     )
+
+
+def _is_cluster_manifest(path: Path) -> bool:
+    """Whether a ``.json`` file is a cluster manifest (vs. a crawl dump)."""
+    import json
+
+    from ..cluster import CLUSTER_FORMAT
+
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError, UnicodeDecodeError):
+        return False
+    return isinstance(payload, dict) and payload.get("format") == CLUSTER_FORMAT

@@ -1,22 +1,26 @@
 """Cross-backend conformance suite: the contract every GraphBackend must pass.
 
-One suite, parametrized over all five shipped backends — InMemory, CSR,
-memory-mapped CSR snapshot, crawl-dump replay, and the remote
-``HTTPGraphBackend`` driving a live in-process server — asserting that they
-are *indistinguishable* through the access layer: identical ``RawRecord``s
-(neighbor order included), identical golden walk fingerprints for every
-transition kernel under fixed seeds, identical ``QueryStats`` accounting
-through the full middleware stack, and loss-free snapshot / dump round trips.
+One suite, parametrized over all six shipped backends — InMemory, CSR,
+memory-mapped CSR snapshot, crawl-dump replay, the remote
+``HTTPGraphBackend`` driving a live in-process server, and the
+``ShardedBackend`` driving *three* live in-process shard servers through a
+consistent-hash ring — asserting that they are *indistinguishable* through
+the access layer: identical ``RawRecord``s (neighbor order included),
+identical golden walk fingerprints for every transition kernel under fixed
+seeds, identical ``QueryStats`` accounting through the full middleware
+stack, and loss-free snapshot / dump round trips.
 
-Any future backend (async, sharded) must be added to ``BACKEND_KINDS`` and
+Any future backend (async, tiered) must be added to ``BACKEND_KINDS`` and
 pass unchanged: the paper's cost model and every seeded experiment depend on
 storage being invisible above the backend protocol.  The ``http`` entry is
-the proof for the client/server split: a remote graph walks bit-identically
-to a local one, with the exact same accounting.
+the proof for the client/server split, and the ``sharded`` entry for the
+cluster tier: a partitioned graph walks bit-identically to a local one,
+with the exact same accounting.
 """
 
 from __future__ import annotations
 
+import json
 import zlib
 from pathlib import Path
 
@@ -49,7 +53,7 @@ from repro.storage import (
 from repro.walks import make_walker
 
 #: Every backend the library ships; the whole suite runs once per entry.
-BACKEND_KINDS = ("memory", "csr", "mmap", "replay", "http")
+BACKEND_KINDS = ("memory", "csr", "mmap", "replay", "http", "sharded")
 
 #: Kernels whose walks must fingerprint identically on every backend.
 KERNEL_NAMES = ("srw", "mhrw", "nbsrw", "cnrw", "nbcnrw", "gnrw_by_degree")
@@ -101,8 +105,29 @@ def http_server(conformance_graph, graph_server):
     return graph_server(InMemoryBackend(conformance_graph))
 
 
+@pytest.fixture(scope="module")
+def remote_cluster_manifest(snapshot_dir, graph_server, tmp_path_factory) -> Path:
+    """Partition the conformance snapshot, serve every shard, point a
+    ``cluster.json`` at the three live servers."""
+    from repro.cluster import load_shard, partition_snapshot
+
+    out_dir = partition_snapshot(
+        snapshot_dir, tmp_path_factory.mktemp("cluster") / "parts", shards=3
+    )
+    manifest = json.loads((out_dir / "cluster.json").read_text())
+    for entry in manifest["shards"]:
+        server = graph_server(load_shard(out_dir / entry["source"]))
+        entry["source"] = server.url
+    remote = out_dir / "cluster-remote.json"
+    remote.write_text(json.dumps(manifest, indent=2))
+    return remote
+
+
 @pytest.fixture(params=BACKEND_KINDS)
-def backend(request, conformance_graph, snapshot_dir, dump_path, http_server):
+def backend(
+    request, conformance_graph, snapshot_dir, dump_path, http_server,
+    remote_cluster_manifest,
+):
     kind = request.param
     if kind == "memory":
         made: GraphBackend = InMemoryBackend(conformance_graph)
@@ -112,11 +137,13 @@ def backend(request, conformance_graph, snapshot_dir, dump_path, http_server):
         made = load_snapshot(snapshot_dir)
     elif kind == "replay":
         made = load_crawl(dump_path)
-    else:
+    elif kind == "http":
         made = HTTPGraphBackend(http_server.url, timeout=10.0)
+    else:
+        # The whole cluster path: manifest -> ring + three HTTP shard clients.
+        made = as_backend(str(remote_cluster_manifest))
     yield made
-    if kind == "http":
-        made.close()
+    made.close()
 
 
 @pytest.fixture

@@ -231,6 +231,123 @@ class TestMain:
         assert numbers(remote) == numbers(local)
         assert "80 unique" in remote
 
+    def test_partition_then_walk_matches_snapshot_walk(self, tmp_path, capsys):
+        """`partition` splits a snapshot and a cluster.json walk reproduces
+        the same crawl (same seed, same explicit start) step for step."""
+        snap = tmp_path / "snap"
+        assert main(["snapshot", "--dataset", "facebook_like", "--scale", "0.15",
+                     "--seed", "2", "--out", str(snap)]) == 0
+        capsys.readouterr()
+        cluster = tmp_path / "cluster"
+        assert main(["partition", "--source", str(snap), "--out", str(cluster),
+                     "--shards", "3"]) == 0
+        partition_out = capsys.readouterr().out
+        assert "Partitioned" in partition_out and "3 shards" in partition_out
+        walk_args = ["--walker", "cnrw", "--budget", "60", "--seed", "5",
+                     "--start", "0"]
+        assert main(["walk", "--source", str(cluster / "cluster.json"),
+                     *walk_args]) == 0
+        sharded_out = capsys.readouterr().out
+        assert main(["walk", "--source", str(snap), *walk_args]) == 0
+        local_out = capsys.readouterr().out
+
+        def fingerprint(text):
+            return [
+                re.sub(r"\([^)]*\)", "", line)
+                for line in text.splitlines()
+                if "steps," in line or "Estimated" in line
+            ]
+
+        assert fingerprint(sharded_out) == fingerprint(local_out)
+        # The bare directory and the manifest path open identically.
+        assert main(["walk", "--source", str(cluster), *walk_args]) == 0
+        assert fingerprint(capsys.readouterr().out) == fingerprint(local_out)
+
+    def test_partition_reports_friendly_errors(self, tmp_path, capsys):
+        assert main(["partition", "--out", str(tmp_path / "c")]) == 2
+        assert "requires --source" in capsys.readouterr().err
+        assert main(["partition", "--source", str(tmp_path / "nowhere")]) == 2
+        assert "requires --out" in capsys.readouterr().err
+        assert main(["partition", "--source", str(tmp_path / "nowhere"),
+                     "--out", str(tmp_path / "c")]) == 2
+        assert "not a CSR snapshot" in capsys.readouterr().err
+        assert main(["serve-cluster"]) == 2
+        assert "requires --source" in capsys.readouterr().err
+        assert main(["serve-cluster", "--source", str(tmp_path / "nowhere")]) == 2
+        assert "no cluster manifest" in capsys.readouterr().err
+
+    def _spawn_cli(self, *args):
+        repo_root = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(repo_root / "src")] + env.get("PYTHONPATH", "").split(os.pathsep)
+        ).rstrip(os.pathsep)
+        env["PYTHONUNBUFFERED"] = "1"
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", *args],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+        )
+
+    def test_serve_shuts_down_gracefully_on_sigterm(self, tmp_path, capsys):
+        """SIGTERM (how CI and supervisors stop a server) must drain and
+        exit 0 — not die with the default 143."""
+        import signal
+
+        snap = tmp_path / "snap"
+        assert main(["snapshot", "--dataset", "facebook_like", "--scale", "0.12",
+                     "--seed", "2", "--out", str(snap)]) == 0
+        capsys.readouterr()
+        process = self._spawn_cli("serve", "--source", str(snap), "--port", "0")
+        killer = threading.Timer(60, process.kill)
+        killer.start()
+        try:
+            banner = process.stdout.readline()
+            assert "Serving" in banner, f"serve printed no banner: {banner!r}"
+            process.send_signal(signal.SIGTERM)
+            output, _ = process.communicate(timeout=30)
+            assert process.returncode == 0, output
+            assert "stopping" in output
+        finally:
+            killer.cancel()
+            if process.poll() is None:  # pragma: no cover - cleanup on failure
+                process.kill()
+
+    def test_serve_cluster_boots_every_shard_and_stops_on_sigterm(
+        self, tmp_path, capsys
+    ):
+        import signal
+
+        snap = tmp_path / "snap"
+        assert main(["snapshot", "--dataset", "facebook_like", "--scale", "0.12",
+                     "--seed", "2", "--out", str(snap)]) == 0
+        cluster = tmp_path / "cluster"
+        assert main(["partition", "--source", str(snap), "--out", str(cluster),
+                     "--shards", "3"]) == 0
+        capsys.readouterr()
+        process = self._spawn_cli("serve-cluster", "--source", str(cluster),
+                                  "--port", "0")
+        killer = threading.Timer(60, process.kill)
+        killer.start()
+        try:
+            banner = []
+            while len(banner) < 4:
+                line = process.stdout.readline()
+                assert line, f"serve-cluster ended early: {banner}"
+                banner.append(line)
+            assert sum("Serving shard" in line for line in banner) == 3
+            hint = next(line for line in banner if "cluster://" in line)
+            url = re.search(r"(cluster://\S+)", hint).group(1)
+            assert main(["walk", "--source", url, "--walker", "cnrw",
+                         "--budget", "40", "--seed", "5", "--start", "0"]) == 0
+            assert "Estimated average degree" in capsys.readouterr().out
+            process.send_signal(signal.SIGTERM)
+            output, _ = process.communicate(timeout=30)
+            assert process.returncode == 0, output
+        finally:
+            killer.cancel()
+            if process.poll() is None:  # pragma: no cover - cleanup on failure
+                process.kill()
+
     def test_sweep_with_jobs_and_csv(self, tmp_path, capsys):
         code = main([
             "sweep", "--dataset", "facebook_like", "--scale", "0.12",

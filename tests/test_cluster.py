@@ -1,0 +1,386 @@
+"""Tests for the sharded graph tier (`repro.cluster`).
+
+The conformance matrix in ``tests/test_backend_conformance.py`` already pins
+the ``ShardedBackend`` (over three live HTTP shard servers) to identical
+records, golden walk CRCs and query accounting; this module covers what is
+*specific* to the cluster subsystem: ring determinism, the partition layout
+and its manifests, routing and ownership guards, the ``cluster://`` and
+manifest wiring, per-shard failure attribution when a shard dies
+mid-ensemble, and the connection-lifecycle satellites (context managers,
+``SamplingSession.close``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+import pytest
+
+from repro.api import (
+    HTTPGraphBackend,
+    InMemoryBackend,
+    SamplingSession,
+    as_backend,
+    build_api,
+)
+from repro.cluster import (
+    CLUSTER_FORMAT,
+    CLUSTER_VERSION,
+    HashRing,
+    ShardSliceBackend,
+    ShardedBackend,
+    cluster_from_urls,
+    load_cluster,
+    load_shard,
+    parse_cluster_url,
+    partition_snapshot,
+)
+from repro.exceptions import ClusterError, NodeNotFoundError, ShardError
+from repro.graphs import load_dataset
+from repro.storage import save_snapshot
+from repro.walks import make_walker
+
+
+@pytest.fixture(scope="module")
+def cluster_graph():
+    return load_dataset("facebook_like", seed=7, scale=0.12)
+
+
+@pytest.fixture(scope="module")
+def reference(cluster_graph) -> InMemoryBackend:
+    return InMemoryBackend(cluster_graph)
+
+
+@pytest.fixture(scope="module")
+def cluster_dir(cluster_graph, tmp_path_factory):
+    base = tmp_path_factory.mktemp("cluster")
+    snapshot = save_snapshot(cluster_graph, base / "snap")
+    return partition_snapshot(snapshot, base / "parts", shards=3)
+
+
+# ----------------------------------------------------------------------
+# Consistent-hash ring
+# ----------------------------------------------------------------------
+class TestHashRing:
+    def test_routes_are_pinned_across_runs(self):
+        """The ring must never re-route a node between releases: the on-disk
+        partition layout depends on it.  These values are frozen."""
+        ring = HashRing(3, vnodes=8)
+        assert [ring.shard_of(node) for node in range(10)] == [
+            0, 2, 1, 2, 0, 0, 1, 1, 2, 2,
+        ]
+        assert [ring.shard_of(node) for node in ("alice", "bob", "carol", "dave")] == [
+            2, 0, 2, 2,
+        ]
+        default = HashRing(5)
+        assert [default.shard_of(node) for node in range(8)] == [
+            1, 3, 4, 4, 3, 3, 4, 0,
+        ]
+
+    def test_int_and_str_ids_route_independently(self):
+        ring = HashRing(3, vnodes=8)
+        assert ring.shard_of(5) == 0
+        assert ring.shard_of("5") == 1
+
+    def test_spec_round_trip(self):
+        ring = HashRing(4, vnodes=16)
+        rebuilt = HashRing.from_spec(ring.spec())
+        assert rebuilt.shards == 4 and rebuilt.vnodes == 16
+        assert all(rebuilt.shard_of(node) == ring.shard_of(node) for node in range(200))
+
+    def test_distribution_is_roughly_even(self):
+        counts = Counter(HashRing(3).shard_of(node) for node in range(3000))
+        assert len(counts) == 3
+        assert min(counts.values()) > 3000 / 3 * 0.6
+
+    @pytest.mark.parametrize("spec", [
+        None, [], {"algorithm": "md5-ring", "shards": 2},
+        {"algorithm": "consistent-hash-blake2b64"},
+        {"algorithm": "consistent-hash-blake2b64", "shards": "many"},
+    ])
+    def test_malformed_specs_raise_typed_errors(self, spec):
+        with pytest.raises(ClusterError):
+            HashRing.from_spec(spec)
+
+    def test_invalid_shard_counts_raise(self):
+        with pytest.raises(ClusterError):
+            HashRing(0)
+        with pytest.raises(ClusterError):
+            HashRing(3, vnodes=0)
+
+    def test_unroutable_node_id_raises_typed_error(self):
+        with pytest.raises(ClusterError, match="routed"):
+            HashRing(3).shard_of(object())
+
+
+# ----------------------------------------------------------------------
+# Partitioning and shard slices
+# ----------------------------------------------------------------------
+class TestPartition:
+    def test_manifest_layout(self, cluster_dir):
+        manifest = json.loads((cluster_dir / "cluster.json").read_text())
+        assert manifest["format"] == CLUSTER_FORMAT
+        assert manifest["version"] == CLUSTER_VERSION
+        assert manifest["ring"]["shards"] == 3
+        entries = manifest["shards"]
+        assert [entry["shard"] for entry in entries] == [0, 1, 2]
+        assert sum(entry["nodes"] for entry in entries) == manifest["nodes"]
+        for entry in entries:
+            shard_dir = cluster_dir / entry["source"]
+            assert (shard_dir / "manifest.json").is_file()  # a real snapshot
+            assert (shard_dir / "shard.json").is_file()
+
+    def test_shards_partition_the_node_set(self, cluster_dir, reference):
+        owned = []
+        for shard in range(3):
+            slice_backend = load_shard(cluster_dir / f"shard-{shard:02d}")
+            assert isinstance(slice_backend, ShardSliceBackend)
+            owned.extend(slice_backend.node_ids())
+        assert sorted(owned) == sorted(reference.node_ids())
+        assert len(owned) == len(set(owned))  # disjoint
+
+    def test_shards_route_by_the_manifest_ring(self, cluster_dir):
+        manifest = json.loads((cluster_dir / "cluster.json").read_text())
+        ring = HashRing.from_spec(manifest["ring"])
+        for shard in range(3):
+            slice_backend = load_shard(cluster_dir / f"shard-{shard:02d}")
+            assert all(ring.shard_of(node) == shard for node in slice_backend.node_ids())
+
+    def test_slice_serves_owned_records_and_guards_the_rest(
+        self, cluster_dir, reference
+    ):
+        """A shard answers exactly its owned nodes with *global* neighbor
+        lists; a mis-routed node fails loudly instead of answering with the
+        boundary row's empty adjacency."""
+        slice_backend = load_shard(cluster_dir / "shard-00")
+        owned = slice_backend.node_ids()
+        for node in owned[:10]:
+            assert slice_backend.fetch(node) == reference.fetch(node)
+            assert slice_backend.metadata(node) == reference.metadata(node)
+        foreign = next(
+            node for node in reference.node_ids() if node not in set(owned)
+        )
+        with pytest.raises(NodeNotFoundError):
+            slice_backend.fetch(foreign)
+        with pytest.raises(NodeNotFoundError):
+            slice_backend.fetch_many([owned[0], foreign])
+        assert not slice_backend.contains(foreign)
+        assert slice_backend.metadata(foreign) is None
+        assert foreign not in slice_backend.node_ids()
+        assert len(slice_backend) == len(owned)
+
+    def test_partition_accepts_in_memory_sources(self, cluster_graph, tmp_path):
+        out_dir = partition_snapshot(cluster_graph, tmp_path / "direct", shards=2)
+        with load_cluster(out_dir) as cluster:
+            assert len(cluster) == cluster_graph.number_of_nodes
+
+    def test_partition_rejects_unsupported_sources(self, tmp_path):
+        with pytest.raises(TypeError, match="partition"):
+            partition_snapshot(42, tmp_path / "bad", shards=2)
+
+
+# ----------------------------------------------------------------------
+# ShardedBackend routing and federation (local slices; HTTP is covered by
+# the conformance suite)
+# ----------------------------------------------------------------------
+class TestShardedBackend:
+    def test_cluster_reassembles_the_whole_graph(self, cluster_dir, reference):
+        with load_cluster(cluster_dir) as cluster:
+            assert len(cluster) == len(reference)
+            assert sorted(cluster.node_ids()) == sorted(reference.node_ids())
+            nodes = reference.node_ids()
+            probe = [nodes[2], nodes[0], nodes[2], nodes[5]]
+            assert cluster.fetch_many(probe) == reference.fetch_many(probe)
+            assert cluster.fetch(nodes[1]) == reference.fetch(nodes[1])
+            assert cluster.metadata(nodes[3]) == reference.metadata(nodes[3])
+            assert cluster.metadata("no-such-node") is None
+            assert not cluster.contains("no-such-node")
+            with pytest.raises(NodeNotFoundError):
+                cluster.fetch("no-such-node")
+
+    def test_walks_identical_to_unpartitioned_graph(self, cluster_dir, reference):
+        def run(source):
+            api = build_api(source, budget=60)
+            start = reference.node_ids()[0]
+            result = make_walker("cnrw", api=api, seed=7).run(start, max_steps=None)
+            return result.path, api.unique_queries, api.total_queries
+
+        with load_cluster(cluster_dir) as cluster:
+            assert run(cluster) == run(reference)
+
+    def test_shard_count_must_match_ring(self, cluster_dir):
+        backends = [load_shard(cluster_dir / f"shard-{shard:02d}") for shard in range(3)]
+        with pytest.raises(ClusterError, match="ring routes"):
+            ShardedBackend(backends, HashRing(2))
+        with pytest.raises(ClusterError, match="at least one"):
+            ShardedBackend([])
+
+    def test_manifest_validation_raises_typed_errors(self, cluster_dir, tmp_path):
+        with pytest.raises(ClusterError, match="no cluster manifest"):
+            load_cluster(tmp_path / "nowhere")
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text('{"format": "something-else"}')
+        with pytest.raises(ClusterError, match="format"):
+            load_cluster(foreign)
+        manifest = json.loads((cluster_dir / "cluster.json").read_text())
+        manifest["version"] = 99
+        future = tmp_path / "future.json"
+        future.write_text(json.dumps(manifest))
+        with pytest.raises(ClusterError, match="version"):
+            load_cluster(future)
+        manifest = json.loads((cluster_dir / "cluster.json").read_text())
+        del manifest["shards"][1]
+        missing = tmp_path / "missing-shard.json"
+        missing.write_text(json.dumps(manifest))
+        with pytest.raises(ClusterError, match="shards"):
+            load_cluster(missing)
+
+    def test_parse_cluster_url(self):
+        assert parse_cluster_url("cluster://a:1,b:2") == ["http://a:1", "http://b:2"]
+        assert parse_cluster_url("cluster://https://a:1, b:2") == [
+            "https://a:1", "http://b:2",
+        ]
+        with pytest.raises(ClusterError, match="no shard servers"):
+            parse_cluster_url("cluster://")
+        with pytest.raises(ClusterError, match="cluster://"):
+            parse_cluster_url("http://a:1")
+
+
+# ----------------------------------------------------------------------
+# Live-cluster wiring and failure attribution
+# ----------------------------------------------------------------------
+class TestLiveCluster:
+    @pytest.fixture()
+    def shard_servers(self, cluster_dir, graph_server):
+        return [
+            graph_server(load_shard(cluster_dir / f"shard-{shard:02d}"))
+            for shard in range(3)
+        ]
+
+    def test_cluster_url_drives_live_shards(self, cluster_dir, shard_servers, reference):
+        url = "cluster://" + ",".join(
+            server.url.removeprefix("http://") for server in shard_servers
+        )
+        with as_backend(url) as cluster:
+            assert isinstance(cluster, ShardedBackend)
+            assert len(cluster) == len(reference)
+            node = reference.node_ids()[0]
+            assert cluster.fetch(node) == reference.fetch(node)
+
+    def test_shard_death_mid_ensemble_names_the_shard(
+        self, cluster_dir, shard_servers, reference
+    ):
+        """One shard dying mid-ensemble fails typed, naming the dead shard.
+
+        Shard 1's storage starts failing after its first two batched
+        fetches; the client's bounded retries exhaust against persistent
+        500s and the scheduler's next frontier batch surfaces a ShardError
+        attributing the failure to shard 1's address — not a generic error.
+        """
+        from fakes import FlakyBackend
+
+        doomed = shard_servers[1]
+        doomed.graph_backend = FlakyBackend(
+            doomed.graph_backend,
+            plan=[None, None] + [RuntimeError("storage tier died")] * 1000,
+        )
+        manifest = json.loads((cluster_dir / "cluster.json").read_text())
+        ring = HashRing.from_spec(manifest["ring"])
+        clients = [
+            HTTPGraphBackend(server.url, retries=1, backoff=0.0, sleep=lambda _: None)
+            for server in shard_servers
+        ]
+        with ShardedBackend(clients, ring) as cluster:
+            api = build_api(cluster, budget=200)
+            walkers = [make_walker("cnrw", api=api, seed=seed) for seed in (1, 2, 3, 4)]
+            starts = reference.node_ids()[:4]
+            from repro.engine import WalkScheduler
+
+            with pytest.raises(ShardError) as excinfo:
+                WalkScheduler(api).run(walkers, starts, steps=60)
+            assert excinfo.value.shard == 1
+            assert excinfo.value.url == shard_servers[1].url
+            assert shard_servers[1].url in str(excinfo.value)
+            # The healthy shards still answer after the failure.
+            healthy = next(
+                node for node in reference.node_ids()
+                if cluster.shard_of(node) != 1
+            )
+            assert cluster.fetch(healthy) == reference.fetch(healthy)
+
+    def test_fetch_many_single_shard_failure_is_attributed(
+        self, cluster_dir, shard_servers, reference
+    ):
+        manifest = json.loads((cluster_dir / "cluster.json").read_text())
+        ring = HashRing.from_spec(manifest["ring"])
+        clients = [
+            HTTPGraphBackend(server.url, retries=0, timeout=2.0)
+            for server in shard_servers
+        ]
+        shard_servers[2].close()  # this shard is simply gone
+        with ShardedBackend(clients, ring) as cluster:
+            victim = next(
+                node for node in reference.node_ids() if cluster.shard_of(node) == 2
+            )
+            survivor = next(
+                node for node in reference.node_ids() if cluster.shard_of(node) == 0
+            )
+            with pytest.raises(ShardError) as excinfo:
+                cluster.fetch_many([survivor, victim])
+            assert excinfo.value.shard == 2
+            with pytest.raises(ShardError) as single_info:
+                cluster.fetch(victim)
+            assert single_info.value.shard == 2
+
+
+# ----------------------------------------------------------------------
+# Connection lifecycle (satellite: context managers + Session.close)
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_with_as_backend_closes_http_connection(self, cluster_graph, graph_server):
+        server = graph_server(InMemoryBackend(cluster_graph))
+        with as_backend(server.url) as backend:
+            assert isinstance(backend, HTTPGraphBackend)
+            backend.fetch(cluster_graph.nodes()[0])
+            assert backend._connection is not None
+        assert backend._connection is None
+
+    def test_with_as_backend_closes_cluster(self, cluster_dir, graph_server):
+        urls = [
+            graph_server(load_shard(cluster_dir / f"shard-{shard:02d}")).url
+            for shard in range(3)
+        ]
+        with cluster_from_urls(urls) as cluster:
+            cluster.fetch_many(cluster.node_ids()[:8])
+        for client in cluster.shard_backends:
+            assert client._connection is None
+
+    def test_local_backends_are_context_managers_too(self, reference):
+        with as_backend(reference) as backend:
+            assert backend is reference
+        reference.fetch(reference.node_ids()[0])  # close was a no-op
+
+    def test_session_close_delegates_to_backend(self, cluster_graph, graph_server):
+        server = graph_server(InMemoryBackend(cluster_graph))
+        with SamplingSession(server.url, seed=1) as session:
+            session.budget(30).walker("srw", seed=1)
+            session.run(max_steps=5)
+            client = session.api.backend
+            assert client._connection is not None
+        assert client._connection is None
+        # The session stays usable: the next query reconnects.
+        session.run(start=cluster_graph.nodes()[0], max_steps=2)
+        assert client._connection is not None
+        session.close()
+        assert client._connection is None
+
+    def test_session_close_without_built_stack_closes_backend_source(
+        self, cluster_graph, graph_server
+    ):
+        server = graph_server(InMemoryBackend(cluster_graph))
+        client = HTTPGraphBackend(server.url)
+        client.fetch(cluster_graph.nodes()[0])
+        session = SamplingSession(client)
+        session.close()  # never built a stack; must close the source itself
+        assert client._connection is None
