@@ -54,6 +54,25 @@ def pytest_addoption(parser) -> None:
     )
 
 
+def _host_metadata() -> Dict[str, Any]:
+    """The host facts needed to compare BENCH_*.json files across runs.
+
+    Timing ratios only mean something relative to the machine that produced
+    them, so the payload carries the cpu count, python build and platform
+    alongside the results (additive to format version 1: older readers
+    ignore the extra key).
+    """
+    import platform
+
+    return {
+        "cpu_count": os.cpu_count(),
+        "python_version": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
 def pytest_sessionfinish(session, exitstatus) -> None:
     path = session.config.getoption("repro_bench_json", None)
     if not path:
@@ -61,6 +80,7 @@ def pytest_sessionfinish(session, exitstatus) -> None:
     payload = {
         "format": "repro-bench-results",
         "version": 1,
+        "host": _host_metadata(),
         "results": _BENCH_RESULTS,
     }
     with open(path, "w", encoding="utf-8") as handle:

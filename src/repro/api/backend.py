@@ -398,8 +398,10 @@ def as_backend(source) -> GraphBackend:
     through :class:`~repro.cluster.ShardedBackend`), or an on-disk source
     given as a ``str`` / :class:`~pathlib.Path`: a CSR snapshot directory
     (served memory-mapped through :class:`~repro.storage.MmapCSRBackend`), a
-    shard directory written by :func:`~repro.cluster.partition_snapshot`, or
-    a crawl-dump file (replayed through :class:`~repro.storage.ReplayBackend`).
+    shard directory written by :func:`~repro.cluster.partition_snapshot`, a
+    crawl-dump file (replayed through :class:`~repro.storage.ReplayBackend`),
+    or a crawl-warehouse ``.sqlite`` store (served through
+    :class:`~repro.warehouse.WarehouseBackend`).
     Any other input raises :class:`TypeError` listing the accepted types.
     """
     if isinstance(source, GraphBackend):
@@ -422,6 +424,6 @@ def as_backend(source) -> GraphBackend:
         f"cannot build a GraphBackend from {type(source).__name__}; accepted "
         "types: Graph, GraphBackend, an http(s):// service URL, a cluster:// "
         "shard list, or a str / pathlib.Path pointing at a CSR snapshot "
-        "directory, a shard directory, a cluster.json manifest, or a "
-        "crawl-dump file"
+        "directory, a shard directory, a cluster.json manifest, a crawl-dump "
+        "file, or a crawl-warehouse .sqlite store"
     )

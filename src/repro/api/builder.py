@@ -54,10 +54,13 @@ def build_api(
             :class:`~repro.api.backend.GraphBackend`, an ``http(s)://`` URL
             of a graph service (driven remotely through
             :class:`~repro.api.remote.HTTPGraphBackend`; see
-            :mod:`repro.server`), or a ``str`` / :class:`~pathlib.Path`
-            naming on-disk storage — a CSR snapshot directory (opened
-            memory-mapped) or a crawl-dump file (replayed offline); see
-            :mod:`repro.storage`.
+            :mod:`repro.server`), a ``cluster://`` shard list or
+            ``cluster.json`` manifest (driven through
+            :class:`~repro.cluster.ShardedBackend`), or a ``str`` /
+            :class:`~pathlib.Path` naming on-disk storage — a CSR snapshot
+            directory (opened memory-mapped), a crawl-dump file (replayed
+            offline) or a crawl-warehouse ``.sqlite`` store (see
+            :mod:`repro.storage` and :mod:`repro.warehouse`).
         backend: Optional backend kind for graph sources: ``"memory"`` (the
             default) or ``"csr"`` to compile the graph into the array-based
             :class:`~repro.api.backend.CSRBackend`.

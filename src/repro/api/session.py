@@ -64,11 +64,13 @@ class SamplingSession:
     Every configuration method returns ``self`` so calls chain; the API stack
     is built on first use and invalidated by any later configuration change.
     ``source`` may also be a ``str`` / :class:`~pathlib.Path` naming on-disk
-    storage (a CSR snapshot directory or a crawl-dump file, see
-    :mod:`repro.storage`), or an ``http(s)://`` URL of a graph service (see
-    :mod:`repro.server`), so a session can crawl a graph larger than RAM,
-    replay a recorded crawl, or drive a graph served on another machine with
-    the same one-liner.
+    storage (a CSR snapshot directory, a crawl-dump file or a crawl-warehouse
+    ``.sqlite`` store, see :mod:`repro.storage` / :mod:`repro.warehouse`), an
+    ``http(s)://`` URL of a graph service (see :mod:`repro.server`), or a
+    ``cluster://`` shard list / ``cluster.json`` manifest (see
+    :mod:`repro.cluster`), so a session can crawl a graph larger than RAM,
+    replay a recorded crawl, query a merged warehouse, or drive a graph
+    served on other machines with the same one-liner.
     """
 
     def __init__(

@@ -58,6 +58,20 @@ A sharded walk routes every fetch to the owning shard and is bit-identical
 to the same walk over the unpartitioned graph.  ``serve`` and
 ``serve-cluster`` shut down gracefully on SIGTERM/SIGINT: keep-alive sockets
 are drained and the process exits 0.
+
+The warehouse commands (see :mod:`repro.warehouse`) merge crawls into one
+queryable WAL-mode SQLite store and take their own sub-arguments::
+
+    python -m repro.cli warehouse ingest --store wh.sqlite crawl1.jsonl crawl2.jsonl
+    python -m repro.cli warehouse stats --store wh.sqlite
+    python -m repro.cli warehouse export --store wh.sqlite --out merged.jsonl
+    python -m repro.cli walk --source wh.sqlite --walker cnrw --budget 500
+
+``ingest`` creates the store on first use and accepts any graph source
+(crawl dumps, CSR snapshots, even another warehouse), deduplicating nodes
+across crawls and refusing contradictory ones; ``stats`` prints the
+aggregates and the per-crawl provenance log; ``export`` writes the merged
+store back out as a crawl dump or (for complete stores) a CSR snapshot.
 """
 
 from __future__ import annotations
@@ -521,6 +535,123 @@ def _run_sweep(args: argparse.Namespace, out_dir: Optional[Path]) -> None:
     _print_and_save(report, out_dir)
 
 
+def _warehouse_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli warehouse",
+        description="Ingest, inspect and export a queryable crawl warehouse "
+        "(a WAL-mode SQLite store merging any number of crawls; see "
+        "repro.warehouse).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    ingest = sub.add_parser(
+        "ingest",
+        help="merge one or more graph sources into the store "
+        "(created on first use)",
+    )
+    ingest.add_argument(
+        "--store", type=Path, required=True,
+        help="warehouse .sqlite file (created if missing)",
+    )
+    ingest.add_argument(
+        "--name", default=None,
+        help="store name when creating a fresh warehouse (default: the stem "
+        "of the store path)",
+    )
+    ingest.add_argument(
+        "sources", nargs="+",
+        help="graph sources to ingest, in order: crawl-dump files, CSR "
+        "snapshot directories, or other warehouse .sqlite stores",
+    )
+    stats = sub.add_parser(
+        "stats", help="print store aggregates and the per-crawl provenance log"
+    )
+    stats.add_argument("--store", type=Path, required=True,
+                       help="warehouse .sqlite file to inspect")
+    export = sub.add_parser(
+        "export",
+        help="write the merged store back out as a crawl dump or CSR snapshot",
+    )
+    export.add_argument("--store", type=Path, required=True,
+                        help="warehouse .sqlite file to export from")
+    export.add_argument("--out", type=Path, required=True,
+                        help="output path: a .jsonl/.gz file for a dump, a "
+                        "directory for a snapshot")
+    export.add_argument(
+        "--format", choices=["dump", "snapshot"], default=None,
+        help="output format (default: inferred from --out — file-like "
+        "suffixes .jsonl/.json/.gz mean dump, anything else snapshot)",
+    )
+    return parser
+
+
+def _run_warehouse(argv: Sequence[str]) -> int:
+    """Drive ``warehouse ingest|stats|export`` (own sub-parser, exit code)."""
+    from .exceptions import ReproError
+    from .warehouse import CrawlWarehouse
+
+    args = _warehouse_parser().parse_args(argv)
+    try:
+        if args.command == "ingest":
+            if args.store.exists():
+                if args.name is not None:
+                    raise ValueError(
+                        f"--name only applies when creating a fresh store; "
+                        f"{args.store} already exists"
+                    )
+                warehouse = CrawlWarehouse.open(args.store)
+            else:
+                warehouse = CrawlWarehouse.create(args.store, name=args.name)
+            try:
+                for source in args.sources:
+                    report = warehouse.ingest(source)
+                    print(report.describe())
+                stats = warehouse.stats()
+                print(f"store {args.store}: {stats['nodes']} nodes, "
+                      f"{stats['edge_rows']} edge rows, "
+                      f"{stats['meta_records']} boundary records, "
+                      f"{stats['crawls']} crawls")
+            finally:
+                warehouse.close()
+        elif args.command == "stats":
+            warehouse = CrawlWarehouse.open(args.store)
+            try:
+                stats = warehouse.stats()
+                print(f"warehouse {stats['name']} at {args.store}")
+                print(f"  nodes:            {stats['nodes']}")
+                print(f"  edge rows:        {stats['edge_rows']}")
+                print(f"  boundary records: {stats['meta_records']}")
+                print(f"  crawls:           {stats['crawls']}")
+                if stats["average_degree"] is not None:
+                    print(f"  average degree:   {stats['average_degree']:.3f}")
+                    print(f"  max degree:       {stats['max_degree']}")
+                for report in warehouse.crawl_log():
+                    print(report.describe())
+            finally:
+                warehouse.close()
+        else:  # export
+            fmt = args.format
+            if fmt is None:
+                suffixes = {piece.lower() for piece in args.out.suffixes}
+                fmt = ("dump" if suffixes & {".jsonl", ".json", ".gz"}
+                       else "snapshot")
+            warehouse = CrawlWarehouse.open(args.store)
+            try:
+                if fmt == "dump":
+                    path = warehouse.export_dump(args.out)
+                    print(f"wrote {path} ({len(warehouse)} records; replay "
+                          f"with: python -m repro.cli walk --source {path})")
+                else:
+                    path = warehouse.export_snapshot(args.out)
+                    print(f"wrote {path} ({len(warehouse)} nodes; reopen "
+                          f"with: python -m repro.cli walk --source {path})")
+            finally:
+                warehouse.close()
+    except (ReproError, ValueError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _experiment_kwargs(name: str, args: argparse.Namespace) -> Dict[str, object]:
     """Build the keyword arguments accepted by a given experiment function."""
     kwargs: Dict[str, object] = {"seed": args.seed}
@@ -609,7 +740,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--source", default=None,
         help="graph source for 'walk'/'serve'/'partition'/'serve-cluster' "
         "instead of --dataset: a CSR snapshot directory (served "
-        "memory-mapped), a crawl-dump file (replayed offline), an "
+        "memory-mapped), a crawl-dump file (replayed offline), a crawl "
+        "warehouse .sqlite store (served through its WAL readers), an "
         "http(s):// URL of a 'serve' instance (driven remotely), or a "
         "cluster.json manifest / cluster://host:port,... shard list "
         "(driven through the sharded tier)",
@@ -665,6 +797,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "warehouse":
+        # The warehouse sub-commands take their own positional arguments
+        # (ingest SOURCE...), which the single-positional main parser cannot
+        # express; route them to a dedicated parser before it runs.
+        return _run_warehouse(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -681,6 +820,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               "see --source/--out/--shards)")
         print("  serve-cluster (boot every shard of a cluster.json manifest; "
               "see --source/--host/--port)")
+        print("  warehouse (merge crawls into a queryable SQLite store; "
+              "warehouse ingest|stats|export --help)")
         return 0
 
     if args.experiment in ("walk", "snapshot", "replay", "serve", "partition",

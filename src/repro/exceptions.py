@@ -112,6 +112,42 @@ class ReplayMissError(NodeNotFoundError, StorageError):
         return (type(self), (self.node, self.source))
 
 
+class WarehouseError(StorageError):
+    """Raised when a crawl warehouse is missing, malformed or misused.
+
+    Covers files that are not ``repro-warehouse`` SQLite stores, version
+    mismatches, node ids that cannot survive the canonical JSON key encoding,
+    and exports the warehouse cannot honour (e.g. a snapshot export of a
+    store whose crawls never fetched some boundary neighbors).
+    """
+
+
+class IngestConflictError(WarehouseError):
+    """Raised when an ingested crawl contradicts what the warehouse holds.
+
+    Merging crawls dedupes nodes by id, which is only sound when duplicate
+    records *agree*: a node arriving with different neighbor rows, different
+    attributes, or a boundary metadata degree that contradicts an already
+    ingested record means the crawls saw different graphs, and silently
+    keeping either version would poison every aggregate and replayed walk.
+    The whole ingest is rolled back; ``node`` names the offending id.
+    """
+
+    def __init__(self, node, detail, source=None):
+        message = f"crawl conflict on node {node!r}: {detail}"
+        if source is not None:
+            message += f" (ingesting {source})"
+        super().__init__(message)
+        self.node = node
+        self.detail = detail
+        self.source = source
+
+    def __reduce__(self):
+        # args holds the rendered message; rebuild from the real constructor
+        # arguments so pickling across a process pool round-trips.
+        return (type(self), (self.node, self.detail, self.source))
+
+
 class RemoteBackendError(ReproError):
     """Raised when a remote graph service cannot satisfy a request.
 

@@ -16,8 +16,9 @@ scheduler unchanged:
   any node the crawl never fetched.
 
 :func:`open_backend` is the path dispatcher used by
-:func:`repro.api.backend.as_backend`: a directory opens as a snapshot, a file
-as a crawl dump.
+:func:`repro.api.backend.as_backend`: a directory opens as a snapshot (or a
+cluster/shard layout), a file as a crawl dump, a ``cluster.json`` manifest,
+or — by SQLite magic — a crawl warehouse (:mod:`repro.warehouse`).
 """
 
 from __future__ import annotations
@@ -68,6 +69,8 @@ def open_backend(path: Union[str, Path]) -> GraphBackend:
     shard slice (when it holds a ``shard.json`` sidecar, opened through
     :func:`repro.cluster.load_shard`), or a plain CSR snapshot
     (:func:`load_snapshot`, served memory-mapped).  A file is read as a
+    crawl warehouse when it carries the SQLite magic (opened read-only
+    through :class:`repro.warehouse.WarehouseBackend`), as a
     ``cluster.json`` manifest when its JSON says so, and as a crawl dump
     (:func:`load_crawl`) otherwise.  A path that does not exist raises
     :class:`FileNotFoundError` naming the accepted formats.
@@ -87,6 +90,10 @@ def open_backend(path: Union[str, Path]) -> GraphBackend:
             return load_shard(path)
         return load_snapshot(path)
     if path.is_file():
+        from ..warehouse import WarehouseBackend, is_warehouse_file
+
+        if is_warehouse_file(path):
+            return WarehouseBackend(path)
         if path.suffix == ".json" and _is_cluster_manifest(path):
             from ..cluster import load_cluster
 
@@ -95,7 +102,7 @@ def open_backend(path: Union[str, Path]) -> GraphBackend:
     raise FileNotFoundError(
         f"no graph storage at {path}: expected a CSR snapshot directory "
         f"(containing {MANIFEST_NAME}), a shard directory, a cluster.json "
-        f"manifest, or a crawl-dump file"
+        f"manifest, a crawl-dump file, or a crawl-warehouse .sqlite store"
     )
 
 

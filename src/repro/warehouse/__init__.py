@@ -1,0 +1,50 @@
+"""Queryable crawl warehouse: a WAL-mode SQLite tier over merged crawls.
+
+The warehouse closes the gap between PR 3's append-only artifacts and the
+estimators: crawl dumps can only be replayed start to finish, but degree
+histograms, attribute aggregates and crawl provenance are *queries*.  This
+subsystem ingests any number of dumps, snapshots or live backends into one
+indexed SQLite store and serves both sides:
+
+* **writes** — :class:`CrawlWarehouse`: incremental :meth:`ingest
+  <CrawlWarehouse.ingest>` (dedupe by node id, typed
+  :class:`~repro.exceptions.IngestConflictError` on contradictory crawls,
+  per-crawl provenance), SQL aggregates (:meth:`degree_histogram
+  <CrawlWarehouse.degree_histogram>`, :meth:`attribute_counts
+  <CrawlWarehouse.attribute_counts>`, :meth:`crawl_log
+  <CrawlWarehouse.crawl_log>`, :meth:`stats <CrawlWarehouse.stats>`), and
+  lossless :meth:`export_dump <CrawlWarehouse.export_dump>` /
+  :meth:`export_snapshot <CrawlWarehouse.export_snapshot>`;
+* **reads** — :class:`WarehouseBackend`: a conformance-identical
+  :class:`~repro.api.backend.GraphBackend` whose WAL readers run
+  concurrently with ingests, across threads and processes, so a warehouse
+  drives walks, the HTTP graph service and ``jobs=`` fan-out unchanged.
+
+``as_backend`` / ``build_api`` / ``SamplingSession`` accept a warehouse
+``.sqlite`` path like any other on-disk source, and ``repro.cli warehouse
+ingest|export|stats`` drives the store from the command line.
+"""
+
+from .backend import WarehouseBackend
+from .store import (
+    SQLITE_MAGIC,
+    WAREHOUSE_FORMAT,
+    WAREHOUSE_VERSION,
+    CrawlWarehouse,
+    IngestReport,
+    decode_node_key,
+    encode_node_key,
+    is_warehouse_file,
+)
+
+__all__ = [
+    "CrawlWarehouse",
+    "IngestReport",
+    "SQLITE_MAGIC",
+    "WAREHOUSE_FORMAT",
+    "WAREHOUSE_VERSION",
+    "WarehouseBackend",
+    "decode_node_key",
+    "encode_node_key",
+    "is_warehouse_file",
+]

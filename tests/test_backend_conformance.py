@@ -1,10 +1,11 @@
 """Cross-backend conformance suite: the contract every GraphBackend must pass.
 
-One suite, parametrized over all six shipped backends — InMemory, CSR,
+One suite, parametrized over all seven shipped backends — InMemory, CSR,
 memory-mapped CSR snapshot, crawl-dump replay, the remote
-``HTTPGraphBackend`` driving a live in-process server, and the
+``HTTPGraphBackend`` driving a live in-process server, the
 ``ShardedBackend`` driving *three* live in-process shard servers through a
-consistent-hash ring — asserting that they are *indistinguishable* through
+consistent-hash ring, and the SQLite-served ``WarehouseBackend`` over an
+ingested full dump — asserting that they are *indistinguishable* through
 the access layer: identical ``RawRecord``s (neighbor order included),
 identical golden walk fingerprints for every transition kernel under fixed
 seeds, identical ``QueryStats`` accounting through the full middleware
@@ -53,7 +54,7 @@ from repro.storage import (
 from repro.walks import make_walker
 
 #: Every backend the library ships; the whole suite runs once per entry.
-BACKEND_KINDS = ("memory", "csr", "mmap", "replay", "http", "sharded")
+BACKEND_KINDS = ("memory", "csr", "mmap", "replay", "http", "sharded", "warehouse")
 
 #: Kernels whose walks must fingerprint identically on every backend.
 KERNEL_NAMES = ("srw", "mhrw", "nbsrw", "cnrw", "nbcnrw", "gnrw_by_degree")
@@ -100,6 +101,20 @@ def dump_path(conformance_graph, tmp_path_factory) -> Path:
 
 
 @pytest.fixture(scope="module")
+def warehouse_path(dump_path, tmp_path_factory) -> Path:
+    """A warehouse holding one ingested full dump of the conformance graph."""
+    from repro.warehouse import CrawlWarehouse
+
+    store = tmp_path_factory.mktemp("warehouse") / "wh.sqlite"
+    warehouse = CrawlWarehouse.create(store, name="conformance")
+    try:
+        warehouse.ingest(dump_path)
+    finally:
+        warehouse.close()
+    return store
+
+
+@pytest.fixture(scope="module")
 def http_server(conformance_graph, graph_server):
     """One live in-process server over the conformance graph, per module."""
     return graph_server(InMemoryBackend(conformance_graph))
@@ -126,7 +141,7 @@ def remote_cluster_manifest(snapshot_dir, graph_server, tmp_path_factory) -> Pat
 @pytest.fixture(params=BACKEND_KINDS)
 def backend(
     request, conformance_graph, snapshot_dir, dump_path, http_server,
-    remote_cluster_manifest,
+    remote_cluster_manifest, warehouse_path,
 ):
     kind = request.param
     if kind == "memory":
@@ -139,6 +154,10 @@ def backend(
         made = load_crawl(dump_path)
     elif kind == "http":
         made = HTTPGraphBackend(http_server.url, timeout=10.0)
+    elif kind == "warehouse":
+        from repro.warehouse import WarehouseBackend
+
+        made = WarehouseBackend(warehouse_path)
     else:
         # The whole cluster path: manifest -> ring + three HTTP shard clients.
         made = as_backend(str(remote_cluster_manifest))
@@ -546,6 +565,19 @@ class TestAsBackend:
     def test_pathlib_path_opens_dump(self, dump_path):
         assert isinstance(as_backend(Path(dump_path)), ReplayBackend)
 
+    def test_warehouse_file_opens_warehouse_backend(self, warehouse_path):
+        """SQLite magic (not the suffix) routes a file to the warehouse."""
+        from repro.warehouse import WarehouseBackend
+
+        backend = as_backend(warehouse_path)
+        assert isinstance(backend, WarehouseBackend)
+        backend.close()
+        disguised = warehouse_path.parent / "crawl.jsonl"
+        disguised.write_bytes(warehouse_path.read_bytes())
+        backend = as_backend(str(disguised))
+        assert isinstance(backend, WarehouseBackend)
+        backend.close()
+
     def test_url_opens_http_backend(self, http_server):
         backend = as_backend(http_server.url)
         assert isinstance(backend, HTTPGraphBackend)
@@ -557,11 +589,23 @@ class TestAsBackend:
 
     @pytest.mark.parametrize("bogus", [42, 3.5, ["edges"], {"a": 1}, None])
     def test_unsupported_type_lists_accepted_types(self, bogus):
+        """The TypeError enumerates *every* accepted source, not a subset."""
         with pytest.raises(TypeError) as excinfo:
             as_backend(bogus)
         message = str(excinfo.value)
         assert type(bogus).__name__ in message
-        for accepted in ("Graph", "GraphBackend", "str", "Path"):
+        for accepted in ("Graph", "GraphBackend", "str", "Path", "http(s)://",
+                         "cluster://", "snapshot", "cluster.json",
+                         "crawl-dump", ".sqlite"):
+            assert accepted in message
+
+    def test_missing_path_error_lists_accepted_formats(self, tmp_path):
+        """The FileNotFoundError enumerates every on-disk format too."""
+        with pytest.raises(FileNotFoundError) as excinfo:
+            as_backend(tmp_path / "nowhere")
+        message = str(excinfo.value)
+        for accepted in ("snapshot", "shard", "cluster.json", "crawl-dump",
+                         ".sqlite"):
             assert accepted in message
 
     def test_build_api_accepts_paths(self, snapshot_dir, conformance_graph):

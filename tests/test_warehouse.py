@@ -1,0 +1,625 @@
+"""Tests for the crawl warehouse: ingest/merge semantics, WAL concurrency,
+aggregate queries, exports and the CLI sub-commands.
+
+The cross-backend guarantees (RawRecords, golden walks, QueryStats) live in
+tests/test_backend_conformance.py, where ``warehouse`` is one of the
+parametrized BACKEND_KINDS; this module covers what is *specific* to the
+warehouse — the write side (dedupe, provenance, typed conflicts with full
+rollback, boundary-metadata promotion), the SQL aggregate surface, lossless
+exports, and the WAL concurrency model (many reader processes walking
+bit-identically while an ingest appends).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.api import InMemoryBackend, build_api
+from repro.exceptions import (
+    IngestConflictError,
+    NodeNotFoundError,
+    StorageError,
+    WarehouseError,
+)
+from repro.graphs import Graph, load_dataset
+from repro.storage import dump_crawl, load_crawl, load_snapshot, save_snapshot
+from repro.walks import make_walker
+from repro.warehouse import (
+    WAREHOUSE_FORMAT,
+    WAREHOUSE_VERSION,
+    CrawlWarehouse,
+    WarehouseBackend,
+    encode_node_key,
+    is_warehouse_file,
+)
+
+
+@pytest.fixture()
+def small_graph() -> Graph:
+    return load_dataset("facebook_like", seed=7, scale=0.12)
+
+
+@pytest.fixture()
+def full_dump(small_graph, tmp_path) -> Path:
+    backend = InMemoryBackend(small_graph)
+    return dump_crawl(backend, tmp_path / "full.jsonl", nodes=backend.node_ids())
+
+
+def _attr_graph() -> Graph:
+    """A tiny graph with unicode string ids and attributes."""
+    graph = Graph(name="attrs")
+    graph.add_edges([("α", "β"), ("β", "γ"), ("γ", "α"), ("α", "δ")])
+    graph.set_attributes("α", kind="hub", weight=2)
+    graph.set_attributes("β", kind="leaf")
+    graph.set_attributes("γ", kind="leaf")
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Store lifecycle and format validation
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_create_open_roundtrip(self, tmp_path):
+        store = tmp_path / "wh.sqlite"
+        warehouse = CrawlWarehouse.create(store, name="mystore")
+        assert warehouse.name == "mystore"
+        assert len(warehouse) == 0
+        assert warehouse.crawl_count == 0
+        warehouse.close()
+        with CrawlWarehouse.open(store) as reopened:
+            assert reopened.name == "mystore"
+        assert is_warehouse_file(store)
+
+    def test_create_refuses_existing_path(self, tmp_path):
+        store = tmp_path / "wh.sqlite"
+        CrawlWarehouse.create(store).close()
+        with pytest.raises(WarehouseError, match="already exists"):
+            CrawlWarehouse.create(store)
+
+    def test_open_missing_store_raises(self, tmp_path):
+        with pytest.raises(WarehouseError, match="no crawl warehouse"):
+            CrawlWarehouse.open(tmp_path / "nowhere.sqlite")
+        with pytest.raises(WarehouseError, match="no crawl warehouse"):
+            WarehouseBackend(tmp_path / "nowhere.sqlite")
+
+    def test_open_rejects_non_sqlite_file(self, tmp_path):
+        bogus = tmp_path / "fake.sqlite"
+        bogus.write_text("not a database\n")
+        with pytest.raises(WarehouseError, match="SQLite"):
+            CrawlWarehouse.open(bogus)
+        with pytest.raises(WarehouseError, match="SQLite"):
+            WarehouseBackend(bogus)
+        assert not is_warehouse_file(bogus)
+
+    def test_open_rejects_foreign_sqlite_database(self, tmp_path):
+        foreign = tmp_path / "foreign.sqlite"
+        conn = sqlite3.connect(str(foreign))
+        conn.execute("CREATE TABLE t (x)")
+        conn.commit()
+        conn.close()
+        with pytest.raises(WarehouseError, match=WAREHOUSE_FORMAT):
+            CrawlWarehouse.open(foreign)
+        with pytest.raises(WarehouseError, match=WAREHOUSE_FORMAT):
+            WarehouseBackend(foreign)
+
+    def test_open_rejects_future_version(self, tmp_path):
+        store = tmp_path / "wh.sqlite"
+        CrawlWarehouse.create(store).close()
+        conn = sqlite3.connect(str(store))
+        conn.execute("UPDATE warehouse SET value='99' WHERE key='version'")
+        conn.commit()
+        conn.close()
+        with pytest.raises(WarehouseError, match="version"):
+            CrawlWarehouse.open(store)
+        with pytest.raises(WarehouseError, match="version"):
+            WarehouseBackend(store)
+
+    def test_wal_pragmas_applied(self, tmp_path):
+        store = tmp_path / "wh.sqlite"
+        with CrawlWarehouse.create(store) as warehouse:
+            mode = warehouse._conn.execute("PRAGMA journal_mode").fetchone()[0]
+            assert mode == "wal"
+            assert warehouse._conn.execute("PRAGMA foreign_keys").fetchone()[0] == 1
+            assert warehouse._conn.execute("PRAGMA busy_timeout").fetchone()[0] == 30000
+
+    def test_warehouse_error_is_storage_error(self):
+        assert issubclass(WarehouseError, StorageError)
+        assert issubclass(IngestConflictError, WarehouseError)
+
+    def test_ingest_conflict_error_pickles(self):
+        import pickle
+
+        error = IngestConflictError(5, "details differ", source="a.jsonl")
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.node == 5
+        assert clone.detail == "details differ"
+        assert clone.source == "a.jsonl"
+        assert "details differ" in str(clone)
+
+
+# ----------------------------------------------------------------------
+# Ingestion: dedupe, provenance, conflicts, rollback
+# ----------------------------------------------------------------------
+class TestIngest:
+    def test_ingest_full_dump_preserves_records_and_order(
+        self, small_graph, full_dump, tmp_path
+    ):
+        reference = InMemoryBackend(small_graph)
+        with CrawlWarehouse.create(tmp_path / "wh.sqlite") as warehouse:
+            report = warehouse.ingest(full_dump)
+            assert report.crawl_id == 1
+            assert report.kind == "dump"
+            assert report.source == str(full_dump)
+            assert report.records == len(reference)
+            assert report.new_nodes == len(reference)
+            assert report.duplicate_nodes == 0
+            backend = warehouse.as_backend()
+            try:
+                # First-ingest order is the dump's record order, exactly.
+                assert backend.node_ids() == reference.node_ids()
+                for node in reference.node_ids():
+                    assert backend.fetch(node) == reference.fetch(node)
+            finally:
+                backend.close()
+
+    def test_overlapping_ingests_dedupe_with_provenance(
+        self, small_graph, full_dump, tmp_path
+    ):
+        backend = InMemoryBackend(small_graph)
+        half = backend.node_ids()[: len(backend) // 2]
+        half_dump = dump_crawl(backend, tmp_path / "half.jsonl", nodes=half)
+        with CrawlWarehouse.create(tmp_path / "wh.sqlite") as warehouse:
+            first = warehouse.ingest(half_dump, name="half crawl")
+            second = warehouse.ingest(full_dump)
+            assert first.name == "half crawl"
+            assert second.duplicate_nodes == len(half)
+            assert second.new_nodes == len(backend) - len(half)
+            assert len(warehouse) == len(backend)
+            log = warehouse.crawl_log()
+            assert [entry.crawl_id for entry in log] == [1, 2]
+            assert log[0] == first
+            assert log[1] == second
+            assert "duplicates=" in second.describe()
+
+    def test_ingest_accepts_graphs_snapshots_and_warehouses(
+        self, small_graph, tmp_path
+    ):
+        snap = save_snapshot(small_graph, tmp_path / "snap")
+        with CrawlWarehouse.create(tmp_path / "a.sqlite") as first:
+            report = first.ingest(str(snap))
+            assert report.kind == "snapshot"
+            # A warehouse is itself an ingestible source (kind by class name).
+            with CrawlWarehouse.create(tmp_path / "b.sqlite") as second:
+                copied = second.ingest(str(first.path))
+                assert copied.kind == "WarehouseBackend"
+                assert copied.new_nodes == len(first)
+            direct = CrawlWarehouse.create(tmp_path / "c.sqlite")
+            try:
+                report = direct.ingest(small_graph)
+                assert report.new_nodes == small_graph.number_of_nodes
+            finally:
+                direct.close()
+
+    def test_ingest_rejects_unsupported_sources(self, tmp_path):
+        with CrawlWarehouse.create(tmp_path / "wh.sqlite") as warehouse:
+            with pytest.raises(TypeError, match="Graph, GraphBackend"):
+                warehouse.ingest(42)
+
+    def test_conflicting_neighbors_roll_back_whole_crawl(self, tmp_path):
+        base = Graph(name="base")
+        base.add_edges([(0, 1), (1, 2)])
+        rewired = Graph(name="rewired")
+        rewired.add_edges([(0, 2), (2, 1), (0, 3)])  # node 0: different row
+        with CrawlWarehouse.create(tmp_path / "wh.sqlite") as warehouse:
+            warehouse.ingest(base)
+            before = len(warehouse)
+            with pytest.raises(IngestConflictError) as excinfo:
+                warehouse.ingest(rewired)
+            assert excinfo.value.node == 0
+            # The whole conflicting crawl rolled back: no partial rows, no
+            # provenance entry, identical store.
+            assert len(warehouse) == before
+            assert warehouse.crawl_count == 1
+            assert 3 not in warehouse.as_backend().node_ids()
+
+    def test_conflicting_attributes_raise(self, tmp_path):
+        one = Graph(name="one")
+        one.add_edges([("a", "b")])
+        one.set_attributes("a", color="red")
+        two = Graph(name="two")
+        two.add_edges([("a", "b")])
+        two.set_attributes("a", color="blue")
+        with CrawlWarehouse.create(tmp_path / "wh.sqlite") as warehouse:
+            warehouse.ingest(one)
+            with pytest.raises(IngestConflictError, match="attributes"):
+                warehouse.ingest(two)
+
+    def test_boundary_metadata_promoted_on_later_fetch(self, tmp_path):
+        graph = _attr_graph()
+        backend = InMemoryBackend(graph)
+        partial = dump_crawl(backend, tmp_path / "partial.jsonl", nodes=["α"])
+        rest = dump_crawl(
+            backend, tmp_path / "rest.jsonl", nodes=["β", "γ", "δ", "α"]
+        )
+        with CrawlWarehouse.create(tmp_path / "wh.sqlite") as warehouse:
+            first = warehouse.ingest(partial)
+            # α's three neighbors were seen listed but never fetched.
+            assert first.meta_records == 3
+            served = warehouse.as_backend()
+            try:
+                assert served.metadata("β") == {
+                    "degree": 2, "attributes": {"kind": "leaf"},
+                }
+                with pytest.raises(NodeNotFoundError):
+                    served.fetch("β")
+            finally:
+                served.close()
+            second = warehouse.ingest(rest)
+            assert second.duplicate_nodes == 1  # α again, consistent
+            assert second.new_nodes == 3
+            assert warehouse.stats()["meta_records"] == 0  # all promoted
+            served = warehouse.as_backend()
+            try:
+                assert served.fetch("β") == backend.fetch("β")
+            finally:
+                served.close()
+
+    def test_boundary_degree_conflict_raises(self, tmp_path):
+        graph = _attr_graph()
+        backend = InMemoryBackend(graph)
+        partial = dump_crawl(backend, tmp_path / "partial.jsonl", nodes=["α"])
+        liar = Graph(name="liar")  # β with a degree the metadata contradicts
+        liar.add_edges([("β", "x"), ("β", "y"), ("β", "z")])
+        with CrawlWarehouse.create(tmp_path / "wh.sqlite") as warehouse:
+            warehouse.ingest(partial)
+            with pytest.raises(IngestConflictError, match="degree"):
+                warehouse.ingest(liar)
+            assert warehouse.crawl_count == 1
+
+    def test_ingest_rejects_ids_json_would_degrade(self, tmp_path):
+        tuples = Graph(name="tuples")
+        tuples.add_edges([(("a", 1), ("b", 2))])
+        with CrawlWarehouse.create(tmp_path / "wh.sqlite") as warehouse:
+            with pytest.raises(WarehouseError, match="JSON round trip"):
+                warehouse.ingest(tuples)
+            assert len(warehouse) == 0
+            assert warehouse.crawl_count == 0
+
+    def test_int_and_string_ids_stay_distinct(self, tmp_path):
+        graph = Graph(name="mixed")
+        graph.add_edges([(5, "5"), ("5", "six")])
+        with CrawlWarehouse.create(tmp_path / "wh.sqlite") as warehouse:
+            warehouse.ingest(graph)
+            served = warehouse.as_backend()
+            try:
+                assert served.fetch(5).neighbors == ("5",)
+                assert set(served.fetch("5").neighbors) == {5, "six"}
+                assert encode_node_key(5) != encode_node_key("5")
+            finally:
+                served.close()
+
+
+# ----------------------------------------------------------------------
+# Aggregate query surface
+# ----------------------------------------------------------------------
+class TestAggregates:
+    def test_degree_histogram_matches_ground_truth(
+        self, small_graph, full_dump, tmp_path
+    ):
+        from collections import Counter
+
+        with CrawlWarehouse.create(tmp_path / "wh.sqlite") as warehouse:
+            warehouse.ingest(full_dump)
+            truth = Counter(
+                small_graph.degree(node) for node in small_graph.nodes()
+            )
+            assert warehouse.degree_histogram() == sorted(truth.items())
+
+    def test_attribute_counts(self, tmp_path):
+        with CrawlWarehouse.create(tmp_path / "wh.sqlite") as warehouse:
+            warehouse.ingest(_attr_graph())
+            assert warehouse.attribute_counts("kind") == {"hub": 1, "leaf": 2}
+            assert warehouse.attribute_counts("weight") == {2: 1}
+            assert warehouse.attribute_counts("missing") == {}
+
+    def test_stats_summary(self, small_graph, full_dump, tmp_path):
+        with CrawlWarehouse.create(tmp_path / "wh.sqlite", name="st") as warehouse:
+            warehouse.ingest(full_dump)
+            stats = warehouse.stats()
+            assert stats["name"] == "st"
+            assert stats["nodes"] == small_graph.number_of_nodes
+            assert stats["edge_rows"] == 2 * small_graph.number_of_edges
+            assert stats["crawls"] == 1
+            truth = sum(
+                small_graph.degree(node) for node in small_graph.nodes()
+            ) / small_graph.number_of_nodes
+            assert stats["average_degree"] == pytest.approx(truth)
+            assert stats["max_degree"] == max(
+                small_graph.degree(node) for node in small_graph.nodes()
+            )
+
+    def test_empty_store_aggregates(self, tmp_path):
+        with CrawlWarehouse.create(tmp_path / "wh.sqlite") as warehouse:
+            assert warehouse.degree_histogram() == []
+            assert warehouse.stats()["average_degree"] == 0.0
+            assert warehouse.crawl_log() == []
+
+
+# ----------------------------------------------------------------------
+# Exports
+# ----------------------------------------------------------------------
+class TestExport:
+    def test_export_dump_reproduces_original(self, full_dump, tmp_path):
+        with CrawlWarehouse.create(tmp_path / "wh.sqlite") as warehouse:
+            warehouse.ingest(full_dump)
+            exported = warehouse.export_dump(tmp_path / "out.jsonl")
+        original = [
+            json.loads(line)
+            for line in full_dump.read_text(encoding="utf-8").splitlines()
+        ][1:]
+        roundtrip = [
+            json.loads(line)
+            for line in exported.read_text(encoding="utf-8").splitlines()
+        ][1:]
+        assert roundtrip == original
+
+    def test_export_dump_carries_boundary_meta(self, tmp_path):
+        backend = InMemoryBackend(_attr_graph())
+        partial = dump_crawl(backend, tmp_path / "partial.jsonl", nodes=["α"])
+        with CrawlWarehouse.create(tmp_path / "wh.sqlite") as warehouse:
+            warehouse.ingest(partial)
+            exported = warehouse.export_dump(tmp_path / "out.jsonl")
+        replay = load_crawl(exported)
+        assert replay.node_ids() == ["α"]
+        assert replay.fetch("α") == backend.fetch("α")
+        assert replay.metadata("β") == backend.metadata("β")
+
+    def test_export_snapshot_roundtrip(self, small_graph, full_dump, tmp_path):
+        reference = InMemoryBackend(small_graph)
+        with CrawlWarehouse.create(tmp_path / "wh.sqlite") as warehouse:
+            warehouse.ingest(full_dump)
+            directory = warehouse.export_snapshot(tmp_path / "snap")
+        loaded = load_snapshot(directory)
+        assert loaded.node_ids() == reference.node_ids()
+        for node in reference.node_ids():
+            assert loaded.fetch(node) == reference.fetch(node)
+
+    def test_export_snapshot_refuses_partial_store(self, tmp_path):
+        backend = InMemoryBackend(_attr_graph())
+        partial = dump_crawl(backend, tmp_path / "partial.jsonl", nodes=["α"])
+        with CrawlWarehouse.create(tmp_path / "wh.sqlite") as warehouse:
+            warehouse.ingest(partial)
+            with pytest.raises(WarehouseError, match="never fetched"):
+                warehouse.export_snapshot(tmp_path / "snap")
+
+
+# ----------------------------------------------------------------------
+# WAL concurrency: many readers, one writer
+# ----------------------------------------------------------------------
+def _walk_fingerprint(store_path, start, budget, seed):
+    """Open the warehouse in this process and fingerprint a golden walk."""
+    backend = WarehouseBackend(store_path)
+    try:
+        api = build_api(backend, budget=budget)
+        result = make_walker("cnrw", api=api, seed=seed).run(start, max_steps=None)
+        return (tuple(result.path), result.unique_queries, result.total_queries)
+    finally:
+        backend.close()
+
+
+class TestConcurrency:
+    def test_reader_processes_walk_bit_identically_during_ingest(
+        self, small_graph, full_dump, tmp_path
+    ):
+        """N reader processes fingerprint one walk while an ingest appends.
+
+        The store is append-only, so records ingested before the readers
+        started can never change under them: every process must produce the
+        exact fingerprint of a quiet in-process run, even though a second
+        crawl (disjoint ids) commits mid-walk.
+        """
+        store = tmp_path / "wh.sqlite"
+        with CrawlWarehouse.create(store) as warehouse:
+            warehouse.ingest(full_dump)
+            start = small_graph.nodes()[0]
+            expected = _walk_fingerprint(store, start, 60, 7)
+
+            extra = Graph(name="extra")
+            extra.add_edges(
+                [(f"x{i}", f"x{i + 1}") for i in range(200)]
+            )
+            with ProcessPoolExecutor(max_workers=4) as pool:
+                futures = [
+                    pool.submit(_walk_fingerprint, store, start, 60, 7)
+                    for _ in range(4)
+                ]
+                report = warehouse.ingest(extra)  # writer runs alongside
+                results = [future.result(timeout=120) for future in futures]
+            assert report.new_nodes == 201
+            assert results == [expected] * 4
+            # And after the commit, readers see the merged store.
+            served = warehouse.as_backend()
+            try:
+                assert len(served) == len(small_graph.nodes()) + 201
+                assert served.fetch("x0").neighbors == ("x1",)
+            finally:
+                served.close()
+
+    def test_backend_pickles_to_path(self, full_dump, tmp_path):
+        import pickle
+
+        store = tmp_path / "wh.sqlite"
+        with CrawlWarehouse.create(store) as warehouse:
+            warehouse.ingest(full_dump)
+        backend = WarehouseBackend(store)
+        try:
+            clone = pickle.loads(pickle.dumps(backend))
+            try:
+                assert clone.path == backend.path
+                assert clone.node_ids() == backend.node_ids()
+            finally:
+                clone.close()
+        finally:
+            backend.close()
+
+    def test_threaded_readers_share_backend(self, full_dump, tmp_path):
+        import threading
+
+        store = tmp_path / "wh.sqlite"
+        with CrawlWarehouse.create(store) as warehouse:
+            warehouse.ingest(full_dump)
+        backend = WarehouseBackend(store)
+        reference = backend.node_ids()
+        failures = []
+
+        def scan():
+            try:
+                for node in reference[:20]:
+                    backend.fetch(node)
+            except Exception as exc:  # pragma: no cover - failure path
+                failures.append(exc)
+
+        threads = [threading.Thread(target=scan) for _ in range(6)]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            backend.close()
+        assert failures == []
+
+    def test_reader_connection_cannot_write(self, full_dump, tmp_path):
+        store = tmp_path / "wh.sqlite"
+        with CrawlWarehouse.create(store) as warehouse:
+            warehouse.ingest(full_dump)
+        backend = WarehouseBackend(store)
+        try:
+            with pytest.raises(sqlite3.OperationalError):
+                backend._conn().execute("DELETE FROM nodes")
+        finally:
+            backend.close()
+
+    def test_closed_backend_refuses_new_connections(self, full_dump, tmp_path):
+        store = tmp_path / "wh.sqlite"
+        with CrawlWarehouse.create(store) as warehouse:
+            warehouse.ingest(full_dump)
+        backend = WarehouseBackend(store)
+        backend.close()
+        with pytest.raises(WarehouseError, match="closed"):
+            backend.fetch(0)
+
+    def test_warehouse_serves_over_http(self, full_dump, tmp_path, graph_server):
+        """A warehouse behind the thread-per-connection graph service."""
+        from repro.api import HTTPGraphBackend
+
+        store = tmp_path / "wh.sqlite"
+        with CrawlWarehouse.create(store) as warehouse:
+            warehouse.ingest(full_dump)
+        backend = WarehouseBackend(store)
+        server = graph_server(backend)
+        with HTTPGraphBackend(server.url) as client:
+            assert len(client) == len(backend)
+            node = backend.node_ids()[0]
+            assert client.fetch(node) == backend.fetch(node)
+            assert client.fetch_many([node]) == [backend.fetch(node)]
+
+
+# ----------------------------------------------------------------------
+# CLI sub-commands
+# ----------------------------------------------------------------------
+class TestWarehouseCli:
+    def test_ingest_stats_export_flow(self, small_graph, full_dump, tmp_path, capsys):
+        from repro.cli import main
+
+        store = tmp_path / "wh.sqlite"
+        backend = InMemoryBackend(small_graph)
+        half = dump_crawl(
+            backend, tmp_path / "half.jsonl",
+            nodes=backend.node_ids()[: len(backend) // 2],
+        )
+        assert main([
+            "warehouse", "ingest", "--store", str(store), "--name", "cli",
+            str(full_dump), str(half),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "crawl 1:" in out
+        assert "crawl 2:" in out
+        assert f"duplicates={len(backend) // 2}" in out
+
+        assert main(["warehouse", "stats", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "warehouse cli" in out
+        assert f"nodes:            {len(backend)}" in out
+        assert "crawl 2:" in out
+
+        exported = tmp_path / "merged.jsonl"
+        assert main([
+            "warehouse", "export", "--store", str(store), "--out", str(exported),
+        ]) == 0
+        assert "wrote" in capsys.readouterr().out
+        replay = load_crawl(exported)
+        assert replay.node_ids() == backend.node_ids()
+
+        snap = tmp_path / "snap"
+        assert main([
+            "warehouse", "export", "--store", str(store), "--out", str(snap),
+            "--format", "snapshot",
+        ]) == 0
+        capsys.readouterr()
+        assert load_snapshot(snap).node_ids() == backend.node_ids()
+
+    def test_walk_source_accepts_warehouse(self, full_dump, tmp_path, capsys):
+        from repro.cli import main
+
+        store = tmp_path / "wh.sqlite"
+        assert main([
+            "warehouse", "ingest", "--store", str(store), str(full_dump),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "walk", "--source", str(store), "--walker", "cnrw",
+            "--budget", "50", "--start", "0", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "warehouse:wh" in out
+        assert "Estimated average degree" in out
+
+    def test_cli_reports_friendly_errors(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main([
+            "warehouse", "stats", "--store", str(tmp_path / "none.sqlite"),
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+        store = tmp_path / "wh.sqlite"
+        CrawlWarehouse.create(store).close()
+        assert main([
+            "warehouse", "ingest", "--store", str(store), "--name", "late",
+            str(tmp_path / "whatever.jsonl"),
+        ]) == 2
+        assert "--name only applies" in capsys.readouterr().err
+        # A conflicting ingest surfaces the typed conflict as a CLI error.
+        one = tmp_path / "one.jsonl"
+        two = tmp_path / "two.jsonl"
+        a = Graph(name="a")
+        a.add_edges([(0, 1)])
+        b = Graph(name="b")
+        b.add_edges([(0, 1), (0, 2)])
+        dump_crawl(InMemoryBackend(a), one, nodes=[0, 1])
+        dump_crawl(InMemoryBackend(b), two, nodes=[0, 1, 2])
+        assert main(["warehouse", "ingest", "--store", str(store), str(one)]) == 0
+        capsys.readouterr()
+        assert main(["warehouse", "ingest", "--store", str(store), str(two)]) == 2
+        assert "conflict" in capsys.readouterr().err
+
+    def test_list_mentions_warehouse(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        assert "warehouse" in capsys.readouterr().out
