@@ -94,6 +94,7 @@ from .exceptions import (
     RemoteBackendError,
     ReproError,
     ShardError,
+    VectorizationError,
     WalkError,
 )
 from .graphs import (
@@ -113,7 +114,14 @@ from .metrics import (
     symmetric_kl_divergence,
     theoretical_distribution,
 )
-from .engine import SchedulerPolicy, WalkScheduler
+from .engine import (
+    SchedulerPolicy,
+    VectorEnsembleResult,
+    VectorScheduler,
+    VectorWalkState,
+    WalkScheduler,
+    make_vector_kernel,
+)
 from .server import GraphHTTPServer, serve_backend
 from .storage import (
     MmapCSRBackend,
@@ -178,6 +186,10 @@ __all__ = [
     "QueryBudget",
     "QueryBudgetExceededError",
     "RandomWalk",
+    "VectorEnsembleResult",
+    "VectorScheduler",
+    "VectorWalkState",
+    "VectorizationError",
     "RemoteBackendError",
     "ReplayBackend",
     "ReproError",
@@ -214,6 +226,7 @@ __all__ = [
     "load_shard",
     "load_snapshot",
     "make_grouping",
+    "make_vector_kernel",
     "make_walker",
     "partition_snapshot",
     "relative_error",

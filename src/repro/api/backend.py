@@ -358,6 +358,30 @@ class CSRBackend(GraphBackend):
         """Whether the node ids are exactly ``0..n-1`` (stored implicitly)."""
         return self._identity
 
+    def to_indices(self, nodes: Sequence[NodeId]) -> np.ndarray:
+        """Map node ids to internal CSR indices as one int64 array.
+
+        The array-native walk engine positions walkers by CSR index; this is
+        the bulk twin of ``_index_of`` (missing ids raise
+        :class:`~repro.exceptions.NodeNotFoundError` identically).
+        """
+        if self._identity:
+            n = self._indptr.size - 1
+            for node in nodes:
+                if not (isinstance(node, (int, np.integer)) and 0 <= node < n):
+                    raise NodeNotFoundError(node)
+            return np.asarray(nodes, dtype=np.int64).reshape(-1)
+        return np.fromiter(
+            (self._index_of(node) for node in nodes), dtype=np.int64, count=len(nodes)
+        )
+
+    def to_node_ids(self, indices: np.ndarray) -> List[NodeId]:
+        """Map internal CSR indices back to node ids (inverse of to_indices)."""
+        if self._ids is None:
+            return [int(i) for i in np.asarray(indices).reshape(-1)]
+        ids = self._ids
+        return [ids[int(i)] for i in np.asarray(indices).reshape(-1)]
+
     def __len__(self) -> int:
         return self._indptr.size - 1
 

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..exceptions import VectorizationError
 from ..graphs.graph import Graph
 from ..rng import SeedLike, derive_seed, make_rng
 from ..types import NodeId
@@ -220,6 +221,7 @@ class SamplingSession:
         burn_in: int = 0,
         thinning: int = 1,
         policy=None,
+        mode: str = "scalar",
     ) -> List:
         """Run ``num_walks`` walkers in lockstep against the shared stack.
 
@@ -240,12 +242,33 @@ class SamplingSession:
         interrupted round may be up to one step behind the others).  An
         optional :class:`~repro.engine.scheduler.SchedulerPolicy` configures
         dead-end handling (raise / stop / restart).
+
+        ``mode="vector"`` opts into the array-native engine
+        (:class:`~repro.engine.vector.VectorScheduler`): the whole ensemble
+        advances per round in a handful of numpy vector ops over the CSR
+        arrays, under an **explicitly separate seed lineage** — vector runs
+        are bit-identical to each other under a fixed seed but intentionally
+        differ from scalar runs (the conformance reference).  Configurations
+        the vector engine cannot serve (non-CSR backends, trace / rate-limit
+        / shuffle / bounded-cache layers, kernels without an array rule,
+        non-default policies) fall back to this scalar path with a
+        :class:`UserWarning`.
         """
         from ..engine.scheduler import WalkScheduler
 
         if num_walks < 1:
             raise ValueError("num_walks must be at least 1")
+        if mode not in ("scalar", "vector"):
+            raise ValueError(f"mode must be 'scalar' or 'vector', got {mode!r}")
         base_seed = seed if seed is not None else self._walker_seed
+        if mode == "vector":
+            results = self._run_vector_ensemble(
+                num_walks, steps, starts, base_seed, burn_in, thinning, policy
+            )
+            if results is not None:
+                self.last_result = results
+                return results
+            # Fell back (warning already emitted): continue on the scalar path.
         if isinstance(base_seed, (int, np.integer)):
             walker_seeds = [derive_seed(int(base_seed), index) for index in range(num_walks)]
         else:
@@ -264,6 +287,46 @@ class SamplingSession:
         )
         self.last_result = results
         return results
+
+    def _run_vector_ensemble(
+        self, num_walks, steps, starts, seed, burn_in, thinning, policy
+    ) -> Optional[List]:
+        """Try the array-native engine; ``None`` = fall back (already warned).
+
+        Start nodes are picked exactly like the scalar path (session-seeded),
+        so the two modes crawl from the same starts; only the transition
+        draws live in the vector lineage.
+        """
+        import warnings
+
+        from ..engine.scheduler import SchedulerPolicy
+        from ..engine.vector import VectorScheduler, make_vector_kernel
+
+        try:
+            if policy is not None and policy != SchedulerPolicy():
+                raise VectorizationError(
+                    "custom SchedulerPolicy (dead-end stop/restart) is not "
+                    "vectorisable"
+                )
+            kernel = make_vector_kernel(self._walker_name, **self._walker_options)
+            scheduler = VectorScheduler(self.api)
+        except VectorizationError as error:
+            warnings.warn(
+                f"vector mode unavailable ({error}); falling back to the "
+                "scalar scheduler (scalar seed lineage)",
+                stacklevel=3,
+            )
+            return None
+        if starts is None:
+            start_nodes = [self._pick_start(offset=index) for index in range(num_walks)]
+        else:
+            start_nodes = list(starts)
+            if len(start_nodes) != num_walks:
+                raise ValueError("starts must provide one node per walk")
+        result = scheduler.run(
+            kernel, start_nodes, steps=steps, seed=seed, burn_in=burn_in, thinning=thinning
+        )
+        return result.to_walk_results()
 
     def estimate(self, query, result=None, uniform_samples: bool = False):
         """Estimate an aggregate from a walk's samples (defaults to the last run).

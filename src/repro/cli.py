@@ -256,6 +256,7 @@ def _drive_walk(args: argparse.Namespace, source, graph, start) -> None:
             results = session.run_ensemble(
                 args.walkers, steps=args.steps, seed=args.seed, starts=starts,
                 burn_in=args.burn_in, thinning=args.thinning,
+                mode=getattr(args, "engine", "scalar"),
             )
         else:
             result = session.run(
@@ -274,7 +275,7 @@ def _drive_walk(args: argparse.Namespace, source, graph, start) -> None:
         samples = sum(len(result.samples) for result in results)
         stopped = any(result.stopped_by_budget for result in results)
         print(f"Ensemble ({args.walkers} x {args.walker} over {backend_label} backend, "
-              f"batched scheduler): {steps} steps total, "
+              f"batched {getattr(args, 'engine', 'scalar')} scheduler): {steps} steps total, "
               f"{session.unique_queries} unique / {session.total_queries} total queries, "
               f"{samples} pooled samples"
               + (", stopped by budget" if stopped else ""))
@@ -529,9 +530,12 @@ def _run_sweep(args: argparse.Namespace, out_dir: Optional[Path]) -> None:
         trials=args.trials if args.trials is not None else 10,
         seed=args.seed,
     )
+    engine = getattr(args, "engine", "scalar")
     print(f"Sweep over {graph.name}: walkers={','.join(walker_names)} "
-          f"budgets={budgets} trials={config.trials} jobs={args.jobs}")
-    report = run_cost_sweep(graph, config, title=f"sweep {args.dataset or 'facebook_like'}", jobs=args.jobs)
+          f"budgets={budgets} trials={config.trials} jobs={args.jobs} "
+          f"engine={engine}")
+    report = run_cost_sweep(graph, config, title=f"sweep {args.dataset or 'facebook_like'}",
+                            jobs=args.jobs, engine=engine)
     _print_and_save(report, out_dir)
 
 
@@ -735,6 +739,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--walkers", type=int, default=1,
         help="number of lockstep walkers for 'walk' (>1 runs a batched "
         "WalkScheduler ensemble and pools the samples; default 1)",
+    )
+    walk.add_argument(
+        "--engine", choices=["scalar", "vector"], default="scalar",
+        help="execution engine for 'walk' ensembles and 'sweep' trials "
+        "(default scalar). 'vector' advances the whole ensemble in "
+        "array-native numpy kernels over a CSR backend under its own seed "
+        "lineage; configurations the vector engine cannot run (non-CSR "
+        "sources, gnrw/nbcnrw/weighted walkers, rate limits, traces) fall "
+        "back to the scalar scheduler with a warning",
     )
     walk.add_argument(
         "--source", default=None,

@@ -1,13 +1,37 @@
 """Walk execution engine: batched lockstep scheduling of walker ensembles.
 
 The walk layer separates *transition rules* (:mod:`repro.walks.kernels`)
-from *execution drivers*.  This package holds the batch driver: a
-:class:`WalkScheduler` advances N walkers in lockstep against one shared
-access-layer stack, deduplicating each round's frontier into a single
-``query_many`` batch.  :meth:`repro.api.session.SamplingSession.run_ensemble`
-and the experiment runner both execute through it.
+from *execution drivers*.  This package holds the batch drivers:
+
+* :class:`WalkScheduler` — the scalar lockstep driver: advances N walkers
+  round by round against one shared access-layer stack, deduplicating each
+  round's frontier into a single ``query_many`` batch.  Its seeded paths are
+  the conformance reference.
+* :class:`VectorScheduler` — the opt-in array-native driver
+  (:mod:`repro.engine.vector`): a whole round of a 10k–1M-walker ensemble
+  advances in a handful of numpy vector ops directly over a CSR backend's
+  ``indptr``/``indices``, billing identical ``QueryStats``, under its own
+  explicitly separate seed lineage.
+
+:meth:`repro.api.session.SamplingSession.run_ensemble` and the experiment
+runner both execute through them (``mode="scalar"`` / ``mode="vector"``).
 """
 
 from .scheduler import SchedulerPolicy, WalkScheduler
+from .vector import (
+    VectorEnsembleResult,
+    VectorKernel,
+    VectorScheduler,
+    VectorWalkState,
+    make_vector_kernel,
+)
 
-__all__ = ["SchedulerPolicy", "WalkScheduler"]
+__all__ = [
+    "SchedulerPolicy",
+    "VectorEnsembleResult",
+    "VectorKernel",
+    "VectorScheduler",
+    "VectorWalkState",
+    "WalkScheduler",
+    "make_vector_kernel",
+]

@@ -224,6 +224,19 @@ class WalkError(ReproError):
     """Base class for random-walk errors."""
 
 
+class VectorizationError(WalkError):
+    """Raised when a configuration cannot run on the vectorised engine.
+
+    The vector scheduler needs an array-capable innermost backend (the CSR
+    family) and a kernel with an array-native transition rule; remote,
+    sharded and warehouse backends, bounded caches, rate limits, shuffled
+    neighbor order and kernels like GNRW stay on the scalar lockstep path.
+    ``SamplingSession.run_ensemble(mode="vector")`` catches this error and
+    falls back to the scalar scheduler with a warning; constructing a
+    :class:`~repro.engine.vector.VectorScheduler` directly surfaces it.
+    """
+
+
 class DeadEndError(WalkError):
     """Raised when a walk reaches a node with no neighbors."""
 

@@ -16,9 +16,13 @@ therefore its own access-layer stack) over the same graph so query accounting
 is isolated, and its own derived seed so the whole sweep is reproducible from
 a single integer.  Walks execute through the
 :class:`~repro.engine.scheduler.WalkScheduler` — the same batched driver the
-multi-walker ensembles use — and whole sweeps fan out across a process pool
-when ``jobs > 1``: trials are self-contained :class:`WalkTask` values with
-pre-derived seeds, so the results are bit-identical for any ``jobs``.
+multi-walker ensembles use — or, with ``engine="vector"``, through the
+array-native :class:`~repro.engine.vector.VectorScheduler` over a per-process
+CSR view of the graph (its own seed lineage; non-vectorisable specs fall back
+to the scalar driver with a warning).  Whole sweeps fan out across a process
+pool when ``jobs > 1``: trials are self-contained :class:`WalkTask` values
+with pre-derived seeds, so the results are bit-identical for any ``jobs``
+under either engine.
 """
 
 from __future__ import annotations
@@ -90,9 +94,16 @@ class WalkTask:
     burn_in: int = 0
     thinning: int = 1
     graph: Optional[Graph] = None
+    engine: str = "scalar"
 
 
 _WORKER_GRAPH: Optional[Graph] = None
+
+# Per-process CSR views for vector-engine trials: compiling the graph to CSR
+# once per worker instead of once per trial.  Keyed by ``id(graph)`` with the
+# graph itself pinned in the value, both to keep the key valid (no collection
+# while cached) and to verify identity on lookup.
+_CSR_CACHE: Dict[int, tuple] = {}
 
 
 def _install_worker_graph(graph: Optional[Graph]) -> None:
@@ -100,15 +111,43 @@ def _install_worker_graph(graph: Optional[Graph]) -> None:
     _WORKER_GRAPH = graph
 
 
+def _csr_backend_for(graph: Graph):
+    """Return (building if needed) this process's CSR view of ``graph``."""
+    from ..api.backend import CSRBackend
+
+    cached = _CSR_CACHE.get(id(graph))
+    if cached is not None and cached[0] is graph:
+        return cached[1]
+    backend = CSRBackend.from_graph(graph)
+    _CSR_CACHE[id(graph)] = (graph, backend)
+    return backend
+
+
 def _execute_walk_task(task: WalkTask) -> WalkResult:
     """Run one trial through the scheduler and return its raw result.
 
     Estimation happens on the caller's side (queries may hold non-picklable
     predicates; :class:`WalkResult` always travels cleanly).
+
+    ``engine="vector"`` trials run through the array-native
+    :class:`~repro.engine.vector.VectorScheduler` over a per-process CSR view
+    of the graph (vector seed lineage); specs the vector engine cannot run
+    fall back to the scalar scheduler with a warning, exactly as
+    :meth:`SamplingSession.run_ensemble` documents.
     """
     graph = task.graph if task.graph is not None else _WORKER_GRAPH
     if graph is None:
         raise ValueError("walk task has no graph and no worker graph is installed")
+    if task.engine == "vector":
+        session = SamplingSession(_csr_backend_for(graph))
+        if task.budget is not None:
+            session.budget(task.budget)
+        session.walker(task.spec.name, seed=derive_seed(task.seed, 1), **task.spec.options_dict())
+        start = _pick_start_node(graph, derive_seed(task.seed, 2))
+        return session.run_ensemble(
+            1, steps=task.steps, starts=[start], seed=derive_seed(task.seed, 1),
+            burn_in=task.burn_in, thinning=task.thinning, mode="vector",
+        )[0]
     session = _make_session(graph, task.spec, derive_seed(task.seed, 1), budget=task.budget)
     start = _pick_start_node(graph, derive_seed(task.seed, 2))
     walker = session.build_walker()
@@ -182,7 +221,11 @@ def run_single_trial(
 
 
 def run_cost_sweep(
-    graph: Graph, config: CostSweepConfig, title: str = "cost sweep", jobs: int = 1
+    graph: Graph,
+    config: CostSweepConfig,
+    title: str = "cost sweep",
+    jobs: int = 1,
+    engine: str = "scalar",
 ) -> ExperimentReport:
     """Run the error-versus-query-cost experiment of Figures 6, 7, 9 and 10.
 
@@ -213,6 +256,7 @@ def run_cost_sweep(
             budget=budget,
             burn_in=config.burn_in,
             thinning=config.thinning,
+            engine=engine,
         )
         for budget_index, budget, walker_index, spec in cells
         for trial in range(config.trials)
@@ -266,6 +310,7 @@ def run_distribution_study(
     config: DistributionStudyConfig,
     title: str = "distribution study",
     jobs: int = 1,
+    engine: str = "scalar",
 ) -> ExperimentReport:
     """Run the sampling-distribution experiment of Figure 8.
 
@@ -302,6 +347,7 @@ def run_distribution_study(
             spec=spec,
             seed=derive_seed(config.seed, walker_index, walk_index),
             steps=config.steps,
+            engine=engine,
         )
         for walker_index, spec in enumerate(config.walkers)
         for walk_index in range(config.num_walks)
@@ -344,6 +390,7 @@ def run_size_sweep(
     config: SizeSweepConfig,
     title: str = "size sweep",
     jobs: int = 1,
+    engine: str = "scalar",
 ) -> ExperimentReport:
     """Run a metric-versus-graph-size experiment (Figure 11).
 
@@ -370,6 +417,7 @@ def run_size_sweep(
             seed=derive_seed(config.seed, size_index, walker_index, trial),
             budget=config.budget,
             graph=graphs[size],
+            engine=engine,
         )
         for size_index, size in enumerate(config.sizes)
         for walker_index, spec in enumerate(config.walkers)

@@ -54,6 +54,30 @@ def choice(rng: np.random.Generator, items: Sequence[T]) -> T:
     return items[index]
 
 
+def cumulative_pick(
+    items: Sequence[T],
+    weights: Sequence[float],
+    threshold: float,
+) -> T:
+    """Select the item whose cumulative-weight interval contains ``threshold``.
+
+    ``weights`` must be non-negative (callers validate); ``threshold`` is a
+    uniform draw on ``[0, sum(weights))``.  Floating-point slack in the
+    cumulative sum can leave ``threshold`` past the final interval, in which
+    case the last item with positive weight is returned.
+    """
+    cumulative = 0.0
+    for item, weight in zip(items, weights):
+        cumulative += weight
+        if threshold < cumulative:
+            return item
+    # Floating point slack: return the last item with positive weight.
+    for item, weight in zip(reversed(items), reversed(list(weights))):
+        if weight > 0:
+            return item
+    raise ValueError("no item with positive weight")
+
+
 def weighted_choice(
     rng: np.random.Generator,
     items: Sequence[T],
@@ -64,22 +88,14 @@ def weighted_choice(
         raise ValueError("cannot choose from an empty sequence")
     if len(items) != len(weights):
         raise ValueError("items and weights must have the same length")
+    # Validate every weight up front: the selection scan exits early, so a
+    # check inside it would silently accept negatives past the chosen item.
+    if any(weight < 0 for weight in weights):
+        raise ValueError("weights must be non-negative")
     total = float(sum(weights))
     if total <= 0:
         raise ValueError("weights must sum to a positive value")
-    threshold = rng.random() * total
-    cumulative = 0.0
-    for item, weight in zip(items, weights):
-        if weight < 0:
-            raise ValueError("weights must be non-negative")
-        cumulative += weight
-        if threshold < cumulative:
-            return item
-    # Floating point slack: return the last item with positive weight.
-    for item, weight in zip(reversed(items), reversed(list(weights))):
-        if weight > 0:
-            return item
-    raise ValueError("no item with positive weight")
+    return cumulative_pick(items, weights, rng.random() * total)
 
 
 def shuffled(rng: np.random.Generator, items: Sequence[T]) -> list:
@@ -94,6 +110,38 @@ def bernoulli(rng: np.random.Generator, probability: float) -> bool:
     if not 0.0 <= probability <= 1.0:
         raise ValueError("probability must be within [0, 1]")
     return bool(rng.random() < probability)
+
+
+#: Integer tags keeping each execution mode's seed lineage disjoint.  The
+#: scalar lineage (plain ``SeedSequence(seed)`` / ``derive_seed``) is the
+#: conformance reference; new execution modes get their own tag so their
+#: streams can never collide with — or silently drift from — the golden
+#: scalar fingerprints.
+LINEAGE_TAGS = {
+    "vector": 0x56454354,  # ASCII "VECT"
+}
+
+
+def lineage_rng(seed: SeedLike, lineage: str = "vector") -> np.random.Generator:
+    """Return the root generator of a named, explicitly separate seed lineage.
+
+    An integer seed is mixed with the lineage tag via
+    ``SeedSequence([tag, seed])`` so the stream is deterministic but disjoint
+    from every scalar-lineage stream derived from the same user seed.  An
+    existing generator spawns a child (shared-state semantics would defeat
+    batched draws); ``None`` gives fresh entropy.
+    """
+    try:
+        tag = LINEAGE_TAGS[lineage]
+    except KeyError:
+        known = ", ".join(sorted(LINEAGE_TAGS))
+        raise ValueError(f"unknown seed lineage {lineage!r} (known: {known})")
+    if isinstance(seed, np.random.Generator):
+        seed_seq = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+        return np.random.default_rng(seed_seq.spawn(1)[0])
+    if seed is None:
+        return np.random.default_rng()
+    return np.random.default_rng(np.random.SeedSequence([tag, int(seed)]))
 
 
 def derive_seed(seed: Optional[int], *components: int) -> Optional[int]:

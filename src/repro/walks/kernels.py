@@ -32,6 +32,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..api.interface import NodeView, SocialNetworkAPI
+from ..rng import cumulative_pick
 from ..types import NodeId
 
 #: Sentinel "source" used when no incoming edge exists yet (the first hop of
@@ -127,13 +128,7 @@ class WeightedChoiceKernel(TransitionKernel):
         total = sum(weights)
         if total <= 0:
             return uniform_choice(rng, neighbors)
-        threshold = rng.random() * total
-        cumulative = 0.0
-        for node, weight in zip(neighbors, weights):
-            cumulative += weight
-            if threshold < cumulative:
-                return node
-        return neighbors[-1]
+        return cumulative_pick(neighbors, weights, rng.random() * total)
 
 
 class MHRWKernel(TransitionKernel):
@@ -149,6 +144,10 @@ class MHRWKernel(TransitionKernel):
 
     def __init__(self, api: SocialNetworkAPI) -> None:
         self.api = api
+        # Resolved once: the stack is immutable after construction, and this
+        # getattr sits on the per-proposal hot path.
+        peek = getattr(api, "peek_metadata", None)
+        self._peek = peek if callable(peek) else None
 
     def choose(self, state: WalkState, view: NodeView, rng: np.random.Generator) -> NodeId:
         proposal = uniform_choice(rng, view.neighbors)
@@ -163,9 +162,8 @@ class MHRWKernel(TransitionKernel):
         return view.node
 
     def _degree_of(self, node: NodeId) -> int:
-        peek = getattr(self.api, "peek_metadata", None)
-        if callable(peek):
-            metadata = peek(node)
+        if self._peek is not None:
+            metadata = self._peek(node)
             if metadata is not None:
                 return int(metadata.get("degree", 0))
         return self.api.query(node).degree
@@ -324,24 +322,27 @@ class NBCNRWKernel(TransitionKernel):
     def reset(self) -> None:
         self.history.clear()
 
-    def choose(self, state: WalkState, view: NodeView, rng: np.random.Generator) -> NodeId:
+    @staticmethod
+    def _allowed(state: WalkState, view: NodeView):
+        """Neighbors minus the backtracking edge (the shared NB filter).
+
+        Returns the view's neighbor tuple itself when nothing is excluded, so
+        the unconstrained case costs no copy.
+        """
         previous = state.previous
-        neighbors = list(view.neighbors)
+        neighbors = view.neighbors
         if previous is not None and len(neighbors) > 1:
-            allowed = [node for node in neighbors if node != previous]
-        else:
-            allowed = neighbors
-        source = previous if previous is not None else NO_SOURCE
+            return [node for node in neighbors if node != previous]
+        return neighbors
+
+    def choose(self, state: WalkState, view: NodeView, rng: np.random.Generator) -> NodeId:
+        allowed = self._allowed(state, view)
+        source = state.previous if state.previous is not None else NO_SOURCE
         candidates = self.history.remaining(source, view.node, allowed)
         if candidates:
             return uniform_choice(rng, candidates)
         return uniform_choice(rng, allowed)
 
     def observe(self, state: WalkState, target: NodeId, view: NodeView) -> None:
-        previous = state.previous if state.previous is not None else NO_SOURCE
-        neighbors = list(view.neighbors)
-        if state.previous is not None and len(neighbors) > 1:
-            allowed = [node for node in neighbors if node != state.previous]
-        else:
-            allowed = neighbors
-        self.history.record(previous, state.current, target, allowed)
+        source = state.previous if state.previous is not None else NO_SOURCE
+        self.history.record(source, state.current, target, self._allowed(state, view))

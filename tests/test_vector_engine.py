@@ -1,0 +1,491 @@
+"""Vector engine suite: the array-native driver's own conformance contract.
+
+The vector engine is an **explicitly separate seed lineage** — its golden
+fingerprints are pinned here independently of the scalar goldens in
+``tests/test_backend_conformance.py``, which remain the conformance
+reference.  What this suite locks down:
+
+* golden vector-lineage fingerprints per array-native kernel, identical on
+  the CSR and mmap-CSR backends, bit-identical across repeated runs and
+  across process fan-out under a fixed seed;
+* ``QueryStats`` billing equality with the scalar scheduler's batched
+  ``query_many`` semantics on a cached CSR stack (including cache-hit
+  accounting on a second run and the partial-then-reject budget death);
+* statistical agreement between the two lineages: the SRW visit
+  distribution of both engines converges to the same degree-proportional
+  stationary distribution (total-variation bound) even though the paths
+  intentionally differ;
+* kernel-level walk properties (NB-SRW never backtracks, CNRW circulates
+  without repeats) checked on the emitted paths, not on internals;
+* typed :class:`VectorizationError` refusals for every non-vectorisable
+  stack shape, and the documented warn-and-fall-back behaviour of
+  ``SamplingSession.run_ensemble(mode="vector")``;
+* the satellite rng fixes: ``weighted_choice`` rejects negative weights on
+  every draw (not only when the scan walks past them) and shares its
+  cumulative-scan helper with the weighted kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import CSRBackend, SamplingSession, build_api
+from repro.engine.vector import (
+    VECTOR_KERNEL_NAMES,
+    VectorScheduler,
+    make_vector_kernel,
+)
+from repro.exceptions import (
+    DeadEndError,
+    InvalidStartNodeError,
+    VectorizationError,
+)
+from repro.graphs import load_dataset
+from repro.rng import cumulative_pick, lineage_rng, weighted_choice
+from repro.storage import load_snapshot, save_snapshot
+
+# Golden vector-lineage fingerprints (facebook_like, seed=7, scale=0.12;
+# starts nodes()[:8]; 40 steps; vector seed 7 on a fresh memoised CSR
+# stack).  On a fresh memoised stack unique == total == |distinct visited|,
+# so a single number pins the billing too.
+VECTOR_GOLDEN = {
+    "srw": dict(unique=85, total=85, crc=1856579777),
+    "nbsrw": dict(unique=87, total=87, crc=332896545),
+    "mhrw": dict(unique=70, total=70, crc=2044588987),
+    "cnrw": dict(unique=82, total=82, crc=2784614769),
+    "cnrw_node": dict(unique=81, total=81, crc=1628875112),
+}
+GOLDEN_SEED = 7
+GOLDEN_STEPS = 40
+GOLDEN_WALKERS = 8
+
+
+@pytest.fixture(scope="module")
+def conformance_graph():
+    return load_dataset("facebook_like", seed=7, scale=0.12)
+
+
+@pytest.fixture(scope="module")
+def csr_backend(conformance_graph) -> CSRBackend:
+    return CSRBackend.from_graph(conformance_graph)
+
+
+@pytest.fixture(scope="module")
+def mmap_backend(conformance_graph, tmp_path_factory):
+    return load_snapshot(
+        save_snapshot(conformance_graph, tmp_path_factory.mktemp("vsnap") / "csr")
+    )
+
+
+def _golden_run(backend, graph, kernel_name, seed=GOLDEN_SEED):
+    scheduler = VectorScheduler(build_api(backend))
+    return scheduler.run(
+        kernel_name, graph.nodes()[:GOLDEN_WALKERS], steps=GOLDEN_STEPS, seed=seed
+    )
+
+
+# ----------------------------------------------------------------------
+# Golden fingerprints and determinism
+# ----------------------------------------------------------------------
+class TestGoldenVectorWalks:
+    @pytest.mark.parametrize("kernel_name", sorted(VECTOR_GOLDEN))
+    def test_golden_fingerprint_on_csr(self, csr_backend, conformance_graph, kernel_name):
+        result = _golden_run(csr_backend, conformance_graph, kernel_name)
+        golden = VECTOR_GOLDEN[kernel_name]
+        assert result.num_walkers == GOLDEN_WALKERS
+        assert result.steps == GOLDEN_STEPS
+        assert result.unique_queries == golden["unique"]
+        assert result.total_queries == golden["total"]
+        assert result.fingerprint() == golden["crc"]
+
+    @pytest.mark.parametrize("kernel_name", sorted(VECTOR_GOLDEN))
+    def test_mmap_backend_matches_csr(
+        self, csr_backend, mmap_backend, conformance_graph, kernel_name
+    ):
+        csr = _golden_run(csr_backend, conformance_graph, kernel_name)
+        mmapped = _golden_run(mmap_backend, conformance_graph, kernel_name)
+        assert mmapped.fingerprint() == csr.fingerprint()
+        assert mmapped.unique_queries == csr.unique_queries
+        assert mmapped.total_queries == csr.total_queries
+
+    @pytest.mark.parametrize("kernel_name", sorted(VECTOR_GOLDEN))
+    def test_repeated_runs_bit_identical(self, csr_backend, conformance_graph, kernel_name):
+        first = _golden_run(csr_backend, conformance_graph, kernel_name)
+        second = _golden_run(csr_backend, conformance_graph, kernel_name)
+        assert np.array_equal(first.paths, second.paths)
+
+    def test_different_seeds_diverge(self, csr_backend, conformance_graph):
+        a = _golden_run(csr_backend, conformance_graph, "srw", seed=7)
+        b = _golden_run(csr_backend, conformance_graph, "srw", seed=8)
+        assert not np.array_equal(a.paths, b.paths)
+
+    def test_vector_lineage_differs_from_scalar(self, conformance_graph, csr_backend):
+        """Same seed, same kernel, intentionally different walks: the vector
+        engine is its own lineage, not a reimplementation of the scalar rng
+        draw order."""
+        vector = _golden_run(csr_backend, conformance_graph, "srw")
+        session = (
+            SamplingSession(conformance_graph).backend("csr").walker("srw", seed=GOLDEN_SEED)
+        )
+        scalar = session.run_ensemble(
+            GOLDEN_WALKERS,
+            steps=GOLDEN_STEPS,
+            starts=conformance_graph.nodes()[:GOLDEN_WALKERS],
+            seed=GOLDEN_SEED,
+        )
+        scalar_paths = [result.path for result in scalar]
+        vector_paths = [vector.path_of(w) for w in range(GOLDEN_WALKERS)]
+        assert scalar_paths != vector_paths
+
+    def test_lineage_rng_is_tagged_and_rejects_unknown(self):
+        # The vector stream must not collide with default_rng(seed).
+        assert lineage_rng(3, "vector").random() != np.random.default_rng(3).random()
+        assert lineage_rng(3).random() == lineage_rng(3, "vector").random()
+        with pytest.raises(ValueError, match="vector"):
+            lineage_rng(3, "no-such-lineage")
+
+    def test_process_fanout_bit_identical(self, conformance_graph):
+        """The same vector trials through 1 worker and 2 workers (fresh CSR
+        compiled per process) produce identical paths."""
+        from repro.experiments.config import WalkerSpec
+        from repro.experiments.runner import WalkTask, run_walk_tasks
+
+        tasks = [
+            WalkTask(spec=WalkerSpec.make("srw"), seed=seed, steps=30, engine="vector")
+            for seed in (11, 12, 13, 14)
+        ]
+        sequential = run_walk_tasks(tasks, jobs=1, graph=conformance_graph)
+        fanned = run_walk_tasks(tasks, jobs=2, graph=conformance_graph)
+        assert [r.path for r in sequential] == [r.path for r in fanned]
+        assert [r.unique_queries for r in sequential] == [r.unique_queries for r in fanned]
+
+
+# ----------------------------------------------------------------------
+# Billing conformance with the scalar query_many semantics
+# ----------------------------------------------------------------------
+class TestVectorBilling:
+    def test_fresh_memoised_stack_bills_each_distinct_node_once(
+        self, csr_backend, conformance_graph
+    ):
+        result = _golden_run(csr_backend, conformance_graph, "srw")
+        distinct = len(np.unique(result.paths))
+        assert result.unique_queries == result.total_queries == distinct
+
+    def test_scalar_mode_obeys_the_same_invariant(self, conformance_graph):
+        session = (
+            SamplingSession(conformance_graph).backend("csr").walker("srw", seed=GOLDEN_SEED)
+        )
+        results = session.run_ensemble(
+            GOLDEN_WALKERS,
+            steps=GOLDEN_STEPS,
+            starts=conformance_graph.nodes()[:GOLDEN_WALKERS],
+            seed=GOLDEN_SEED,
+        )
+        distinct = len({node for result in results for node in result.path})
+        assert session.unique_queries == session.total_queries == distinct
+
+    def test_billing_matches_query_many_replay(self, conformance_graph):
+        """Replaying the vector frontiers through a *real* cached CSR stack
+        (the scalar scheduler's exact fetch discipline: one deduplicated
+        batch per round, nodes already materialised this run skipped) must
+        land on the same QueryStats — including cache hits when a second
+        run revisits nodes the first one cached."""
+        backend = CSRBackend.from_graph(conformance_graph)
+        vector_api = build_api(backend)
+        scheduler = VectorScheduler(vector_api)
+        starts = conformance_graph.nodes()[:GOLDEN_WALKERS]
+        first = scheduler.run("srw", starts, steps=GOLDEN_STEPS, seed=7)
+        second = scheduler.run("srw", starts, steps=GOLDEN_STEPS, seed=8)
+
+        replay_api = build_api(CSRBackend.from_graph(conformance_graph))
+        for run in (first, second):
+            views: set = set()
+            for row in run.paths:
+                batch = []
+                for node in backend.to_node_ids(row):
+                    if node not in views:
+                        views.add(node)
+                        batch.append(node)
+                if batch:
+                    replay_api.query_many(batch)
+        assert vector_api.unique_queries == replay_api.unique_queries
+        assert vector_api.total_queries == replay_api.total_queries
+        # The second run revisited cached nodes: hits billed total-only.
+        assert vector_api.total_queries > vector_api.unique_queries
+
+    def test_budget_death_uses_partial_then_reject_accounting(self, conformance_graph):
+        api = build_api(CSRBackend.from_graph(conformance_graph), budget=30)
+        scheduler = VectorScheduler(api)
+        result = scheduler.run(
+            "srw", conformance_graph.nodes()[:GOLDEN_WALKERS], steps=None, seed=7
+        )
+        assert result.stopped_by_budget
+        assert result.unique_queries == 30
+        assert result.total_queries == 31  # the rejected attempt still counts
+        # The truncated round keeps its row but emits no sample for it.
+        assert result.sample_rounds[-1][0] < result.steps
+
+    def test_budget_death_on_starts_returns_empty_result(self, conformance_graph):
+        api = build_api(CSRBackend.from_graph(conformance_graph), budget=3)
+        result = VectorScheduler(api).run(
+            "srw", conformance_graph.nodes()[:GOLDEN_WALKERS], steps=5, seed=7
+        )
+        assert result.stopped_by_budget
+        assert result.paths.shape == (0, GOLDEN_WALKERS)
+        assert result.unique_queries == 3
+        assert result.to_walk_results()[0].path == []
+
+    def test_uncached_stack_rebills_every_round(self, conformance_graph):
+        api = build_api(CSRBackend.from_graph(conformance_graph), cache=False)
+        result = VectorScheduler(api).run(
+            "srw", conformance_graph.nodes()[:4], steps=20, seed=7
+        )
+        distinct = len(np.unique(result.paths))
+        assert result.unique_queries > distinct  # revisits re-billed
+        assert result.unique_queries == result.total_queries
+
+
+# ----------------------------------------------------------------------
+# Cross-mode statistical agreement
+# ----------------------------------------------------------------------
+class TestCrossModeStatistics:
+    def test_srw_visit_distributions_converge_to_stationary(self, conformance_graph):
+        """Both engines' SRW visit distributions sit within a small total
+        variation distance of the degree-proportional stationary
+        distribution — and hence of each other — despite distinct paths."""
+        from repro.metrics import theoretical_distribution
+
+        backend = CSRBackend.from_graph(conformance_graph)
+        nodes = conformance_graph.nodes()
+        theoretical = theoretical_distribution(conformance_graph).vector(nodes)
+
+        vector_result = VectorScheduler(build_api(backend)).run(
+            "srw", nodes[:50], steps=400, seed=3
+        )
+        counts = vector_result.visit_counts().astype(float)
+        # Arrays are CSR-index aligned; re-align to graph.nodes() order.
+        index_of = {node: i for i, node in enumerate(backend.node_ids())}
+        vector_dist = np.array([counts[index_of[node]] for node in nodes])
+        vector_dist /= vector_dist.sum()
+
+        session = SamplingSession(conformance_graph).backend("csr").walker("srw", seed=3)
+        scalar_results = session.run_ensemble(50, steps=400, starts=nodes[:50], seed=3)
+        scalar_counts: dict = {}
+        for result in scalar_results:
+            for node in result.path:
+                scalar_counts[node] = scalar_counts.get(node, 0) + 1
+        scalar_dist = np.array([scalar_counts.get(node, 0) for node in nodes], dtype=float)
+        scalar_dist /= scalar_dist.sum()
+
+        tv_vector = 0.5 * np.abs(vector_dist - theoretical).sum()
+        tv_scalar = 0.5 * np.abs(scalar_dist - theoretical).sum()
+        tv_cross = 0.5 * np.abs(vector_dist - scalar_dist).sum()
+        assert tv_vector < 0.08, f"vector TV {tv_vector:.4f}"
+        assert tv_scalar < 0.08, f"scalar TV {tv_scalar:.4f}"
+        assert tv_cross < 0.08, f"cross-mode TV {tv_cross:.4f}"
+
+    def test_nbsrw_never_backtracks(self, csr_backend, conformance_graph):
+        result = _golden_run(csr_backend, conformance_graph, "nbsrw")
+        indptr = csr_backend.indptr
+        paths = result.paths
+        for r in range(2, paths.shape[0]):
+            cur = paths[r - 1]
+            degree = indptr[cur + 1] - indptr[cur]
+            backtracked = (paths[r] == paths[r - 2]) & (degree > 1)
+            assert not backtracked.any()
+
+    @pytest.mark.parametrize("kernel_name", ["cnrw", "cnrw_node"])
+    def test_cnrw_circulates_without_repeats(
+        self, csr_backend, conformance_graph, kernel_name
+    ):
+        """Within one circulation of a neighborhood no neighbor repeats: the
+        defining CNRW invariant, replayed over the emitted paths."""
+        result = _golden_run(csr_backend, conformance_graph, kernel_name)
+        indptr = csr_backend.indptr
+        paths = result.paths
+        edge_keyed = kernel_name == "cnrw"
+        for walker in range(paths.shape[1]):
+            buckets: dict = {}
+            for r in range(1, paths.shape[0]):
+                prev = int(paths[r - 2, walker]) if (edge_keyed and r >= 2) else -1
+                cur = int(paths[r - 1, walker])
+                target = int(paths[r, walker])
+                bucket = buckets.setdefault((prev, cur), set())
+                assert target not in bucket, (walker, r)
+                bucket.add(target)
+                if len(bucket) >= int(indptr[cur + 1] - indptr[cur]):
+                    del buckets[(prev, cur)]
+
+    def test_mhrw_only_moves_to_neighbors_or_stays(self, csr_backend, conformance_graph):
+        result = _golden_run(csr_backend, conformance_graph, "mhrw")
+        indptr, indices = csr_backend.indptr, csr_backend.indices
+        paths = result.paths
+        for r in range(1, paths.shape[0]):
+            for walker in range(paths.shape[1]):
+                cur, nxt = int(paths[r - 1, walker]), int(paths[r, walker])
+                row = indices[indptr[cur]: indptr[cur + 1]]
+                assert nxt == cur or nxt in row
+
+
+# ----------------------------------------------------------------------
+# Vectorisability validation and fallback
+# ----------------------------------------------------------------------
+class TestVectorisability:
+    def test_memory_backend_raises_typed_error(self, conformance_graph):
+        with pytest.raises(VectorizationError, match="array-capable"):
+            VectorScheduler(build_api(conformance_graph))
+
+    def test_bounded_cache_raises(self, csr_backend):
+        with pytest.raises(VectorizationError, match="LRU"):
+            VectorScheduler(build_api(csr_backend, cache_capacity=16))
+
+    def test_trace_rate_limit_and_shuffle_raise(self, csr_backend):
+        from repro.api import twitter_policy
+
+        for kwargs in (
+            dict(trace=True),
+            dict(rate_limit=twitter_policy()),
+            dict(shuffle_neighbors=True, seed=1),
+        ):
+            with pytest.raises(VectorizationError, match="not vectorisable"):
+                VectorScheduler(build_api(csr_backend, **kwargs))
+
+    def test_non_array_kernels_raise(self):
+        for name in ("gnrw_by_degree", "nbcnrw", "weighted"):
+            with pytest.raises(VectorizationError, match="array-native"):
+                make_vector_kernel(name)
+        with pytest.raises(VectorizationError, match="options"):
+            make_vector_kernel("srw", grouping="by_degree")
+        assert set(VECTOR_KERNEL_NAMES) == {"srw", "nbsrw", "mhrw", "cnrw", "cnrw_node"}
+
+    def test_session_falls_back_with_warning(self, conformance_graph):
+        session = SamplingSession(conformance_graph).walker("gnrw_by_degree", seed=5)
+        with pytest.warns(UserWarning, match="vector mode unavailable"):
+            results = session.run_ensemble(3, steps=10, seed=5, mode="vector")
+        assert len(results) == 3  # scalar results, not an error
+        assert all(result.steps == 10 for result in results)
+
+    def test_session_vector_mode_runs_on_csr(self, conformance_graph):
+        import warnings
+
+        session = SamplingSession(conformance_graph).backend("csr").walker("srw", seed=5)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # no fallback warning expected
+            results = session.run_ensemble(
+                4, steps=12, starts=conformance_graph.nodes()[:4], seed=5, mode="vector"
+            )
+        assert len(results) == 4
+        assert all(result.steps == 12 for result in results)
+        assert all(len(result.samples) == 13 for result in results)
+
+    def test_invalid_mode_rejected(self, conformance_graph):
+        session = SamplingSession(conformance_graph).walker("srw", seed=5)
+        with pytest.raises(ValueError, match="mode"):
+            session.run_ensemble(2, steps=5, mode="turbo")
+
+    def test_degree_zero_start_raises(self):
+        backend = CSRBackend(indptr=np.array([0, 1, 1]), indices=np.array([1]))
+        with pytest.raises(InvalidStartNodeError):
+            VectorScheduler(build_api(backend)).run("srw", [1], steps=5, seed=1)
+
+    def test_dead_end_raises_typed_error(self):
+        backend = CSRBackend(indptr=np.array([0, 1, 1]), indices=np.array([1]))
+        with pytest.raises(DeadEndError):
+            VectorScheduler(build_api(backend)).run("srw", [0], steps=5, seed=1)
+
+    def test_steps_none_requires_finite_budget(self, csr_backend):
+        with pytest.raises(ValueError, match="budget"):
+            VectorScheduler(build_api(csr_backend)).run("srw", [0], steps=None, seed=1)
+
+
+# ----------------------------------------------------------------------
+# Result materialisation
+# ----------------------------------------------------------------------
+class TestResultMaterialisation:
+    def test_to_walk_results_mirrors_columns(self, csr_backend, conformance_graph):
+        result = _golden_run(csr_backend, conformance_graph, "srw")
+        walks = result.to_walk_results()
+        assert len(walks) == GOLDEN_WALKERS
+        for w, walk in enumerate(walks):
+            assert walk.path == result.path_of(w)
+            assert len(walk.path) == GOLDEN_STEPS + 1
+            assert len(walk.transitions) == GOLDEN_STEPS
+            assert walk.transitions[0].source == walk.path[0]
+            assert walk.unique_queries == result.unique_queries
+            assert [sample.node for sample in walk.samples] == walk.path
+            for sample in walk.samples:
+                assert sample.degree == conformance_graph.degree(sample.node)
+
+    def test_burn_in_and_thinning_gate_samples(self, csr_backend, conformance_graph):
+        scheduler = VectorScheduler(build_api(csr_backend))
+        result = scheduler.run(
+            "srw", conformance_graph.nodes()[:3], steps=20, seed=2, burn_in=5, thinning=3
+        )
+        rounds = [r for r, _ in result.sample_rounds]
+        assert rounds == [5, 8, 11, 14, 17, 20]
+        walk = result.to_walk_results()[0]
+        assert [sample.step_index for sample in walk.samples] == rounds
+
+
+# ----------------------------------------------------------------------
+# Satellite: shared cumulative-scan helper + weighted_choice validation
+# ----------------------------------------------------------------------
+class TestWeightedChoiceFix:
+    def test_negative_weight_rejected_even_when_scan_stops_early(self):
+        rng = np.random.default_rng(0)
+        # Historic bug: the scan returned "a" before reaching the negative
+        # weight whenever the draw landed in the first bucket; validation
+        # must happen before any early exit.
+        for _ in range(20):
+            with pytest.raises(ValueError, match="negative"):
+                weighted_choice(rng, ["a", "b"], [1000.0, -1.0])
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            weighted_choice(np.random.default_rng(0), ["a"], [0.0])
+
+    def test_cumulative_pick_boundaries_and_zero_weights(self):
+        items = ["a", "b", "c"]
+        weights = [1.0, 0.0, 1.0]
+        assert cumulative_pick(items, weights, 0.5) == "a"
+        assert cumulative_pick(items, weights, 1.5) == "c"
+        # Threshold at (or numerically past) the total lands on the last
+        # positively-weighted item, never a zero-weight one.
+        assert cumulative_pick(["a", "b"], [1.0, 0.0], 1.0) == "a"
+        with pytest.raises(ValueError, match="positive"):
+            cumulative_pick(["a"], [0.0], 0.0)
+
+    def test_weighted_kernel_shares_the_helper(self, conformance_graph):
+        """The weighted kernel and weighted_choice agree draw for draw."""
+        from repro.walks.kernels import WalkState, WeightedChoiceKernel
+
+        api = build_api(conformance_graph)
+        node = conformance_graph.nodes()[0]
+        view = api.query(node)
+        weight_fn = lambda view_, neighbor: float(len(str(neighbor))) + 1.0
+        kernel = WeightedChoiceKernel(weight_fn)
+        state = WalkState(current=node)
+        weights = [weight_fn(view, nb) for nb in view.neighbors]
+        for seed in range(10):
+            picked = kernel.choose(state, view, np.random.default_rng(seed))
+            expected = weighted_choice(
+                np.random.default_rng(seed), list(view.neighbors), weights
+            )
+            assert picked == expected
+
+
+class TestMHRWPeekCache:
+    def test_peek_resolved_once_at_construction(self, conformance_graph):
+        from repro.walks.kernels import MHRWKernel
+
+        api = build_api(conformance_graph)
+        kernel = MHRWKernel(api)
+        assert callable(kernel._peek)
+        node = conformance_graph.nodes()[0]
+        assert kernel._peek(node) == api.peek_metadata(node)
+        # An API without peek_metadata degrades to None, not an AttributeError.
+        class Bare:
+            pass
+
+        assert MHRWKernel(Bare())._peek is None
