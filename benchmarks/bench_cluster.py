@@ -1,6 +1,6 @@
 """Benchmark: a consistent-hashed shard tier versus one graph server.
 
-The sharded tier justifies itself on two claims, both asserted here so they
+The sharded tier justifies itself on three claims, all asserted here so they
 stay CI-checkable:
 
 1. *No sampling drift.*  For **every** kernel in the conformance suite, a
@@ -15,6 +15,12 @@ stay CI-checkable:
    flight before the first response is read), so the shard servers work
    concurrently and the extra hops amortise instead of tripling the wall
    clock.
+3. *Replication is (nearly) free on the read path.*  The same ensemble over
+   a replication-factor-2 layout must stay within the same bound of the
+   unreplicated cluster — the round-robin replica rotation only changes
+   which shard answers, not how many requests are made — and a shard
+   SIGKILLed mid-ensemble must be absorbed by failover with bit-identical
+   paths.
 
 The shard servers are real ``repro.cli serve`` subprocesses (as in
 production), so their request handling genuinely overlaps on a multi-core
@@ -223,3 +229,126 @@ def test_sharded_within_bound_of_single_server(cluster_dir, shard_urls, single_u
         f"of the single server (single {single_seconds:.3f}s vs sharded "
         f"{sharded_seconds:.3f}s, {ratio:.2f}x)"
     )
+
+
+# ----------------------------------------------------------------------
+# Replicated tier: fan-out overhead and mid-ensemble failover
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def replicated_dir(local_backend, tmp_path_factory):
+    base = tmp_path_factory.mktemp("cluster-bench-replicated")
+    snapshot = save_snapshot(local_backend, base / "snap")
+    partition_snapshot(snapshot, base / "cluster", NUM_SHARDS, replicas=2)
+    return base
+
+
+@pytest.fixture(scope="module")
+def replicated_urls(replicated_dir):
+    booted = [
+        _boot_serve(replicated_dir / "cluster" / f"shard-{shard:02d}")
+        for shard in range(NUM_SHARDS)
+    ]
+    yield [url for _, url in booted]
+    for process, _ in booted:
+        process.terminate()
+    for process, _ in booted:
+        process.wait(timeout=30)
+
+
+def _replicated_backend(replicated_dir, urls, **options) -> ShardedBackend:
+    manifest = json.loads(
+        (replicated_dir / "cluster" / "cluster.json").read_text()
+    )
+    ring = HashRing.from_spec(manifest["ring"])
+    return ShardedBackend(
+        [HTTPGraphBackend(url) for url in urls], ring, replicas=2, **options
+    )
+
+
+def _replicated_ensemble(replicated_dir, replicated_urls):
+    with _replicated_backend(replicated_dir, replicated_urls) as cluster:
+        return _ensemble(cluster)
+
+
+def test_replicated_within_bound_of_unreplicated(
+    cluster_dir, shard_urls, replicated_dir, replicated_urls
+):
+    """Acceptance check: k=2 fan-out stays within the bound of k=1."""
+    sharded_paths, sharded_unique = _sharded_ensemble(cluster_dir, shard_urls)
+    replicated_paths, replicated_unique = _replicated_ensemble(
+        replicated_dir, replicated_urls
+    )
+    # Replication must not change a single step of any walk.
+    assert replicated_paths == sharded_paths
+    assert replicated_unique == sharded_unique
+
+    sharded_seconds, _ = _best_of(_sharded_ensemble, cluster_dir, shard_urls)
+    replicated_seconds, _ = _best_of(
+        _replicated_ensemble, replicated_dir, replicated_urls
+    )
+    ratio = replicated_seconds / sharded_seconds
+    print(
+        f"\n{NUM_WALKERS}-walker x {WALK_STEPS}-step CNRW ensemble over "
+        f"{NUM_NODES} nodes: {NUM_SHARDS} shards x1 replica "
+        f"{sharded_seconds * 1e3:.1f} ms, x2 replicas "
+        f"{replicated_seconds * 1e3:.1f} ms ({ratio:.2f}x; "
+        f"bound {REQUIRED_MAX_RATIO}x)"
+    )
+    record_bench_result(
+        "cluster.replicated_vs_unreplicated",
+        nodes=NUM_NODES,
+        shards=NUM_SHARDS,
+        replicas=2,
+        walkers=NUM_WALKERS,
+        steps=WALK_STEPS,
+        cpus=os.cpu_count(),
+        sharded_seconds=sharded_seconds,
+        replicated_seconds=replicated_seconds,
+        ratio=ratio,
+        max_ratio=REQUIRED_MAX_RATIO,
+        concurrent_host=_CONCURRENT_HOST,
+    )
+    assert ratio <= REQUIRED_MAX_RATIO, (
+        f"expected the replicated ensemble within {REQUIRED_MAX_RATIO}x of the "
+        f"unreplicated cluster (x1 {sharded_seconds:.3f}s vs x2 "
+        f"{replicated_seconds:.3f}s, {ratio:.2f}x)"
+    )
+
+
+def test_failover_mid_ensemble_is_bit_identical(local_backend, replicated_dir):
+    """SIGKILL one shard process mid-ensemble: failover absorbs it.
+
+    The ensemble runs against its own three shard subprocesses; a timer
+    SIGKILLs one of them shortly after the walk starts.  With replication
+    factor 2 every node the dead shard stored has a live replica, so the
+    ensemble must complete with paths and accounting bit-identical to the
+    local run, wherever in the schedule the kill lands.
+    """
+    import threading
+
+    healthy = _ensemble(local_backend)
+    booted = [
+        _boot_serve(replicated_dir / "cluster" / f"shard-{shard:02d}")
+        for shard in range(NUM_SHARDS)
+    ]
+    processes = [process for process, _ in booted]
+    urls = [url for _, url in booted]
+    killer = threading.Timer(0.2, processes[1].kill)
+    try:
+        manifest = json.loads(
+            (replicated_dir / "cluster" / "cluster.json").read_text()
+        )
+        ring = HashRing.from_spec(manifest["ring"])
+        clients = [HTTPGraphBackend(url, retries=0, timeout=10.0) for url in urls]
+        with ShardedBackend(
+            clients, ring, replicas=2, failover_cooldown=3600.0
+        ) as cluster:
+            killer.start()
+            wounded = _ensemble(cluster)
+        assert wounded == healthy
+    finally:
+        killer.cancel()
+        for process in processes:
+            process.kill()
+        for process in processes:
+            process.wait(timeout=30)

@@ -83,6 +83,7 @@ from .cluster import (
     load_cluster,
     load_shard,
     partition_snapshot,
+    repartition,
 )
 from .exceptions import (
     APIError,
@@ -94,6 +95,7 @@ from .exceptions import (
     RemoteBackendError,
     ReproError,
     ShardError,
+    StaleManifestError,
     VectorizationError,
     WalkError,
 )
@@ -201,6 +203,7 @@ __all__ = [
     "ShardError",
     "ShardedBackend",
     "SimpleRandomWalk",
+    "StaleManifestError",
     "SocialNetworkAPI",
     "TraceLayer",
     "WalkError",
@@ -230,6 +233,7 @@ __all__ = [
     "make_walker",
     "partition_snapshot",
     "relative_error",
+    "repartition",
     "save_snapshot",
     "serve_backend",
     "summarize",

@@ -548,9 +548,12 @@ class HTTPGraphBackend(GraphBackend):
         order, sent = handle
         if not order:
             return []
-        if sent:
+        # ``sent`` with no live connection means something dropped it between
+        # begin and end (it shouldn't happen in the strict begin/end pairing,
+        # but a None here must degrade to the re-send path, not AttributeError).
+        connection = self._connection
+        if sent and connection is not None:
             path = f"{self._prefix}/nodes"
-            connection = self._connection
             try:
                 status, data = connection.read_response()
                 if not connection.reusable:

@@ -46,18 +46,23 @@ walk over the served files locally.
 The cluster commands scale the service tier horizontally (see
 :mod:`repro.cluster`): ``partition`` splits a CSR snapshot into N per-shard
 snapshot directories plus a ``cluster.json`` manifest (consistent-hashed by
-node id), and ``serve-cluster`` boots every shard of a manifest as its own
-HTTP server::
+node id; ``--replicas k`` stores every node on its k successor shards so
+reads survive a dead shard), ``repartition`` re-balances an existing
+cluster directory to a new shard count / replica factor while bumping the
+manifest epoch, and ``serve-cluster`` boots every shard of a manifest as
+its own HTTP server::
 
-    python -m repro.cli partition --source snapshots/fb --out cluster --shards 3
+    python -m repro.cli partition --source snapshots/fb --out cluster --shards 3 --replicas 2
     python -m repro.cli serve-cluster --source cluster --port 8700
     python -m repro.cli walk --source cluster/cluster.json --walker cnrw
     python -m repro.cli walk --source cluster://127.0.0.1:8700,127.0.0.1:8701,127.0.0.1:8702
+    python -m repro.cli repartition --source cluster --shards 4
 
-A sharded walk routes every fetch to the owning shard and is bit-identical
-to the same walk over the unpartitioned graph.  ``serve`` and
-``serve-cluster`` shut down gracefully on SIGTERM/SIGINT: keep-alive sockets
-are drained and the process exits 0.
+A sharded walk routes every fetch to the owning shard — round-robin across
+live replicas when the layout is replicated, failing over on shard death —
+and is bit-identical to the same walk over the unpartitioned graph.
+``serve`` and ``serve-cluster`` shut down gracefully on SIGTERM/SIGINT:
+keep-alive sockets are drained and the process exits 0.
 
 The warehouse commands (see :mod:`repro.warehouse`) merge crawls into one
 queryable WAL-mode SQLite store and take their own sub-arguments::
@@ -379,21 +384,50 @@ def _run_partition(args: argparse.Namespace) -> None:
         raise ValueError("partition requires --source SNAPSHOT_DIR to split")
     if args.out is None:
         raise ValueError("partition requires --out DIRECTORY to write into")
-    if args.shards < 1:
+    shards = args.shards if args.shards is not None else 3
+    if shards < 1:
         raise ValueError("--shards must be at least 1")
+    replicas = args.replicas if args.replicas is not None else 1
     out_dir = partition_snapshot(
-        args.source, args.out, args.shards,
+        args.source, args.out, shards,
         vnodes=args.vnodes if args.vnodes is not None else DEFAULT_VNODES,
+        replicas=replicas,
     )
     # Reopen through the manifest to verify the round trip end to end.
     with load_cluster(out_dir) as cluster:
         sizes = [len(shard) for shard in cluster.shard_backends]
         print(f"Partitioned {cluster.name.removeprefix('cluster:')} into "
-              f"{args.shards} shards ({len(cluster)} nodes: "
+              f"{shards} shards x{replicas} replicas ({len(cluster)} nodes: "
               f"{', '.join(map(str, sizes))})")
     print(f"wrote {out_dir / CLUSTER_MANIFEST_NAME} (walk it with: "
           f"python -m repro.cli walk --source {out_dir / CLUSTER_MANIFEST_NAME}; "
           f"serve it with: python -m repro.cli serve-cluster --source {out_dir})")
+
+
+def _run_repartition(args: argparse.Namespace) -> None:
+    """Re-balance an on-disk cluster to a new shard count / replica factor."""
+    from .cluster import repartition
+
+    if args.source is None:
+        raise ValueError(
+            "repartition requires --source CLUSTER_DIR (or cluster.json)"
+        )
+    if args.shards is not None and args.shards < 1:
+        raise ValueError("--shards must be at least 1")
+    report = repartition(
+        args.source,
+        shards=args.shards,
+        replicas=args.replicas,
+        vnodes=args.vnodes,
+    )
+    rebuilt = (", ".join(map(str, report["rebuilt"]))
+               if report["rebuilt"] else "none")
+    print(f"Repartitioned to {report['shards']} shards "
+          f"x{report['replicas']} replicas at epoch {report['epoch']} "
+          f"({report['nodes']} nodes; moved {report['moved']} node copies; "
+          f"rebuilt shards: {rebuilt})")
+    print("restart the shard servers on the new directories; clients holding "
+          "the old manifest now refuse with a stale-manifest error")
 
 
 def _run_serve_cluster(args: argparse.Namespace) -> None:
@@ -676,7 +710,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=["list", "all", "table1", "walk", "sweep", "snapshot", "replay",
-                 "serve", "partition", "serve-cluster", *EXPERIMENTS.keys()],
+                 "serve", "partition", "repartition", "serve-cluster",
+                 *EXPERIMENTS.keys()],
         help="experiment to run ('list' prints the available names; 'walk' runs "
         "a budgeted crawl through the SamplingSession facade; 'sweep' runs a "
         "custom cost sweep, optionally across --jobs worker processes; "
@@ -783,13 +818,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster = parser.add_argument_group("partition options")
     cluster.add_argument(
-        "--shards", type=int, default=3,
-        help="number of shards for 'partition' (default 3)",
+        "--shards", type=int, default=None,
+        help="number of shards for 'partition' (default 3); for "
+        "'repartition' the new shard count (default: keep)",
     )
     cluster.add_argument(
         "--vnodes", type=int, default=None,
         help="virtual nodes per shard on the consistent-hash ring for "
-        "'partition' (default 64; more vnodes = more even shard sizes)",
+        "'partition' (default 64; more vnodes = more even shard sizes); for "
+        "'repartition' the new vnode count (default: keep)",
+    )
+    cluster.add_argument(
+        "--replicas", type=int, default=None,
+        help="replica factor for 'partition' (default 1): every node is "
+        "written to its k ring-successor shards so reads fail over when a "
+        "shard dies; for 'repartition' the new factor (default: keep)",
     )
     sweep = parser.add_argument_group("sweep options")
     sweep.add_argument(
@@ -830,7 +873,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("  replay (record a traced crawl to --dump with --record, or replay one)")
         print("  serve (expose a graph source over JSON/HTTP; see --source/--host/--port)")
         print("  partition (split a snapshot into consistent-hashed shards; "
-              "see --source/--out/--shards)")
+              "see --source/--out/--shards/--replicas)")
+        print("  repartition (re-balance an existing cluster dir and bump its "
+              "epoch; see --source/--shards/--replicas)")
         print("  serve-cluster (boot every shard of a cluster.json manifest; "
               "see --source/--host/--port)")
         print("  warehouse (merge crawls into a queryable SQLite store; "
@@ -838,12 +883,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.experiment in ("walk", "snapshot", "replay", "serve", "partition",
-                           "serve-cluster"):
+                           "repartition", "serve-cluster"):
         from .exceptions import ReproError
 
         handler = {"walk": _run_walk, "snapshot": _run_snapshot,
                    "replay": _run_replay, "serve": _run_serve,
                    "partition": _run_partition,
+                   "repartition": _run_repartition,
                    "serve-cluster": _run_serve_cluster}
         try:
             handler[args.experiment](args)

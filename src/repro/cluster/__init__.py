@@ -14,7 +14,12 @@ The subsystem has two halves behind the unchanged two-method
   lookup, batches split into per-shard sub-batches dispatched concurrently
   over keep-alive connections and re-merged in request order, metadata and
   node-id enumeration federate across shards, and failures carry per-shard
-  attribution (:class:`~repro.exceptions.ShardError`).
+  attribution (:class:`~repro.exceptions.ShardError`).  Replicated layouts
+  (``partition_snapshot(..., replicas=k)``) add transparent failover: reads
+  rotate round-robin across live replicas, a failing shard sits out a
+  deterministic cool-down, and :func:`repartition` re-balances an on-disk
+  cluster incrementally while bumping the manifest epoch that every shard
+  republishes on ``/info``.
 
 Because all policy lives in middleware above the backend protocol, every
 kernel, middleware layer and the :class:`~repro.engine.WalkScheduler` walk a
@@ -25,6 +30,8 @@ sharded cluster *bit-identically* to a local run — the conformance suite in
 
 from .backend import (
     CLUSTER_URL_SCHEME,
+    DEFAULT_FAILOVER_COOLDOWN,
+    DEFAULT_ROUTE_CACHE,
     ShardedBackend,
     cluster_from_urls,
     load_cluster,
@@ -35,6 +42,7 @@ from .backend import (
 from .partition import (
     CLUSTER_FORMAT,
     CLUSTER_MANIFEST_NAME,
+    CLUSTER_READ_VERSIONS,
     CLUSTER_VERSION,
     DEFAULT_VNODES,
     SHARD_FORMAT,
@@ -46,13 +54,17 @@ from .partition import (
     node_key,
     partition_snapshot,
     read_shard_manifest,
+    repartition,
 )
 
 __all__ = [
     "CLUSTER_FORMAT",
     "CLUSTER_MANIFEST_NAME",
+    "CLUSTER_READ_VERSIONS",
     "CLUSTER_URL_SCHEME",
     "CLUSTER_VERSION",
+    "DEFAULT_FAILOVER_COOLDOWN",
+    "DEFAULT_ROUTE_CACHE",
     "DEFAULT_VNODES",
     "HashRing",
     "SHARD_FORMAT",
@@ -69,4 +81,5 @@ __all__ = [
     "partition_snapshot",
     "read_cluster_manifest",
     "read_shard_manifest",
+    "repartition",
 ]

@@ -20,7 +20,13 @@ Failure semantics: node-level misses surface unchanged
 (:class:`~repro.exceptions.NodeNotFoundError` /
 :class:`~repro.exceptions.ReplayMissError`); anything else a shard raises is
 wrapped into :class:`~repro.exceptions.ShardError` carrying the failing
-shard's index and address.
+shard's index and address.  On a replicated layout
+(``partition_snapshot(..., replicas=k)``) reads rotate round-robin across a
+node's live replicas and *fail over*: a failing shard is marked dead for a
+deterministic cool-down and the read retries the next replica, so
+:class:`~repro.exceptions.ShardError` only escapes once every replica of the
+range is down.  Walks stay bit-identical through failover because record
+content is replica-independent.
 
 :func:`load_cluster` reassembles a cluster from a ``cluster.json`` manifest
 (paths or URLs per shard); :func:`open_cluster` additionally understands the
@@ -31,17 +37,23 @@ manifest's default ring spec and shard order.
 from __future__ import annotations
 
 import json
+import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..api.backend import GraphBackend, RawRecord, as_backend
-from ..exceptions import ClusterError, NodeNotFoundError, ShardError
+from ..exceptions import (
+    ClusterError,
+    NodeNotFoundError,
+    ShardError,
+    StaleManifestError,
+)
 from ..types import NodeId
 from .partition import (
     CLUSTER_FORMAT,
     CLUSTER_MANIFEST_NAME,
-    CLUSTER_VERSION,
+    CLUSTER_READ_VERSIONS,
     DEFAULT_VNODES,
     HashRing,
 )
@@ -50,6 +62,17 @@ PathLike = Union[str, Path]
 
 #: URL scheme of the manifest-less shorthand: ``cluster://host:port,host:port``.
 CLUSTER_URL_SCHEME = "cluster://"
+
+#: How long (seconds) a shard that failed a read stays deprioritised before
+#: the next read probes it again.  Deterministic constant, no jitter: the
+#: failover schedule of a replayed workload is reproducible.
+DEFAULT_FAILOVER_COOLDOWN = 1.0
+
+#: Bound on the node -> replica-set route memo (same bounded-FIFO discipline
+#: as the warehouse decoded-record cache).  Covers the hot set of any
+#: realistic walk while keeping a 1M-node crawl from growing the memo into a
+#: silent memory leak.
+DEFAULT_ROUTE_CACHE = 262_144
 
 
 def _raiser(error: Exception):
@@ -75,6 +98,15 @@ class ShardedBackend(GraphBackend):
             partitioned with.  Defaults to ``HashRing(len(shards))`` — only
             correct if the partition used the default vnodes count too.
         name: Backend name; defaults to ``cluster:<N>``.
+        replicas: The layout's replica factor (how many successor shards
+            store each node).  Reads rotate round-robin across a node's live
+            replicas and fail over when one dies.
+        expected_epoch: The manifest's membership epoch; ``verify_epoch``
+            compares it against what reachable shards publish.
+        failover_cooldown: Seconds a failed shard stays deprioritised before
+            the next read probes it again.
+        route_cache: Bound on the node -> replica-set route memo.
+        clock: Monotonic time source (injectable for tests).
 
     The cluster is treated as immutable for the lifetime of the backend
     (like every other backend): per-shard sizes and the federated node-id
@@ -87,6 +119,12 @@ class ShardedBackend(GraphBackend):
         shards: Sequence[GraphBackend],
         ring: Optional[HashRing] = None,
         name: Optional[str] = None,
+        *,
+        replicas: int = 1,
+        expected_epoch: Optional[int] = None,
+        failover_cooldown: float = DEFAULT_FAILOVER_COOLDOWN,
+        route_cache: int = DEFAULT_ROUTE_CACHE,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if not shards:
             raise ClusterError("a cluster needs at least one shard backend")
@@ -97,6 +135,13 @@ class ShardedBackend(GraphBackend):
                 f"ring routes {self._ring.shards} shards but {len(self._shards)} "
                 f"shard backends were provided"
             )
+        if not 1 <= int(replicas) <= self._ring.shards:
+            raise ClusterError(
+                f"replicas={replicas} is not placeable on {self._ring.shards} "
+                f"shards (each replica needs a distinct physical shard)"
+            )
+        self.replicas = int(replicas)
+        self.expected_epoch = None if expected_epoch is None else int(expected_epoch)
         self._labels = [
             getattr(backend, "base_url", None) or backend.name
             for backend in self._shards
@@ -105,10 +150,18 @@ class ShardedBackend(GraphBackend):
         self._sizes: Optional[List[int]] = None
         self._node_ids: Optional[List[NodeId]] = None
         # Ring lookups hash the JSON-encoded id; walks revisit nodes heavily,
-        # so memoising node -> shard turns the per-batch routing cost into a
-        # dict probe.  Unhashable ids can't be cached (they can't be fetched
-        # either — the ring raises its typed error for them).
-        self._route_cache: Dict[NodeId, int] = {}
+        # so memoising node -> replica set turns the per-batch routing cost
+        # into a dict probe.  Unhashable ids can't be cached (they can't be
+        # fetched either — the ring raises its typed error for them).
+        self._route_cache: Dict[NodeId, Tuple[int, ...]] = {}
+        self._route_cap = max(1, int(route_cache))
+        # Failover health: shard -> clock() when it was marked dead.  A dead
+        # shard is deprioritised (never hard-excluded) until the cool-down
+        # expires, then the next read probes it again.
+        self._dead_at: Dict[int, float] = {}
+        self._cooldown = float(failover_cooldown)
+        self._clock = clock
+        self._rr = 0  # round-robin cursor spreading reads across replicas
         # Every shard speaking the pipelined two-phase protocol lets a batch
         # post all sub-batches before reading any response.
         self._pipelined = all(
@@ -130,16 +183,24 @@ class ShardedBackend(GraphBackend):
         return list(self._shards)
 
     def shard_of(self, node: NodeId) -> int:
-        """Return the shard index the ring routes ``node`` to (memoised)."""
+        """Return the primary shard the ring routes ``node`` to (memoised)."""
+        return self.shards_of(node)[0]
+
+    def shards_of(self, node: NodeId) -> Tuple[int, ...]:
+        """The replica set serving ``node``, primary first (memoised)."""
         try:
-            return self._route_cache[node]
-        except KeyError:
-            pass
+            route = self._route_cache.get(node)
         except TypeError:
-            return self._ring.shard_of(node)  # unhashable id: typed ring error
-        shard = self._ring.shard_of(node)
-        self._route_cache[node] = shard
-        return shard
+            # Unhashable id: can't memoise; the ring raises its typed error.
+            return self._ring.shards_of(node, self.replicas)
+        if route is None:
+            route = self._ring.shards_of(node, self.replicas)
+            # Bounded FIFO eviction, the warehouse record-cache discipline:
+            # cheap and lock-free under the GIL.
+            if len(self._route_cache) >= self._route_cap:
+                self._route_cache.pop(next(iter(self._route_cache)), None)
+            self._route_cache[node] = route
+        return route
 
     def _shard_error(self, shard: int, error: Exception, doing: str) -> ShardError:
         return ShardError(
@@ -150,108 +211,206 @@ class ShardedBackend(GraphBackend):
         )
 
     # ------------------------------------------------------------------
+    # Failover health
+    # ------------------------------------------------------------------
+    def _is_live(self, shard: int) -> bool:
+        dead_since = self._dead_at.get(shard)
+        if dead_since is None:
+            return True
+        if self._clock() - dead_since >= self._cooldown:
+            # Cool-down expired: let the next read probe the shard again (a
+            # failed probe re-marks it dead for another cool-down).
+            del self._dead_at[shard]
+            return True
+        return False
+
+    def _mark_dead(self, shard: int) -> None:
+        self._dead_at[shard] = self._clock()
+
+    @property
+    def dead_shards(self) -> List[int]:
+        """Shards currently inside their failover cool-down."""
+        return sorted(
+            shard for shard in list(self._dead_at) if not self._is_live(shard)
+        )
+
+    def _pick_shard(self, node: NodeId, tried=()) -> Optional[int]:
+        """Choose the replica that serves this read of ``node``.
+
+        Untried live replicas are preferred and rotated round-robin to
+        spread read load.  A shard inside its cool-down is deprioritised but
+        never hard-excluded: if every untried replica is marked dead the
+        read still probes one, so stale health state cannot wedge a range.
+        Returns ``None`` once every replica was tried this call (the caller
+        raises the attributed failure).
+        """
+        candidates = [s for s in self.shards_of(node) if s not in tried]
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            return candidates[0]
+        live = [s for s in candidates if self._is_live(s)]
+        pool = live or candidates
+        choice = pool[self._rr % len(pool)]
+        self._rr += 1
+        return choice
+
+    def _replicas_exhausted(
+        self, node: NodeId, tried, last: Optional[ShardError], doing: str
+    ) -> ShardError:
+        if last is not None and len(tried) <= 1:
+            return last  # unreplicated: identical to the single-shard error
+        where = ", ".join(f"{s} ({self._labels[s]})" for s in sorted(tried))
+        error = ShardError(
+            f"every replica of node {node!r} is down during {doing} "
+            f"(tried shards {where})",
+            shard=last.shard if last is not None else None,
+            url=last.url if last is not None else None,
+        )
+        error.__cause__ = last
+        return error
+
+    # ------------------------------------------------------------------
     # GraphBackend interface
     # ------------------------------------------------------------------
+    def _read(self, node: NodeId, doing: str, call):
+        """Run a single-node read with replica failover.
+
+        Tries replicas (round-robin among live ones) until one answers; a
+        failing shard is marked dead for the cool-down and the read moves to
+        the next untried replica.  Node-level misses surface unchanged.
+        """
+        tried: Set[int] = set()
+        last: Optional[ShardError] = None
+        while True:
+            shard = self._pick_shard(node, tried)
+            if shard is None:
+                raise self._replicas_exhausted(node, tried, last, doing)
+            try:
+                return call(self._shards[shard])
+            except NodeNotFoundError:
+                raise
+            except Exception as error:
+                self._mark_dead(shard)
+                tried.add(shard)
+                last = self._shard_error(shard, error, doing)
+                last.__cause__ = error
+
     def fetch(self, node: NodeId) -> RawRecord:
-        shard = self.shard_of(node)
-        try:
-            return self._shards[shard].fetch(node)
-        except NodeNotFoundError:
-            raise
-        except Exception as error:
-            raise self._shard_error(shard, error, f"fetch({node!r})") from error
+        return self._read(
+            node, f"fetch({node!r})", lambda backend: backend.fetch(node)
+        )
+
+    def contains(self, node: NodeId) -> bool:
+        return self._read(
+            node, f"contains({node!r})", lambda backend: backend.contains(node)
+        )
+
+    def metadata(self, node: NodeId) -> Optional[Dict[str, Any]]:
+        return self._read(
+            node, f"metadata({node!r})", lambda backend: backend.metadata(node)
+        )
 
     def fetch_many(self, nodes: Sequence[NodeId]) -> List[RawRecord]:
         order = list(nodes)
         if not order:
             return []
-        # Split the batch into per-shard sub-batches; each keeps its nodes in
-        # request order (duplicates included), so re-merging by remembered
-        # positions reproduces the exact sequential-fetch answer.
-        positions: Dict[int, List[int]] = {}
-        sub_batches: Dict[int, List[NodeId]] = {}
-        for position, node in enumerate(order):
-            shard = self.shard_of(node)
-            positions.setdefault(shard, []).append(position)
-            sub_batches.setdefault(shard, []).append(node)
-        if len(sub_batches) == 1:
-            ((shard, batch),) = sub_batches.items()
-            try:
-                return list(self._shards[shard].fetch_many(batch))
-            except NodeNotFoundError:
-                raise
-            except Exception as error:
-                raise self._shard_error(
-                    shard, error, f"fetch_many({len(batch)} nodes)"
-                ) from error
-        if self._pipelined:
-            tasks = self._dispatch_pipelined(sub_batches)
-        else:
-            tasks = [
-                (shard, self._dispatch_pool().submit(
-                    self._shards[shard].fetch_many, batch).result)
-                for shard, batch in sub_batches.items()
-            ]
+        # Route every position to a replica and dispatch per-shard
+        # sub-batches; each keeps its nodes in request order (duplicates
+        # included), so re-merging by remembered positions reproduces the
+        # exact sequential-fetch answer.  When a shard fails, its positions
+        # re-route to their next untried replica on the following round —
+        # the records are replica-independent, so a batch that survives
+        # failover is bit-identical to a healthy one.
         records: List[Optional[RawRecord]] = [None] * len(order)
+        pending: List[int] = list(range(len(order)))
+        tried: Dict[int, Set[int]] = {}
+        doing = f"fetch_many({len(order)} nodes)"
         miss: Optional[NodeNotFoundError] = None
-        failure: Optional[ShardError] = None
-        for shard, collect in tasks:
-            try:
-                shard_records = collect()
-            except NodeNotFoundError as error:
-                # A missing node aborts the whole batch, mirroring a local
-                # sequential fetch_many; remember the first miss but keep
-                # draining the other shards so no work is abandoned mid-air.
-                if miss is None:
-                    miss = error
-            except Exception as error:
-                if failure is None:
+        last: Optional[ShardError] = None
+        while pending:
+            sub_positions: Dict[int, List[int]] = {}
+            for position in pending:
+                node = order[position]
+                shard = self._pick_shard(node, tried.get(position, ()))
+                if shard is None:
+                    raise self._replicas_exhausted(
+                        node, tried.get(position, set()), last, doing
+                    )
+                sub_positions.setdefault(shard, []).append(position)
+            pending = []
+            for shard, positions, collect in self._dispatch(sub_positions, order):
+                try:
+                    shard_records = collect()
+                except NodeNotFoundError as error:
+                    # A missing node aborts the whole batch, mirroring a
+                    # local sequential fetch_many; remember the first miss
+                    # but keep draining the other shards so no response is
+                    # abandoned mid-air and every connection stays reusable.
+                    if miss is None:
+                        miss = error
+                except Exception as error:
+                    self._mark_dead(shard)
                     failure = self._shard_error(
-                        shard, error, f"fetch_many({len(sub_batches[shard])} nodes)"
+                        shard, error, f"fetch_many({len(positions)} nodes)"
                     )
                     failure.__cause__ = error
-            else:
-                for position, record in zip(positions[shard], shard_records):
-                    records[position] = record
-        if miss is not None:
-            raise miss
-        if failure is not None:
-            raise failure
+                    last = failure
+                    for position in positions:
+                        tried.setdefault(position, set()).add(shard)
+                    pending.extend(positions)
+                else:
+                    for position, record in zip(positions, shard_records):
+                        records[position] = record
+            if miss is not None:
+                raise miss
         return records  # type: ignore[return-value]
 
-    def _dispatch_pipelined(self, sub_batches: Dict[int, List[NodeId]]):
+    def _dispatch(self, sub_positions: Dict[int, List[int]], order: List[NodeId]):
+        """Build ``(shard, positions, collect)`` tasks for one round."""
+        if len(sub_positions) == 1:
+            # Single-shard round: call straight through, no pipelining or
+            # pool overhead.
+            ((shard, positions),) = sub_positions.items()
+            backend = self._shards[shard]
+            batch = [order[position] for position in positions]
+            return [(shard, positions, lambda: list(backend.fetch_many(batch)))]
+        if self._pipelined:
+            return self._dispatch_pipelined(sub_positions, order)
+        return [
+            (shard, positions, self._dispatch_pool().submit(
+                self._shards[shard].fetch_many,
+                [order[position] for position in positions]).result)
+            for shard, positions in sub_positions.items()
+        ]
+
+    def _dispatch_pipelined(
+        self, sub_positions: Dict[int, List[int]], order: List[NodeId]
+    ):
         """Post every shard's sub-batch, then return response collectors.
 
         All requests are in flight before the first response is read, so the
         shard servers work concurrently without any client-side threads —
         on loopback this beats a thread pool (no future/GIL churn), and over
         a real network the in-flight overlap is the same.
+
+        A shard whose ``begin_fetch_many`` raises becomes a ``_raiser``
+        task.  ``begin`` either sent on (or dropped) that shard's own
+        connection and touched nothing else, and the caller collects every
+        task before acting on any failure — so an aborted batch still drains
+        each posted response and leaves every connection reusable.
         """
         tasks = []
-        for shard, batch in sub_batches.items():
+        for shard, positions in sub_positions.items():
             backend = self._shards[shard]
+            batch = [order[position] for position in positions]
             try:
                 handle = backend.begin_fetch_many(batch)
             except Exception as error:
-                exc = error
-                tasks.append((shard, _raiser(exc)))
+                tasks.append((shard, positions, _raiser(error)))
             else:
-                tasks.append((shard, _collector(backend, handle)))
+                tasks.append((shard, positions, _collector(backend, handle)))
         return tasks
-
-    def contains(self, node: NodeId) -> bool:
-        shard = self.shard_of(node)
-        try:
-            return self._shards[shard].contains(node)
-        except Exception as error:
-            raise self._shard_error(shard, error, f"contains({node!r})") from error
-
-    def metadata(self, node: NodeId) -> Optional[Dict[str, Any]]:
-        shard = self.shard_of(node)
-        try:
-            return self._shards[shard].metadata(node)
-        except Exception as error:
-            raise self._shard_error(shard, error, f"metadata({node!r})") from error
 
     def node_ids(self) -> List[NodeId]:
         return list(self._all_node_ids())
@@ -261,7 +420,9 @@ class ShardedBackend(GraphBackend):
         return nodes[int(rng.integers(0, len(nodes)))]
 
     def __len__(self) -> int:
-        return sum(self._shard_sizes())
+        if self.replicas == 1:
+            return sum(self._shard_sizes())
+        return len(self._all_node_ids())
 
     # ------------------------------------------------------------------
     # Federation caches
@@ -280,11 +441,36 @@ class ShardedBackend(GraphBackend):
     def _all_node_ids(self) -> List[NodeId]:
         if self._node_ids is None:
             nodes: List[NodeId] = []
+            seen: Set[NodeId] = set()
+            failures = 0
             for shard, backend in enumerate(self._shards):
                 try:
-                    nodes.extend(backend.node_ids())
+                    shard_nodes = backend.node_ids()
                 except Exception as error:
-                    raise self._shard_error(shard, error, "node_ids()") from error
+                    # With replication factor k every node is stored on k
+                    # shards, so the union over any (shards - k + 1)
+                    # survivors is still the complete id set; only the k-th
+                    # concurrent failure can actually lose a range.
+                    self._mark_dead(shard)
+                    failures += 1
+                    if failures >= self.replicas:
+                        raise self._shard_error(
+                            shard, error, "node_ids()"
+                        ) from error
+                    continue
+                if self.replicas == 1:
+                    nodes.extend(shard_nodes)
+                else:
+                    # Replicated shards overlap: keep first appearances only.
+                    for node in shard_nodes:
+                        if node not in seen:
+                            seen.add(node)
+                            nodes.append(node)
+            if failures:
+                # Degraded enumeration is complete but survivor-ordered;
+                # don't memoise it, so a recovered shard restores the
+                # canonical first-appearance order.
+                return nodes
             self._node_ids = nodes
         return self._node_ids
 
@@ -298,14 +484,58 @@ class ShardedBackend(GraphBackend):
             )
         return self._pool
 
+    def verify_epoch(self) -> None:
+        """Best-effort check that reachable shards serve our manifest epoch.
+
+        A shard that cannot be reached (or predates epochs and publishes
+        none) is skipped — the read path fails over at fetch time anyway.
+        What this guards against is the *silently wrong* answer of a client
+        walking a cluster that was :func:`~repro.cluster.repartition`-ed
+        after its manifest was read: a definite epoch mismatch raises
+        :class:`~repro.exceptions.StaleManifestError`.
+        """
+        expected = self.expected_epoch
+        if expected is None:
+            return
+        for shard, backend in enumerate(self._shards):
+            info = getattr(backend, "info", None)
+            if callable(info):
+                try:
+                    published = info().get("epoch")
+                except Exception:
+                    continue  # unreachable shard: failover handles it later
+            else:
+                published = getattr(backend, "epoch", None)
+            if published is not None and int(published) != expected:
+                raise StaleManifestError(
+                    f"shard {shard} ({self._labels[shard]}) serves membership "
+                    f"epoch {published} but the cluster manifest says epoch "
+                    f"{expected}; the cluster was repartitioned — re-read "
+                    f"cluster.json",
+                    shard=shard,
+                    url=self._labels[shard],
+                )
+
     def close(self) -> None:
-        """Shut the dispatch pool down and close every shard backend."""
+        """Shut the dispatch pool down and close every shard backend.
+
+        Closing is best-effort across all shards: a shard whose ``close``
+        raises does not abandon the remaining shards' keep-alive sockets
+        (the first error re-raises after everything was attempted).
+        """
         pool = self._pool
         self._pool = None
         if pool is not None:
             pool.shutdown(wait=True)
+        first_error: Optional[BaseException] = None
         for backend in self._shards:
-            backend.close()
+            try:
+                backend.close()
+            except BaseException as error:
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
@@ -333,10 +563,11 @@ def read_cluster_manifest(path: PathLike) -> Tuple[Dict[str, Any], Path]:
             f"{path} is not a {CLUSTER_FORMAT} manifest "
             f"(format={manifest.get('format') if isinstance(manifest, dict) else manifest!r})"
         )
-    if manifest.get("version") != CLUSTER_VERSION:
+    if manifest.get("version") not in CLUSTER_READ_VERSIONS:
         raise ClusterError(
             f"cluster manifest {path} has version {manifest.get('version')!r}; "
-            f"this build reads version {CLUSTER_VERSION}"
+            f"this build reads versions "
+            f"{', '.join(str(v) for v in CLUSTER_READ_VERSIONS)}"
         )
     return manifest, path.parent
 
@@ -365,9 +596,18 @@ def load_cluster(path: PathLike, **client_options) -> ShardedBackend:
     :class:`~repro.api.remote.HTTPGraphBackend`, with ``client_options``
     forwarded — ``timeout``, ``retries``, ...) or a path to a shard
     directory, resolved relative to the manifest's own directory.
+
+    v2 manifests carry a replica factor and membership epoch; the returned
+    backend fails reads over across the replicas, and the epoch every
+    reachable shard publishes is checked against the manifest
+    (:meth:`ShardedBackend.verify_epoch`) so a client can't silently walk a
+    repartitioned cluster with stale routes.  v1 manifests load as
+    ``replicas=1`` with no epoch check.
     """
     manifest, base_dir = read_cluster_manifest(path)
     ring = HashRing.from_spec(manifest.get("ring"))
+    replicas = int(manifest.get("replicas", 1))
+    epoch = manifest.get("epoch")
     backends: List[GraphBackend] = []
     try:
         for entry in _shard_entries(manifest, ring):
@@ -378,14 +618,23 @@ def load_cluster(path: PathLike, **client_options) -> ShardedBackend:
                 backends.append(HTTPGraphBackend(source, **client_options))
             else:
                 backends.append(as_backend(str(base_dir / source)))
+        name = manifest.get("name")
+        cluster = ShardedBackend(
+            backends,
+            ring,
+            name=f"cluster:{name}" if name else None,
+            replicas=replicas,
+            expected_epoch=None if epoch is None else int(epoch),
+        )
+        cluster.verify_epoch()
+        return cluster
     except Exception:
         for backend in backends:
-            backend.close()
+            try:
+                backend.close()
+            except Exception:
+                pass
         raise
-    name = manifest.get("name")
-    return ShardedBackend(
-        backends, ring, name=f"cluster:{name}" if name else None
-    )
 
 
 def parse_cluster_url(url: str) -> List[str]:
@@ -412,13 +661,53 @@ def parse_cluster_url(url: str) -> List[str]:
 
 
 def cluster_from_urls(
-    urls: Sequence[str], *, vnodes: int = DEFAULT_VNODES, **client_options
+    urls: Sequence[str],
+    *,
+    vnodes: int = DEFAULT_VNODES,
+    replicas: Optional[int] = None,
+    **client_options,
 ) -> ShardedBackend:
-    """Build a :class:`ShardedBackend` over shard-server URLs, in ring order."""
+    """Build a :class:`ShardedBackend` over shard-server URLs, in ring order.
+
+    The URL-list shorthand carries no manifest, so with ``replicas=None``
+    (the default) the layout's replication factor and membership epoch are
+    read from the first shard server that answers ``GET /info`` (every
+    shard slice republishes both).  Pass ``replicas`` explicitly to skip
+    the probe; a ``replicas=1`` client against a replicated layout still
+    routes correctly — every primary stores its nodes — it just never
+    fails over and enumerates each node once per copy.
+    """
     from ..api.remote import HTTPGraphBackend
 
     backends = [HTTPGraphBackend(url, **client_options) for url in urls]
-    return ShardedBackend(backends, HashRing(len(backends), vnodes=vnodes))
+    expected_epoch: Optional[int] = None
+    try:
+        if replicas is None:
+            replicas = 1
+            for backend in backends:
+                try:
+                    info = backend.info()
+                except Exception:
+                    continue  # probe the next shard; plain servers still work
+                replicas = int(info.get("replicas") or 1)
+                epoch = info.get("epoch")
+                expected_epoch = None if epoch is None else int(epoch)
+                break
+        cluster = ShardedBackend(
+            backends,
+            HashRing(len(backends), vnodes=vnodes),
+            replicas=replicas,
+            expected_epoch=expected_epoch,
+        )
+        cluster.verify_epoch()
+        return cluster
+    except BaseException:
+        for backend in backends:
+            try:
+                backend.close()
+            except Exception:
+                pass
+        raise
 
 
 def open_cluster(source: PathLike, **client_options) -> ShardedBackend:

@@ -13,13 +13,20 @@ Two pieces live here:
 * :func:`partition_snapshot` — split a PR-3 CSR snapshot into ``shards``
   per-shard snapshot directories plus a versioned ``cluster.json`` manifest.
   Each shard directory is a *valid CSR snapshot* (so ``repro.cli serve
-  --source shard-00`` serves it unchanged) holding the shard's owned nodes
+  --source shard-00`` serves it unchanged) holding the shard's stored nodes
   first and every boundary neighbor after them with an empty adjacency row,
-  plus a ``shard.json`` sidecar recording the owned count and the ring spec.
-  :func:`load_shard` reopens one as a :class:`ShardSliceBackend`, which
-  restricts the visible node set to the owned prefix — a mis-routed fetch
-  raises :class:`~repro.exceptions.NodeNotFoundError` instead of silently
-  answering with an empty neighborhood.
+  plus a ``shard.json`` sidecar recording the stored count and the ring spec.
+  With ``replicas=k`` every node is written to its ``k`` ring-successor
+  shards (:meth:`HashRing.shards_of`), so any single shard can die without
+  losing a ring range.  :func:`load_shard` reopens one as a
+  :class:`ShardSliceBackend`, which restricts the visible node set to the
+  stored prefix — a mis-routed fetch raises
+  :class:`~repro.exceptions.NodeNotFoundError` instead of silently answering
+  with an empty neighborhood.
+* :func:`repartition` — incremental dynamic membership: re-balance an
+  on-disk cluster to a new shard count / replica factor, copying only the
+  reassigned nodes and bumping the manifest ``epoch`` so stale clients
+  detect the change through the epoch every shard republishes on ``/info``.
 """
 
 from __future__ import annotations
@@ -27,8 +34,9 @@ from __future__ import annotations
 import bisect
 import hashlib
 import json
+import shutil
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -42,7 +50,11 @@ PathLike = Union[str, Path]
 #: Format identifier written into (and demanded from) every cluster manifest.
 CLUSTER_FORMAT = "repro-graph-cluster"
 #: Current cluster-manifest version; bump on any incompatible change.
-CLUSTER_VERSION = 1
+#: v2 added ``replicas`` (replica factor) and ``epoch`` (membership counter).
+CLUSTER_VERSION = 2
+#: Manifest versions this build can load.  v1 manifests predate replication
+#: and load as ``replicas=1`` / ``epoch=0``.
+CLUSTER_READ_VERSIONS = (1, 2)
 CLUSTER_MANIFEST_NAME = "cluster.json"
 
 #: Format identifier of the per-shard ``shard.json`` sidecar.
@@ -112,6 +124,33 @@ class HashRing:
             position = 0  # wrap past the top of the ring
         return self._owners[position]
 
+    def shards_of(self, node: NodeId, k: int) -> Tuple[int, ...]:
+        """Return the ``k`` distinct shards holding ``node``'s replicas.
+
+        The successor walk starts at the ring point owning ``node`` — so
+        ``shards_of(node, 1) == (shard_of(node),)`` and the first entry is
+        always the primary — and continues clockwise, collecting each *new*
+        shard it meets until ``k`` distinct physical shards are found.
+        Successor placement keeps repartitioning cheap: adding a shard only
+        reassigns the ring ranges adjacent to its new points.
+        """
+        if k < 1:
+            raise ClusterError(f"replicas must be at least 1 (got {k})")
+        if k > self.shards:
+            raise ClusterError(
+                f"cannot place {k} replicas on {self.shards} distinct shards"
+            )
+        position = bisect.bisect_right(self._hashes, _hash64(node_key(node)))
+        points = len(self._owners)
+        owners: List[int] = []
+        for offset in range(points):
+            owner = self._owners[(position + offset) % points]
+            if owner not in owners:
+                owners.append(owner)
+                if len(owners) == k:
+                    break
+        return tuple(owners)
+
     def spec(self) -> Dict[str, Any]:
         """The JSON-able ring description persisted in cluster manifests."""
         return {
@@ -145,13 +184,18 @@ class HashRing:
 class ShardSliceBackend(GraphBackend):
     """One shard's slice of a partitioned graph.
 
-    Wraps the shard's CSR snapshot — whose node table holds the owned nodes
-    first, then every boundary neighbor with an empty row — and restricts the
-    *visible* node set to the owned prefix: ``fetch`` / ``contains`` /
-    ``metadata`` / ``node_ids`` answer only for nodes this shard owns, so a
-    request the ring should have sent elsewhere fails loudly with
-    :class:`~repro.exceptions.NodeNotFoundError` instead of returning a
-    boundary node's (empty, wrong) adjacency.
+    Wraps the shard's CSR snapshot — whose node table holds the stored nodes
+    (primary-owned plus replicated) first, then every boundary neighbor with
+    an empty row — and restricts the *visible* node set to the stored prefix:
+    ``fetch`` / ``contains`` / ``metadata`` / ``node_ids`` answer only for
+    nodes this shard stores, so a request the ring should have sent elsewhere
+    fails loudly with :class:`~repro.exceptions.NodeNotFoundError` instead of
+    returning a boundary node's (empty, wrong) adjacency.
+
+    ``epoch`` / ``replicas`` mirror the ``shard.json`` sidecar (``None`` /
+    ``1`` for pre-replication sidecars); the server republishes the epoch on
+    ``GET /info`` so cluster clients can detect a stale manifest after a
+    :func:`repartition`.
     """
 
     def __init__(
@@ -162,10 +206,12 @@ class ShardSliceBackend(GraphBackend):
         shard: int,
         shards: int,
         name: Optional[str] = None,
+        replicas: int = 1,
+        epoch: Optional[int] = None,
     ) -> None:
         if not 0 <= owned_count <= len(inner):
             raise ClusterError(
-                f"shard manifest claims {owned_count} owned nodes but the "
+                f"shard manifest claims {owned_count} stored nodes but the "
                 f"snapshot holds {len(inner)}"
             )
         self._inner = inner
@@ -173,6 +219,8 @@ class ShardSliceBackend(GraphBackend):
         self._owned = set(self._owned_ids)
         self.shard = int(shard)
         self.shards = int(shards)
+        self.replicas = int(replicas)
+        self.epoch = None if epoch is None else int(epoch)
         self.name = name or f"shard{shard}/{shards}:{inner.name}"
 
     @property
@@ -235,6 +283,141 @@ def _resolve_to_csr(source) -> CSRBackend:
     )
 
 
+def _assign_replicas(
+    all_ids: Sequence[NodeId], ring: HashRing, replicas: int
+) -> Tuple[List[List[NodeId]], List[int]]:
+    """Place every node on its ``replicas`` successor shards.
+
+    Returns ``(stored_by_shard, primary_count)``: each shard's stored node
+    list (in ``all_ids`` order, so walks over the reassembled cluster
+    reproduce the original neighbor order exactly) and how many of those it
+    owns as the primary.
+    """
+    stored_by_shard: List[List[NodeId]] = [[] for _ in range(ring.shards)]
+    primary_count = [0] * ring.shards
+    for node in all_ids:
+        owners = ring.shards_of(node, replicas)
+        primary_count[owners[0]] += 1
+        for shard in owners:
+            stored_by_shard[shard].append(node)
+    return stored_by_shard, primary_count
+
+
+def _shard_table(
+    stored: Sequence[NodeId],
+    fetch: Callable[[NodeId], RawRecord],
+    *,
+    name: str,
+) -> CSRBackend:
+    """Build one shard's CSR: stored nodes first, boundary rows after.
+
+    Table layout: stored nodes first (in global backend order), then
+    boundary neighbors in first-appearance order with empty rows.  The
+    boundary entries exist only so the CSR ``indices`` array has an in-table
+    index for every neighbor.
+    """
+    table_index = {node: position for position, node in enumerate(stored)}
+    boundary: List[NodeId] = []
+    rows: List[List[int]] = []
+    attrs: Dict[NodeId, Dict[str, Any]] = {}
+    for node in stored:
+        record = fetch(node)
+        row: List[int] = []
+        for neighbor in record.neighbors:
+            position = table_index.get(neighbor)
+            if position is None:
+                position = len(stored) + len(boundary)
+                table_index[neighbor] = position
+                boundary.append(neighbor)
+            row.append(position)
+        rows.append(row)
+        if record.attributes:
+            attrs[node] = dict(record.attributes)
+    table_ids = list(stored) + boundary
+    indptr = np.zeros(len(table_ids) + 1, dtype=np.int64)
+    lengths = [len(row) for row in rows] + [0] * len(boundary)
+    np.cumsum(np.asarray(lengths, dtype=np.int64), out=indptr[1:])
+    indices = np.fromiter(
+        (position for row in rows for position in row),
+        dtype=np.int64,
+        count=int(indptr[-1]),
+    )
+    return CSRBackend(
+        indptr, indices, node_ids=table_ids, attributes=attrs, name=name
+    )
+
+
+def _write_shard_dir(
+    target: Path,
+    *,
+    shard: int,
+    ring: HashRing,
+    stored: Sequence[NodeId],
+    primary: int,
+    fetch: Callable[[NodeId], RawRecord],
+    graph_name: str,
+    replicas: int,
+    epoch: int,
+) -> Path:
+    """Write one servable shard snapshot directory plus its sidecar."""
+    from ..storage.snapshot import save_snapshot
+
+    shard_name = f"{graph_name}@{shard}/{ring.shards}"
+    shard_csr = _shard_table(stored, fetch, name=shard_name)
+    shard_dir = save_snapshot(shard_csr, target, name=shard_name)
+    sidecar = {
+        "format": SHARD_FORMAT,
+        "version": SHARD_VERSION,
+        "name": shard_name,
+        "shard": shard,
+        "shards": ring.shards,
+        "owned": len(stored),
+        "primary": primary,
+        "replicas": replicas,
+        "epoch": epoch,
+        "ring": ring.spec(),
+    }
+    (shard_dir / SHARD_MANIFEST_NAME).write_text(
+        json.dumps(sidecar, indent=2) + "\n", encoding="utf-8"
+    )
+    return shard_dir
+
+
+def _write_cluster_manifest(
+    out_dir: Path,
+    *,
+    graph_name: str,
+    nodes: int,
+    ring: HashRing,
+    entries: List[Dict[str, Any]],
+    replicas: int,
+    epoch: int,
+) -> None:
+    manifest = {
+        "format": CLUSTER_FORMAT,
+        "version": CLUSTER_VERSION,
+        "name": graph_name,
+        "nodes": nodes,
+        "epoch": epoch,
+        "replicas": replicas,
+        "ring": ring.spec(),
+        "shards": entries,
+    }
+    (out_dir / CLUSTER_MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def _validate_replicas(replicas: int, ring: HashRing) -> int:
+    replicas = int(replicas)
+    if not 1 <= replicas <= ring.shards:
+        raise ClusterError(
+            f"replicas={replicas} is not placeable on {ring.shards} shards "
+            f"(each replica needs a distinct physical shard)"
+        )
+    return replicas
+
+
 def partition_snapshot(
     source,
     out_dir: PathLike,
@@ -242,6 +425,7 @@ def partition_snapshot(
     *,
     vnodes: int = DEFAULT_VNODES,
     name: Optional[str] = None,
+    replicas: int = 1,
 ) -> Path:
     """Split a snapshot into per-shard snapshots plus a ``cluster.json``.
 
@@ -251,88 +435,231 @@ def partition_snapshot(
     is ``out_dir``.  Every shard directory is independently servable
     (``repro.cli serve --source out/shard-00``), and
     :func:`~repro.cluster.backend.load_cluster` reassembles the whole graph.
-    """
-    from ..storage.snapshot import save_snapshot
 
+    ``replicas=k`` writes every node to its ``k`` ring-successor shards
+    (distinct physical shards), letting a
+    :class:`~repro.cluster.backend.ShardedBackend` fail reads over to a live
+    replica when a shard dies.  The manifest starts at membership ``epoch``
+    0; :func:`repartition` bumps it on every membership change.
+    """
     csr = _resolve_to_csr(source)
     ring = HashRing(shards, vnodes=vnodes)
+    replicas = _validate_replicas(replicas, ring)
     graph_name = name or csr.name
     if graph_name.startswith("mmap:"):
         graph_name = graph_name[len("mmap:"):]
 
     all_ids = csr.node_ids()
-    owned_by_shard: List[List[NodeId]] = [[] for _ in range(ring.shards)]
-    for node in all_ids:
-        owned_by_shard[ring.shard_of(node)].append(node)
+    stored_by_shard, primary_count = _assign_replicas(all_ids, ring, replicas)
 
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
-    attributes = csr.node_attributes
     entries: List[Dict[str, Any]] = []
-    for shard, owned in enumerate(owned_by_shard):
-        # Table layout: owned nodes first (in global backend order, so walks
-        # over the reassembled cluster reproduce the original neighbor order
-        # exactly), then boundary neighbors in first-appearance order with
-        # empty rows.  The boundary entries exist only so the CSR ``indices``
-        # array has an in-table index for every neighbor.
-        table_index = {node: position for position, node in enumerate(owned)}
-        boundary: List[NodeId] = []
-        rows: List[List[int]] = []
-        for node in owned:
-            row: List[int] = []
-            for neighbor in csr.fetch(node).neighbors:
-                position = table_index.get(neighbor)
-                if position is None:
-                    position = len(owned) + len(boundary)
-                    table_index[neighbor] = position
-                    boundary.append(neighbor)
-                row.append(position)
-            rows.append(row)
-        table_ids = owned + boundary
-        indptr = np.zeros(len(table_ids) + 1, dtype=np.int64)
-        lengths = [len(row) for row in rows] + [0] * len(boundary)
-        np.cumsum(np.asarray(lengths, dtype=np.int64), out=indptr[1:])
-        indices = np.fromiter(
-            (position for row in rows for position in row),
-            dtype=np.int64,
-            count=int(indptr[-1]),
-        )
-        shard_attrs = {
-            node: attributes[node] for node in owned if attributes.get(node)
-        }
-        shard_name = f"{graph_name}@{shard}/{ring.shards}"
-        shard_csr = CSRBackend(
-            indptr, indices, node_ids=table_ids, attributes=shard_attrs,
-            name=shard_name,
-        )
+    for shard, stored in enumerate(stored_by_shard):
         shard_dirname = f"shard-{shard:02d}"
-        shard_dir = save_snapshot(shard_csr, out_dir / shard_dirname, name=shard_name)
-        sidecar = {
-            "format": SHARD_FORMAT,
-            "version": SHARD_VERSION,
-            "name": shard_name,
-            "shard": shard,
-            "shards": ring.shards,
-            "owned": len(owned),
-            "ring": ring.spec(),
-        }
-        (shard_dir / SHARD_MANIFEST_NAME).write_text(
-            json.dumps(sidecar, indent=2) + "\n", encoding="utf-8"
+        _write_shard_dir(
+            out_dir / shard_dirname,
+            shard=shard,
+            ring=ring,
+            stored=stored,
+            primary=primary_count[shard],
+            fetch=csr.fetch,
+            graph_name=graph_name,
+            replicas=replicas,
+            epoch=0,
         )
-        entries.append({"shard": shard, "source": shard_dirname, "nodes": len(owned)})
+        entries.append({
+            "shard": shard,
+            "source": shard_dirname,
+            "nodes": len(stored),
+            "primary": primary_count[shard],
+        })
 
-    manifest = {
-        "format": CLUSTER_FORMAT,
-        "version": CLUSTER_VERSION,
-        "name": graph_name,
-        "nodes": len(all_ids),
-        "ring": ring.spec(),
-        "shards": entries,
-    }
-    (out_dir / CLUSTER_MANIFEST_NAME).write_text(
-        json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+    _write_cluster_manifest(
+        out_dir,
+        graph_name=graph_name,
+        nodes=len(all_ids),
+        ring=ring,
+        entries=entries,
+        replicas=replicas,
+        epoch=0,
     )
     return out_dir
+
+
+def repartition(
+    cluster_dir: PathLike,
+    *,
+    shards: Optional[int] = None,
+    replicas: Optional[int] = None,
+    vnodes: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Incrementally re-balance an on-disk cluster after membership changes.
+
+    Reads the existing ``cluster.json``, recomputes the replica placement
+    for the new ``(shards, replicas, vnodes)`` — each defaulting to the
+    current value — and rewrites *only* the shard directories whose stored
+    node set changed.  Nodes a shard already stores are re-read from its own
+    slice; only reassigned nodes are copied across shard boundaries, which
+    consistent hashing keeps to roughly ``nodes/shards`` per added shard.
+    The manifest is rewritten with ``epoch`` bumped by one, so clients
+    holding the old manifest detect the change through the epoch every shard
+    republishes on ``GET /info`` (:class:`~repro.exceptions.StaleManifestError`).
+
+    Rebuilt shards are staged in temporary directories and swapped in only
+    after every rebuild succeeded; servers still running on the old
+    directories keep serving their memory-mapped arrays.  Returns a report
+    dict: ``epoch``, ``shards``, ``replicas``, ``nodes``, ``moved`` (nodes
+    newly copied onto a shard) and ``rebuilt`` (shard indices rewritten).
+    """
+    from .backend import _shard_entries, read_cluster_manifest
+
+    manifest, base_dir = read_cluster_manifest(cluster_dir)
+    old_ring = HashRing.from_spec(manifest.get("ring"))
+    old_replicas = int(manifest.get("replicas", 1))
+    old_epoch = int(manifest.get("epoch", 0))
+    new_ring = HashRing(
+        old_ring.shards if shards is None else int(shards),
+        vnodes=old_ring.vnodes if vnodes is None else int(vnodes),
+    )
+    new_replicas = _validate_replicas(
+        old_replicas if replicas is None else int(replicas), new_ring
+    )
+    new_epoch = old_epoch + 1
+    graph_name = manifest.get("name") or "graph"
+
+    old_dirnames: Dict[int, str] = {}
+    old_slices: Dict[int, ShardSliceBackend] = {}
+    for entry in _shard_entries(manifest, old_ring):
+        source = str(entry["source"])
+        if source.startswith(("http://", "https://")):
+            raise ClusterError(
+                f"repartition rewrites shard directories on disk, but shard "
+                f"{entry['shard']} is a remote server ({source}); run it "
+                f"where the shard directories live"
+            )
+        shard = int(entry["shard"])
+        old_dirnames[shard] = source
+        old_slices[shard] = load_shard(base_dir / source)
+
+    # A deterministic global node order: first appearance across the old
+    # shards.  For unreplicated layouts this is exactly the original global
+    # order, so an unchanged assignment round-trips to byte-identical shard
+    # tables and is skipped below.
+    all_ids: List[NodeId] = []
+    seen = set()
+    for shard in sorted(old_slices):
+        for node in old_slices[shard].node_ids():
+            if node not in seen:
+                seen.add(node)
+                all_ids.append(node)
+
+    stored_by_shard, primary_count = _assign_replicas(all_ids, new_ring, new_replicas)
+
+    def _reader(prefer_shard: int) -> Callable[[NodeId], RawRecord]:
+        prefer = old_slices.get(prefer_shard)
+
+        def fetch(node: NodeId) -> RawRecord:
+            # Prefer the shard's own old slice — those nodes are not copies,
+            # just a rewrite in place — and pull reassigned nodes from their
+            # old primary.
+            if prefer is not None and prefer.contains(node):
+                return prefer.fetch(node)
+            owner = old_ring.shards_of(node, old_replicas)[0]
+            return old_slices[owner].fetch(node)
+
+        return fetch
+
+    moved = 0
+    rebuilt: List[int] = []
+    staged: Dict[int, Tuple[Path, Path]] = {}  # shard -> (tmp dir, final dir)
+    entries: List[Dict[str, Any]] = []
+    try:
+        for shard, stored in enumerate(stored_by_shard):
+            dirname = old_dirnames.get(shard, f"shard-{shard:02d}")
+            final = base_dir / dirname
+            old_slice = old_slices.get(shard)
+            old_stored = old_slice.node_ids() if old_slice is not None else []
+            old_set = set(old_stored)
+            moved += sum(1 for node in stored if node not in old_set)
+            if stored != old_stored:
+                rebuilt.append(shard)
+                tmp = base_dir / f".repartition-{shard:02d}.tmp"
+                if tmp.exists():
+                    shutil.rmtree(tmp)
+                _write_shard_dir(
+                    tmp,
+                    shard=shard,
+                    ring=new_ring,
+                    stored=stored,
+                    primary=primary_count[shard],
+                    fetch=_reader(shard),
+                    graph_name=graph_name,
+                    replicas=new_replicas,
+                    epoch=new_epoch,
+                )
+                staged[shard] = (tmp, final)
+            entries.append({
+                "shard": shard,
+                "source": dirname,
+                "nodes": len(stored),
+                "primary": primary_count[shard],
+            })
+    except Exception:
+        for tmp, _ in staged.values():
+            shutil.rmtree(tmp, ignore_errors=True)
+        raise
+
+    # Every rebuild succeeded: release the old mmaps and swap directories.
+    for old_slice in old_slices.values():
+        try:
+            old_slice.inner.close()
+        except Exception:
+            pass
+    for shard, (tmp, final) in staged.items():
+        if final.exists():
+            shutil.rmtree(final)
+        tmp.rename(final)
+    for shard, stored in enumerate(stored_by_shard):
+        if shard in staged:
+            continue
+        # Stored set unchanged: refresh only the sidecar (epoch, ring, spec).
+        final = base_dir / old_dirnames.get(shard, f"shard-{shard:02d}")
+        sidecar = read_shard_manifest(final)
+        sidecar.update({
+            "name": f"{graph_name}@{shard}/{new_ring.shards}",
+            "shards": new_ring.shards,
+            "primary": primary_count[shard],
+            "replicas": new_replicas,
+            "epoch": new_epoch,
+            "ring": new_ring.spec(),
+        })
+        (final / SHARD_MANIFEST_NAME).write_text(
+            json.dumps(sidecar, indent=2) + "\n", encoding="utf-8"
+        )
+    for shard in range(new_ring.shards, old_ring.shards):
+        # The cluster shrank: drop directories of shards that left the ring.
+        orphan = base_dir / old_dirnames.get(shard, f"shard-{shard:02d}")
+        if orphan.exists():
+            shutil.rmtree(orphan)
+
+    _write_cluster_manifest(
+        base_dir,
+        graph_name=graph_name,
+        nodes=len(all_ids),
+        ring=new_ring,
+        entries=entries,
+        replicas=new_replicas,
+        epoch=new_epoch,
+    )
+    return {
+        "epoch": new_epoch,
+        "shards": new_ring.shards,
+        "replicas": new_replicas,
+        "nodes": len(all_ids),
+        "moved": moved,
+        "rebuilt": rebuilt,
+    }
 
 
 def read_shard_manifest(directory: PathLike) -> Dict[str, Any]:
@@ -377,6 +704,13 @@ def load_shard(directory: PathLike) -> ShardSliceBackend:
             f"shard manifest {directory / SHARD_MANIFEST_NAME} is missing "
             f"valid 'owned'/'shard'/'shards' fields: {exc!r}"
         ) from exc
+    epoch = sidecar.get("epoch")
     return ShardSliceBackend(
-        inner, owned, shard=shard, shards=shards, name=sidecar.get("name")
+        inner,
+        owned,
+        shard=shard,
+        shards=shards,
+        name=sidecar.get("name"),
+        replicas=int(sidecar.get("replicas", 1)),
+        epoch=None if epoch is None else int(epoch),
     )

@@ -185,12 +185,31 @@ class ShardError(ClusterError):
     transport failures, exhausted retries, a shard process dying mid-ensemble
     — is wrapped with the failing shard's index and address so an operator
     knows *which* machine to look at.
+
+    On a replicated layout (``partition_snapshot(..., replicas=k)``) the
+    backend fails reads over to the next live replica first, so this only
+    escapes once *every* replica of the node's range is down; the message
+    then lists the shards tried and ``__cause__`` chains the last per-shard
+    failure.
     """
 
     def __init__(self, message, shard=None, url=None):
         super().__init__(message)
         self.shard = shard
         self.url = url
+
+
+class StaleManifestError(ShardError):
+    """Raised when a shard serves a different membership epoch than the
+    client's ``cluster.json``.
+
+    ``repartition`` bumps the manifest ``epoch`` whenever shard membership
+    or the replica spec changes, and every shard republishes its epoch on
+    ``GET /info``.  A client holding the old manifest would silently
+    mis-route reads, so ``load_cluster`` compares the published epochs up
+    front and refuses with this error instead; re-read the manifest to
+    recover.
+    """
 
 
 class APIError(ReproError):

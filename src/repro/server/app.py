@@ -264,6 +264,18 @@ class GraphRequestHandler(BaseHTTPRequestHandler):
             start = getattr(backend, "recorded_start", None)
             if start is not None:
                 descriptor["start"] = start
+            # Shard slices publish their membership epoch and replica spec
+            # so cluster clients can detect a stale manifest after a
+            # repartition without any new wire version.
+            epoch = getattr(backend, "epoch", None)
+            if epoch is not None:
+                descriptor["epoch"] = epoch
+            shard = getattr(backend, "shard", None)
+            if shard is not None:
+                descriptor["shard"] = shard
+            replicas = getattr(backend, "replicas", None)
+            if replicas is not None:
+                descriptor["replicas"] = replicas
             self._send_json(200, descriptor)
         elif path == "/node-ids":
             self._send_json(200, {"nodes": backend.node_ids()})

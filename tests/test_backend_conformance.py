@@ -1,11 +1,11 @@
 """Cross-backend conformance suite: the contract every GraphBackend must pass.
 
-One suite, parametrized over all seven shipped backends — InMemory, CSR,
+One suite, parametrized over all shipped backends — InMemory, CSR,
 memory-mapped CSR snapshot, crawl-dump replay, the remote
 ``HTTPGraphBackend`` driving a live in-process server, the
 ``ShardedBackend`` driving *three* live in-process shard servers through a
-consistent-hash ring, and the SQLite-served ``WarehouseBackend`` over an
-ingested full dump — asserting that they are *indistinguishable* through
+consistent-hash ring (once unreplicated, once with replication factor 2),
+and the SQLite-served ``WarehouseBackend`` over an ingested full dump — asserting that they are *indistinguishable* through
 the access layer: identical ``RawRecord``s (neighbor order included),
 identical golden walk fingerprints for every transition kernel under fixed
 seeds, identical ``QueryStats`` accounting through the full middleware
@@ -54,7 +54,10 @@ from repro.storage import (
 from repro.walks import make_walker
 
 #: Every backend the library ships; the whole suite runs once per entry.
-BACKEND_KINDS = ("memory", "csr", "mmap", "replay", "http", "sharded", "warehouse")
+BACKEND_KINDS = (
+    "memory", "csr", "mmap", "replay", "http", "sharded", "replicated",
+    "warehouse",
+)
 
 #: Kernels whose walks must fingerprint identically on every backend.
 KERNEL_NAMES = ("srw", "mhrw", "nbsrw", "cnrw", "nbcnrw", "gnrw_by_degree")
@@ -138,10 +141,30 @@ def remote_cluster_manifest(snapshot_dir, graph_server, tmp_path_factory) -> Pat
     return remote
 
 
+@pytest.fixture(scope="module")
+def replicated_cluster_manifest(snapshot_dir, graph_server, tmp_path_factory) -> Path:
+    """Same cluster wiring, but every node stored on two of the three shards:
+    reads rotate round-robin across replicas, so conformance here proves
+    failover routing is invisible above the backend protocol."""
+    from repro.cluster import load_shard, partition_snapshot
+
+    out_dir = partition_snapshot(
+        snapshot_dir, tmp_path_factory.mktemp("replicated") / "parts",
+        shards=3, replicas=2,
+    )
+    manifest = json.loads((out_dir / "cluster.json").read_text())
+    for entry in manifest["shards"]:
+        server = graph_server(load_shard(out_dir / entry["source"]))
+        entry["source"] = server.url
+    remote = out_dir / "cluster-remote.json"
+    remote.write_text(json.dumps(manifest, indent=2))
+    return remote
+
+
 @pytest.fixture(params=BACKEND_KINDS)
 def backend(
     request, conformance_graph, snapshot_dir, dump_path, http_server,
-    remote_cluster_manifest, warehouse_path,
+    remote_cluster_manifest, replicated_cluster_manifest, warehouse_path,
 ):
     kind = request.param
     if kind == "memory":
@@ -158,6 +181,9 @@ def backend(
         from repro.warehouse import WarehouseBackend
 
         made = WarehouseBackend(warehouse_path)
+    elif kind == "replicated":
+        # Replicated cluster: three live shard servers, replication factor 2.
+        made = as_backend(str(replicated_cluster_manifest))
     else:
         # The whole cluster path: manifest -> ring + three HTTP shard clients.
         made = as_backend(str(remote_cluster_manifest))

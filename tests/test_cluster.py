@@ -13,7 +13,7 @@ mid-ensemble, and the connection-lifecycle satellites (context managers,
 from __future__ import annotations
 
 import json
-from collections import Counter
+from collections import Counter, deque
 
 import pytest
 
@@ -35,8 +35,14 @@ from repro.cluster import (
     load_shard,
     parse_cluster_url,
     partition_snapshot,
+    repartition,
 )
-from repro.exceptions import ClusterError, NodeNotFoundError, ShardError
+from repro.exceptions import (
+    ClusterError,
+    NodeNotFoundError,
+    ShardError,
+    StaleManifestError,
+)
 from repro.graphs import load_dataset
 from repro.storage import save_snapshot
 from repro.walks import make_walker
@@ -57,6 +63,14 @@ def cluster_dir(cluster_graph, tmp_path_factory):
     base = tmp_path_factory.mktemp("cluster")
     snapshot = save_snapshot(cluster_graph, base / "snap")
     return partition_snapshot(snapshot, base / "parts", shards=3)
+
+
+@pytest.fixture(scope="module")
+def replicated_dir(cluster_graph, tmp_path_factory):
+    """The same graph partitioned with replication factor 2."""
+    base = tmp_path_factory.mktemp("replicated")
+    snapshot = save_snapshot(cluster_graph, base / "snap")
+    return partition_snapshot(snapshot, base / "parts", shards=3, replicas=2)
 
 
 # ----------------------------------------------------------------------
@@ -384,3 +398,552 @@ class TestLifecycle:
         session = SamplingSession(client)
         session.close()  # never built a stack; must close the source itself
         assert client._connection is None
+
+
+# ----------------------------------------------------------------------
+# Replica routing (ring successor walks)
+# ----------------------------------------------------------------------
+class TestReplicaRouting:
+    def test_replica_routes_are_pinned_across_runs(self):
+        """Replica placement must never re-route between releases: the
+        on-disk replicated layout (and failover) depend on it.  Frozen."""
+        ring = HashRing(3, vnodes=8)
+        assert [ring.shards_of(node, 2) for node in range(10)] == [
+            (0, 2), (2, 1), (1, 2), (2, 1), (0, 2),
+            (0, 2), (1, 2), (1, 2), (2, 1), (2, 1),
+        ]
+        assert [
+            ring.shards_of(node, 2) for node in ("alice", "bob", "carol", "dave")
+        ] == [(2, 1), (0, 2), (2, 0), (2, 1)]
+        default = HashRing(5)
+        assert [default.shards_of(node, 3) for node in range(8)] == [
+            (1, 3, 2), (3, 0, 4), (4, 3, 0), (4, 3, 1),
+            (3, 4, 2), (3, 0, 1), (4, 3, 0), (0, 4, 3),
+        ]
+
+    def test_first_replica_is_the_primary(self):
+        ring = HashRing(4)
+        for node in range(50):
+            route = ring.shards_of(node, 3)
+            assert route[0] == ring.shard_of(node)
+            assert len(set(route)) == len(route) == 3
+            assert all(0 <= shard < 4 for shard in route)
+        # k=1 degenerates to plain primary routing.
+        assert all(
+            ring.shards_of(node, 1) == (ring.shard_of(node),) for node in range(50)
+        )
+
+    def test_full_replication_covers_every_shard(self):
+        ring = HashRing(3)
+        for node in range(20):
+            assert sorted(ring.shards_of(node, 3)) == [0, 1, 2]
+
+    def test_replica_count_is_validated(self):
+        ring = HashRing(3)
+        with pytest.raises(ClusterError, match="replicas"):
+            ring.shards_of(0, 0)
+        with pytest.raises(ClusterError, match="replicas"):
+            ring.shards_of(0, 4)
+
+
+# ----------------------------------------------------------------------
+# Replicated partition layout (v2 manifests)
+# ----------------------------------------------------------------------
+class TestReplicatedPartition:
+    def test_manifest_records_replica_spec_and_epoch(self, replicated_dir, reference):
+        manifest = json.loads((replicated_dir / "cluster.json").read_text())
+        assert manifest["format"] == CLUSTER_FORMAT
+        assert manifest["version"] == CLUSTER_VERSION
+        assert manifest["replicas"] == 2
+        assert manifest["epoch"] == 0
+        assert manifest["nodes"] == len(reference)
+        # Every node is stored twice, but owned (primary) exactly once.
+        assert sum(entry["nodes"] for entry in manifest["shards"]) == 2 * len(reference)
+        assert sum(entry["primary"] for entry in manifest["shards"]) == len(reference)
+
+    def test_every_node_is_stored_on_its_replica_set(self, replicated_dir, reference):
+        manifest = json.loads((replicated_dir / "cluster.json").read_text())
+        ring = HashRing.from_spec(manifest["ring"])
+        slices = [
+            load_shard(replicated_dir / f"shard-{shard:02d}") for shard in range(3)
+        ]
+        try:
+            for node in reference.node_ids():
+                stored_on = [
+                    shard for shard, backend in enumerate(slices)
+                    if backend.contains(node)
+                ]
+                assert sorted(ring.shards_of(node, 2)) == stored_on
+                for shard in stored_on:
+                    assert slices[shard].fetch(node) == reference.fetch(node)
+                assert slices[ring.shard_of(node)].contains(node)
+        finally:
+            for backend in slices:
+                backend.close()
+
+    def test_cluster_reassembles_without_double_counting(
+        self, replicated_dir, reference
+    ):
+        with load_cluster(replicated_dir) as cluster:
+            assert cluster.replicas == 2
+            assert len(cluster) == len(reference)
+            assert sorted(cluster.node_ids()) == sorted(reference.node_ids())
+            nodes = reference.node_ids()
+            probe = [nodes[2], nodes[0], nodes[2], nodes[5]]
+            assert cluster.fetch_many(probe) == reference.fetch_many(probe)
+            assert cluster.metadata(nodes[3]) == reference.metadata(nodes[3])
+            assert cluster.metadata("no-such-node") is None
+            with pytest.raises(NodeNotFoundError):
+                cluster.fetch("no-such-node")
+
+    def test_walks_identical_to_unpartitioned_graph(self, replicated_dir, reference):
+        def run(source):
+            api = build_api(source, budget=60)
+            start = reference.node_ids()[0]
+            result = make_walker("cnrw", api=api, seed=7).run(start, max_steps=None)
+            return result.path, api.unique_queries, api.total_queries
+
+        with load_cluster(replicated_dir) as cluster:
+            assert run(cluster) == run(reference)
+
+    def test_v1_manifest_loads_as_single_replica(self, cluster_graph, tmp_path):
+        """Pre-replication manifests stay loadable: replicas=1, no epoch check."""
+        snapshot = save_snapshot(cluster_graph, tmp_path / "snap")
+        out = partition_snapshot(snapshot, tmp_path / "parts", shards=2)
+        manifest_path = out / "cluster.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["version"] = 1
+        del manifest["replicas"]
+        del manifest["epoch"]
+        for entry in manifest["shards"]:
+            entry.pop("primary", None)
+        manifest_path.write_text(json.dumps(manifest))
+        with load_cluster(out) as cluster:
+            assert cluster.replicas == 1
+            assert cluster.expected_epoch is None
+            node = cluster.node_ids()[0]
+            assert cluster.fetch(node).node == node
+
+    def test_replicas_beyond_shards_are_rejected(self, cluster_graph, tmp_path):
+        snapshot = save_snapshot(cluster_graph, tmp_path / "snap")
+        with pytest.raises(ClusterError, match="replicas"):
+            partition_snapshot(snapshot, tmp_path / "parts", shards=3, replicas=4)
+
+
+# ----------------------------------------------------------------------
+# Incremental repartition + epoch-versioned membership
+# ----------------------------------------------------------------------
+class TestRepartition:
+    @staticmethod
+    def _partition(cluster_graph, tmp_path, **kwargs):
+        snapshot = save_snapshot(cluster_graph, tmp_path / "snap")
+        return partition_snapshot(snapshot, tmp_path / "parts", shards=3, **kwargs)
+
+    def test_identity_repartition_moves_nothing(
+        self, cluster_graph, reference, tmp_path
+    ):
+        out = self._partition(cluster_graph, tmp_path)
+        report = repartition(out)
+        assert report["moved"] == 0
+        assert report["rebuilt"] == []
+        assert report["epoch"] == 1
+        assert report["shards"] == 3
+        assert report["replicas"] == 1
+        assert report["nodes"] == len(reference)
+        manifest = json.loads((out / "cluster.json").read_text())
+        assert manifest["epoch"] == 1
+        with load_cluster(out) as cluster:
+            node = reference.node_ids()[0]
+            assert cluster.fetch(node) == reference.fetch(node)
+
+    def test_scale_out_copies_only_reassigned_nodes(
+        self, cluster_graph, reference, tmp_path
+    ):
+        out = self._partition(cluster_graph, tmp_path)
+        report = repartition(out, shards=4)
+        assert report["shards"] == 4
+        assert report["epoch"] == 1
+        # Consistent hashing: adding one shard moves ~nodes/shards, never all.
+        assert 0 < report["moved"] < len(reference)
+        assert (out / "shard-03").is_dir()
+        with load_cluster(out) as cluster:
+            assert len(cluster) == len(reference)
+            for node in reference.node_ids():
+                assert cluster.fetch(node) == reference.fetch(node)
+
+    def test_scale_in_removes_orphan_shards(self, cluster_graph, reference, tmp_path):
+        out = self._partition(cluster_graph, tmp_path)
+        report = repartition(out, shards=2)
+        assert report["shards"] == 2
+        assert not (out / "shard-02").exists()
+        with load_cluster(out) as cluster:
+            assert len(cluster) == len(reference)
+            assert sorted(cluster.node_ids()) == sorted(reference.node_ids())
+
+    def test_raising_the_replication_factor_stores_second_copies(
+        self, cluster_graph, reference, tmp_path
+    ):
+        out = self._partition(cluster_graph, tmp_path)
+        report = repartition(out, replicas=2)
+        assert report["replicas"] == 2
+        assert report["moved"] == len(reference)  # one new copy per node
+        manifest = json.loads((out / "cluster.json").read_text())
+        assert manifest["replicas"] == 2
+        ring = HashRing.from_spec(manifest["ring"])
+        slices = [load_shard(out / f"shard-{shard:02d}") for shard in range(3)]
+        try:
+            for node in reference.node_ids():
+                stored_on = [
+                    shard for shard, backend in enumerate(slices)
+                    if backend.contains(node)
+                ]
+                assert sorted(ring.shards_of(node, 2)) == stored_on
+        finally:
+            for backend in slices:
+                backend.close()
+        with load_cluster(out) as cluster:
+            assert cluster.replicas == 2
+            assert len(cluster) == len(reference)
+
+    def test_remote_clusters_are_rejected(self, cluster_dir, tmp_path):
+        manifest = json.loads((cluster_dir / "cluster.json").read_text())
+        for entry in manifest["shards"]:
+            entry["source"] = "http://127.0.0.1:1/"
+        (tmp_path / "cluster.json").write_text(json.dumps(manifest))
+        with pytest.raises(ClusterError, match="remote server"):
+            repartition(tmp_path)
+
+    def test_stale_manifest_is_detected_through_the_epoch(
+        self, cluster_graph, tmp_path
+    ):
+        """A client loading a pre-repartition manifest fails typed, not wrong."""
+        out = self._partition(cluster_graph, tmp_path, replicas=2)
+        stale = (out / "cluster.json").read_text()
+        repartition(out)  # bumps every shard's epoch to 1
+        (out / "cluster.json").write_text(stale)  # the client kept epoch 0
+        with pytest.raises(StaleManifestError) as excinfo:
+            load_cluster(out)
+        assert isinstance(excinfo.value, ShardError)  # per-shard attribution
+        assert excinfo.value.shard is not None
+        assert "epoch" in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# Replica failover (the self-healing read path)
+# ----------------------------------------------------------------------
+class TestFailover:
+    @pytest.fixture()
+    def replicated_servers(self, replicated_dir, graph_server):
+        return [
+            graph_server(load_shard(replicated_dir / f"shard-{shard:02d}"))
+            for shard in range(3)
+        ]
+
+    @staticmethod
+    def _cluster(replicated_dir, servers, *, retries=1, **options):
+        manifest = json.loads((replicated_dir / "cluster.json").read_text())
+        ring = HashRing.from_spec(manifest["ring"])
+        clients = [
+            HTTPGraphBackend(
+                server.url, retries=retries, backoff=0.0, sleep=lambda _: None
+            )
+            for server in servers
+        ]
+        return ShardedBackend(clients, ring, replicas=2, **options)
+
+    def test_ensemble_bit_identical_while_one_replica_is_down(
+        self, replicated_dir, replicated_servers, reference
+    ):
+        """Kill one shard mid-ensemble: the walk must not notice.
+
+        Shard 1's storage dies after its first two batched fetches.  With
+        replication factor 2 every node it stored has one more replica, so
+        the scheduler's ensemble completes and its paths and query
+        accounting are bit-identical to the healthy-cluster run *and* to a
+        local single-backend run.
+        """
+        from fakes import FlakyBackend
+        from repro.engine import WalkScheduler
+
+        def run_ensemble(source):
+            api = build_api(source, budget=500)
+            walkers = [
+                make_walker("cnrw", api=api, seed=seed) for seed in (1, 2, 3, 4)
+            ]
+            starts = reference.node_ids()[:4]
+            results = WalkScheduler(api).run(walkers, starts, steps=60)
+            paths = [result.path for result in results]
+            return paths, api.unique_queries, api.total_queries
+
+        local = run_ensemble(reference)
+        with self._cluster(replicated_dir, replicated_servers) as cluster:
+            healthy = run_ensemble(cluster)
+        assert healthy == local
+
+        doomed = replicated_servers[1]
+        doomed.graph_backend = FlakyBackend(
+            doomed.graph_backend,
+            plan=[None, None] + [RuntimeError("storage tier died")] * 1000,
+        )
+        with self._cluster(
+            replicated_dir, replicated_servers, failover_cooldown=300.0
+        ) as cluster:
+            wounded = run_ensemble(cluster)
+            assert 1 in cluster.dead_shards  # the failure was noticed...
+        assert wounded == local  # ...and completely absorbed
+
+    def test_cluster_urls_autodetect_replication_from_info(
+        self, replicated_servers, reference
+    ):
+        """`cluster://` clients read replicas + epoch off `GET /info`, so a
+        replicated layout gets failover (and honest len()) without a
+        manifest."""
+        with cluster_from_urls([s.url for s in replicated_servers]) as cluster:
+            assert cluster.replicas == 2
+            assert cluster.expected_epoch == 0
+            assert len(cluster) == len(reference)
+            assert sorted(cluster.node_ids()) == sorted(reference.node_ids())
+        with cluster_from_urls(
+            [s.url for s in replicated_servers], replicas=1
+        ) as cluster:  # explicit factor skips the probe
+            assert cluster.replicas == 1
+            assert cluster.expected_epoch is None
+
+    def test_total_outage_raises_an_attributed_error(
+        self, replicated_dir, replicated_servers, reference
+    ):
+        manifest = json.loads((replicated_dir / "cluster.json").read_text())
+        ring = HashRing.from_spec(manifest["ring"])
+        victim = next(
+            node for node in reference.node_ids()
+            if sorted(ring.shards_of(node, 2)) == [1, 2]
+        )
+        survivor = next(
+            node for node in reference.node_ids() if 0 in ring.shards_of(node, 2)
+        )
+        replicated_servers[1].close()
+        replicated_servers[2].close()
+        with self._cluster(
+            replicated_dir, replicated_servers, retries=0
+        ) as cluster:
+            with pytest.raises(ShardError, match="every replica") as excinfo:
+                cluster.fetch(victim)
+            assert excinfo.value.shard in (1, 2)
+            assert isinstance(excinfo.value.__cause__, ShardError)
+            with pytest.raises(ShardError, match="every replica"):
+                cluster.fetch_many([survivor, victim])
+            # Nodes with one live replica still answer through failover.
+            assert cluster.fetch(survivor) == reference.fetch(survivor)
+
+    def test_reads_round_robin_across_live_replicas(self, replicated_dir, reference):
+        class Counting:
+            def __init__(self, inner):
+                self.inner = inner
+                self.fetches = 0
+
+            def fetch(self, node):
+                self.fetches += 1
+                return self.inner.fetch(node)
+
+            def __getattr__(self, name):
+                return getattr(self.inner, name)
+
+        manifest = json.loads((replicated_dir / "cluster.json").read_text())
+        ring = HashRing.from_spec(manifest["ring"])
+        slices = [
+            Counting(load_shard(replicated_dir / f"shard-{shard:02d}"))
+            for shard in range(3)
+        ]
+        cluster = ShardedBackend(slices, ring, replicas=2)
+        try:
+            node = reference.node_ids()[0]
+            route = cluster.shards_of(node)
+            for _ in range(4):
+                assert cluster.fetch(node) == reference.fetch(node)
+            assert [slices[shard].fetches for shard in route] == [2, 2]
+        finally:
+            cluster.close()
+
+    def test_node_ids_survive_a_dead_shard_when_replicated(
+        self, replicated_dir, cluster_dir, reference
+    ):
+        """Id enumeration tolerates up to replicas-1 failed shards.
+
+        With replication factor 2 every node's ids live on two shards, so
+        the union over any two survivors is provably complete; a second
+        concurrent failure (or any failure at k=1) still raises attributed.
+        """
+        class Dead:
+            name = "dead"
+
+            def node_ids(self):
+                raise RuntimeError("enumeration tier died")
+
+            def close(self):
+                pass
+
+        manifest = json.loads((replicated_dir / "cluster.json").read_text())
+        ring = HashRing.from_spec(manifest["ring"])
+        backends = [
+            load_shard(replicated_dir / f"shard-{shard:02d}") for shard in range(3)
+        ]
+        live = list(backends)
+        live[1] = Dead()
+        backends[1].close()
+        with ShardedBackend(live, ring, replicas=2) as cluster:
+            assert sorted(cluster.node_ids()) == sorted(reference.node_ids())
+            assert len(cluster) == len(reference)
+            assert 1 in cluster.dead_shards
+        two_dead = [load_shard(replicated_dir / "shard-00"), Dead(), Dead()]
+        with ShardedBackend(two_dead, ring, replicas=2) as cluster:
+            with pytest.raises(ShardError) as excinfo:
+                cluster.node_ids()
+            assert excinfo.value.shard == 2
+        unreplicated = [
+            load_shard(cluster_dir / f"shard-{shard:02d}") for shard in range(3)
+        ]
+        unreplicated[1] = Dead()
+        with ShardedBackend(unreplicated, HashRing(3)) as cluster:
+            with pytest.raises(ShardError) as excinfo:
+                cluster.node_ids()
+            assert excinfo.value.shard == 1
+
+    def test_dead_replica_sits_out_the_cooldown_then_is_reprobed(
+        self, replicated_dir, reference
+    ):
+        class Failing:
+            def __init__(self, inner):
+                self.inner = inner
+                self.attempts = 0
+
+            def fetch(self, node):
+                self.attempts += 1
+                raise RuntimeError("flapping storage")
+
+            def __getattr__(self, name):
+                return getattr(self.inner, name)
+
+        manifest = json.loads((replicated_dir / "cluster.json").read_text())
+        ring = HashRing.from_spec(manifest["ring"])
+        node = reference.node_ids()[0]
+        primary = ring.shards_of(node, 2)[0]
+        backends = [
+            load_shard(replicated_dir / f"shard-{shard:02d}") for shard in range(3)
+        ]
+        failing = Failing(backends[primary])
+        backends[primary] = failing
+        now = [0.0]
+        cluster = ShardedBackend(
+            backends, ring, replicas=2,
+            failover_cooldown=10.0, clock=lambda: now[0],
+        )
+        try:
+            # First read probes the primary, fails over, marks it dead.
+            assert cluster.fetch(node) == reference.fetch(node)
+            assert failing.attempts == 1
+            assert primary in cluster.dead_shards
+            # Inside the cool-down the dead replica is not touched again.
+            assert cluster.fetch(node) == reference.fetch(node)
+            assert failing.attempts == 1
+            # Past the cool-down the next reads probe it once more.
+            now[0] = 11.0
+            for _ in range(2):
+                assert cluster.fetch(node) == reference.fetch(node)
+            assert failing.attempts == 2
+            assert primary in cluster.dead_shards
+        finally:
+            cluster.close()
+
+
+# ----------------------------------------------------------------------
+# Satellites: best-effort close, bounded route cache, aborted-batch drain
+# ----------------------------------------------------------------------
+class TestCloseAndCaches:
+    def test_close_is_best_effort_across_shards(self):
+        class Exploding:
+            def __init__(self, boom):
+                self.boom = boom
+                self.name = boom
+                self.closed = False
+
+            def close(self):
+                self.closed = True
+                raise RuntimeError(self.boom)
+
+        class Quiet:
+            name = "quiet"
+
+            def __init__(self):
+                self.closed = False
+
+            def close(self):
+                self.closed = True
+
+        shards = [Exploding("boom-0"), Quiet(), Exploding("boom-2")]
+        cluster = ShardedBackend(shards, HashRing(3))
+        with pytest.raises(RuntimeError, match="boom-0"):
+            cluster.close()  # first error re-raised, but every shard closed
+        assert all(shard.closed for shard in shards)
+
+    def test_route_cache_is_bounded(self, cluster_dir):
+        backends = [
+            load_shard(cluster_dir / f"shard-{shard:02d}") for shard in range(3)
+        ]
+        cluster = ShardedBackend(backends, HashRing(3), route_cache=8)
+        try:
+            for node in range(100):
+                cluster.shard_of(node)
+            assert len(cluster._route_cache) <= 8
+            # Resident routes are served from the cache (same tuple object).
+            route = cluster.shards_of(99)
+            assert cluster.shards_of(99) is route
+        finally:
+            cluster.close()
+
+
+class TestAbortedBatchDrain:
+    """A fetch_many aborted mid-drain must leave every connection reusable."""
+
+    @pytest.fixture()
+    def flaky_servers(self, cluster_dir, graph_server):
+        from fakes import FlakyHTTPHandler
+
+        return [
+            graph_server(
+                load_shard(cluster_dir / f"shard-{shard:02d}"),
+                handler_class=FlakyHTTPHandler,
+            )
+            for shard in range(3)
+        ]
+
+    def _cluster(self, flaky_servers):
+        clients = [
+            HTTPGraphBackend(server.url, retries=0, timeout=5.0)
+            for server in flaky_servers
+        ]
+        return ShardedBackend(clients, HashRing(3))
+
+    def test_second_batch_succeeds_after_a_shard_failure_abort(
+        self, cluster_dir, flaky_servers, reference
+    ):
+        with self._cluster(flaky_servers) as cluster:
+            batch = reference.node_ids()[:12]
+            assert {cluster.shard_of(node) for node in batch} == {0, 1, 2}
+            # Two 500s: one for the pipelined response, one for the replay.
+            flaky_servers[1].fault_plan = deque(["500", "500"])
+            with pytest.raises(ShardError) as excinfo:
+                cluster.fetch_many(batch)
+            assert excinfo.value.shard == 1
+            # The healthy shards' keep-alive connections were fully drained,
+            # so the very next pipelined batch reuses them and succeeds.
+            assert cluster.fetch_many(batch) == reference.fetch_many(batch)
+
+    def test_second_batch_succeeds_after_a_miss_abort(
+        self, cluster_dir, flaky_servers, reference
+    ):
+        with self._cluster(flaky_servers) as cluster:
+            nodes = reference.node_ids()
+            batch = nodes[:12]
+            with pytest.raises(NodeNotFoundError):
+                cluster.fetch_many([nodes[0], "no-such-node", nodes[5]])
+            assert cluster.fetch_many(batch) == reference.fetch_many(batch)
