@@ -52,6 +52,7 @@ remains available as a thin shim over the same stack::
 """
 
 from .api import (
+    AsyncHTTPGraphBackend,
     CSRBackend,
     GraphAPI,
     GraphBackend,
@@ -67,6 +68,7 @@ from .api import (
     build_api,
     estimate_crawl_time,
     twitter_policy,
+    walk_fingerprint,
     yelp_policy,
 )
 from .estimation import (
@@ -124,7 +126,7 @@ from .engine import (
     WalkScheduler,
     make_vector_kernel,
 )
-from .server import GraphHTTPServer, serve_backend
+from .server import AsyncGraphServer, GraphHTTPServer, serve_backend, serve_backend_async
 from .storage import (
     MmapCSRBackend,
     ReplayBackend,
@@ -173,6 +175,8 @@ __all__ = [
     "GraphError",
     "GraphHTTPServer",
     "GroupByNeighborsRandomWalk",
+    "AsyncGraphServer",
+    "AsyncHTTPGraphBackend",
     "HTTPGraphBackend",
     "HashRing",
     "InMemoryBackend",
@@ -236,6 +240,8 @@ __all__ = [
     "repartition",
     "save_snapshot",
     "serve_backend",
+    "serve_backend_async",
+    "walk_fingerprint",
     "summarize",
     "symmetric_kl_divergence",
     "theoretical_distribution",

@@ -42,7 +42,8 @@ from .middleware import (
     describe_stack,
     iter_layers,
 )
-from .remote import HTTPGraphBackend, WIRE_FORMAT, WIRE_VERSION
+from .remote import HTTPGraphBackend, WIRE_FORMAT, WIRE_VERSION, walk_fingerprint
+from .remote_async import AsyncHTTPGraphBackend
 from .ratelimit import (
     FixedWindowPolicy,
     RateLimitPolicy,
@@ -57,6 +58,7 @@ from .session import SamplingSession, Session
 
 __all__ = [
     "APILayer",
+    "AsyncHTTPGraphBackend",
     "BackendAPI",
     "BudgetLayer",
     "CSRBackend",
@@ -100,5 +102,6 @@ __all__ = [
     "mutual_undirected_edges",
     "store_from_edges",
     "twitter_policy",
+    "walk_fingerprint",
     "yelp_policy",
 ]

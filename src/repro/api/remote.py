@@ -52,11 +52,18 @@ import json
 import socket
 import time
 import urllib.parse
+import zlib
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..exceptions import NodeNotFoundError, RemoteBackendError, ReplayMissError
+from ..exceptions import (
+    NodeNotFoundError,
+    QueryBudgetExceededError,
+    RateLimitExceededError,
+    RemoteBackendError,
+    ReplayMissError,
+)
 from ..types import NodeId
 from .backend import GraphBackend, RawRecord
 
@@ -140,6 +147,16 @@ def decode_node_id(segment: str) -> NodeId:
     return json.loads(urllib.parse.unquote(segment))
 
 
+def walk_fingerprint(path: Sequence[NodeId]) -> int:
+    """CRC-32 fingerprint of a walk path (the conformance-suite formula).
+
+    ``POST /walk`` returns this alongside the path so one integer proves a
+    server-side walk step-for-step identical to a local run; the client
+    recomputes it over the delivered path and refuses a mismatch.
+    """
+    return zlib.crc32(",".join(map(str, path)).encode("utf-8"))
+
+
 class _WireError(Exception):
     """A malformed or truncated HTTP response on the lean transport.
 
@@ -176,12 +193,16 @@ class _LeanHTTPConnection:
     _MAX_LINE = 65536
 
     def __init__(self, scheme: str, host: str, port: Optional[int],
-                 timeout: float, host_header: str) -> None:
+                 timeout: float, host_header: str,
+                 extra_headers: str = "") -> None:
         self._scheme = scheme
         self._host = host
         self._port = port if port is not None else (443 if scheme == "https" else 80)
         self._timeout = timeout
         self._host_header = host_header
+        #: Preformatted ``Name: value\r\n`` lines sent with every request
+        #: (the per-tenant ``X-Api-Key`` of the multi-tenant service).
+        self._extra_headers = extra_headers
         self._sock: Optional[socket.socket] = None
         self._file = None
         self._reusable = True
@@ -223,7 +244,8 @@ class _LeanHTTPConnection:
         if self._sock is None:
             self._connect()
         # Minimal headers: every line costs parse time on both ends.
-        head = f"{method} {path} HTTP/1.1\r\nHost: {self._host_header}\r\n"
+        head = (f"{method} {path} HTTP/1.1\r\nHost: {self._host_header}\r\n"
+                f"{self._extra_headers}")
         if body is not None:
             head += f"Content-Type: application/json\r\nContent-Length: {len(body)}\r\n"
         self._sock.sendall(head.encode("ascii") + b"\r\n" + (body or b""))
@@ -241,6 +263,10 @@ class _LeanHTTPConnection:
         status_line = self._file.readline(self._MAX_LINE + 1)
         if not status_line:
             raise _WireError("connection closed before the status line")
+        if len(status_line) > self._MAX_LINE:
+            # Same cap as header lines: readline would otherwise hand back a
+            # silent 64 KiB truncation whose remainder misparses as headers.
+            raise _WireError("oversized status line")
         parts = status_line.split(None, 2)
         if len(parts) < 2 or not parts[0].startswith(b"HTTP/"):
             raise _WireError(f"malformed status line {status_line!r}")
@@ -314,6 +340,15 @@ class HTTPGraphBackend(GraphBackend):
         sleep: The sleep callable (injectable so tests pin the exact backoff
             schedule without waiting it out).
         name: Backend name; defaults to ``http:<netloc>``.
+        api_key: Optional tenant API key, sent as ``X-Api-Key`` with every
+            request.  The multi-tenant asyncio service maps it to the
+            tenant's server-side budget / rate-limit policy; servers without
+            tenants ignore the header.  Server-side policy rejections come
+            back typed: a 429 ``rate_limited`` raises
+            :class:`~repro.exceptions.RateLimitExceededError` and a 429
+            ``budget_exhausted`` raises
+            :class:`~repro.exceptions.QueryBudgetExceededError`, exactly
+            like the client-side middleware layers.
 
     The graph behind the service is treated as immutable for the lifetime of
     the client (like a snapshot or crawl dump): ``node_ids``, the ``/info``
@@ -333,6 +368,7 @@ class HTTPGraphBackend(GraphBackend):
         backoff: float = 0.05,
         sleep: Callable[[float], None] = time.sleep,
         name: Optional[str] = None,
+        api_key: Optional[str] = None,
     ) -> None:
         parsed = urllib.parse.urlsplit(base_url)
         if parsed.scheme not in ("http", "https") or not parsed.netloc:
@@ -351,6 +387,10 @@ class HTTPGraphBackend(GraphBackend):
         self._retries = int(retries)
         self._backoff = float(backoff)
         self._sleep = sleep
+        self.api_key = api_key
+        if api_key is not None and not api_key.isprintable():
+            raise ValueError("api_key must be a printable string")
+        self._extra_headers = f"X-Api-Key: {api_key}\r\n" if api_key else ""
         self._connection: Optional[_LeanHTTPConnection] = None
         self._info: Optional[Dict[str, Any]] = None
         self._node_ids: Optional[List[NodeId]] = None
@@ -362,7 +402,8 @@ class HTTPGraphBackend(GraphBackend):
     # ------------------------------------------------------------------
     def _connect(self) -> _LeanHTTPConnection:
         return _LeanHTTPConnection(
-            self._scheme, self._host, self._port, self._timeout, self._netloc
+            self._scheme, self._host, self._port, self._timeout, self._netloc,
+            extra_headers=self._extra_headers,
         )
 
     def _drop_connection(self) -> None:
@@ -430,6 +471,18 @@ class HTTPGraphBackend(GraphBackend):
                 url=self.base_url,
                 status=status,
             )
+        if status == 429:
+            # Server-side per-tenant policy rejections (the multi-tenant
+            # asyncio service) surface as the exact typed errors the local
+            # middleware layers raise, so remote enforcement is
+            # indistinguishable from a client-side budget or rate limit.
+            payload = self._error_payload(data)
+            if payload.get("error") == "budget_exhausted":
+                raise QueryBudgetExceededError(
+                    payload.get("limit"), spent=payload.get("spent")
+                )
+            if payload.get("error") == "rate_limited":
+                raise RateLimitExceededError(retry_after=payload.get("retry_after"))
         if status != 200:
             raise RemoteBackendError(
                 f"{method} {path} returned HTTP {status}: "
@@ -566,6 +619,62 @@ class HTTPGraphBackend(GraphBackend):
             except _TransientResponse:
                 pass
         return self.fetch_many(order)
+
+    # ------------------------------------------------------------------
+    # Server-side walks (the multi-tenant asyncio service's POST /walk)
+    # ------------------------------------------------------------------
+    def remote_walk(
+        self,
+        kernel: str,
+        start: NodeId,
+        *,
+        seed: int = 0,
+        steps: Optional[int] = None,
+        budget: Optional[int] = None,
+        burn_in: int = 0,
+        thinning: int = 1,
+    ) -> Dict[str, Any]:
+        """Run a whole walk *server-side* in one round trip.
+
+        ``POST /walk`` moves the O(steps) per-walk request stream to the
+        server: the response carries the full path, its query accounting and
+        a CRC-32 :func:`walk_fingerprint`, which is recomputed locally over
+        the delivered path — a mismatch means the wire corrupted the walk
+        and raises :class:`~repro.exceptions.RemoteBackendError`.  Servers
+        without the endpoint (the threaded frontend) answer 404, which
+        surfaces as the usual "not an endpoint" error.
+        """
+        _require_scalar_id(start)
+        request: Dict[str, Any] = {"kernel": kernel, "start": start, "seed": seed}
+        if steps is not None:
+            request["steps"] = steps
+        if budget is not None:
+            request["budget"] = budget
+        if burn_in:
+            request["burn_in"] = burn_in
+        if thinning != 1:
+            request["thinning"] = thinning
+        try:
+            body = json.dumps(request, default=_coerce_id).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise RemoteBackendError(
+                f"walk request cannot travel over the wire: {exc}"
+            ) from exc
+        payload = self._request("POST", f"{self._prefix}/walk", body=body)
+        path = payload.get("path") if isinstance(payload, dict) else None
+        if not isinstance(path, list):
+            raise RemoteBackendError(
+                f"malformed /walk response: {payload!r}", url=self.base_url
+            )
+        fingerprint = payload.get("fingerprint")
+        if fingerprint != walk_fingerprint(path):
+            raise RemoteBackendError(
+                f"/walk fingerprint mismatch: server said {fingerprint}, the "
+                f"delivered {len(path)}-node path hashes to "
+                f"{walk_fingerprint(path)}",
+                url=self.base_url,
+            )
+        return payload
 
     def _meta(self, node: NodeId) -> Dict[str, Any]:
         """The (cached) ``/meta`` payload of ``node``: one request, ever."""

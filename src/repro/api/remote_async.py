@@ -1,0 +1,280 @@
+"""Asyncio transport for the remote graph backend, behind the sync facade.
+
+:class:`AsyncHTTPGraphBackend` is :class:`~repro.api.remote.HTTPGraphBackend`
+with the blocking socket transport swapped for an asyncio one: the connection
+is an ``asyncio.open_connection`` stream pair driven on a private event loop
+that runs on one daemon thread (``repro-aio-client``), and every exchange is
+submitted with ``run_coroutine_threadsafe``.  Everything *above* the
+transport — retries, backoff, error mapping, the typed 404/429 translation,
+the meta/info/node-id caches, ``remote_walk`` — is inherited unchanged, so
+the async client is wire- and walk-bit-identical to the threaded one (the
+conformance suite drives both through the same golden matrix).
+
+Why a sync facade at all: the walkers, middleware and schedulers are
+synchronous, and the paper's crawls are strictly sequential (each step's
+query depends on the previous answer), so an async *API* would buy nothing
+for a single client.  What the asyncio transport buys is symmetry with the
+asyncio server frontend and a client whose socket handling (timeouts via
+``wait_for``, stream limits, half-close semantics) matches the server's —
+one wire implementation debugged once.
+
+Timeouts surface as :class:`~repro.api.remote._WireError` (drop the
+connection and retry), exactly like a blocking-socket timeout on the
+threaded transport.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+from typing import Optional, Tuple
+
+from .remote import HTTPGraphBackend, _WireError
+
+
+class _AsyncLeanConnection:
+    """The asyncio twin of :class:`~repro.api.remote._LeanHTTPConnection`.
+
+    Same HTTP/1.1 subset, same :class:`_WireError` semantics, driven through
+    ``asyncio`` streams; every await is bounded by the per-request timeout.
+    All coroutines run on the owning backend's private event loop.
+    """
+
+    _MAX_LINE = 65536
+
+    def __init__(self, scheme: str, host: str, port: Optional[int],
+                 timeout: float, host_header: str,
+                 extra_headers: str = "") -> None:
+        self._scheme = scheme
+        self._host = host
+        self._port = port if port is not None else (443 if scheme == "https" else 80)
+        self._timeout = timeout
+        self._host_header = host_header
+        self._extra_headers = extra_headers
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reusable = True
+
+    async def _connect(self) -> None:
+        ssl_context = None
+        if self._scheme == "https":
+            import ssl
+
+            ssl_context = ssl.create_default_context()
+        reader, writer = await self._wait(
+            asyncio.open_connection(
+                self._host, self._port, limit=self._MAX_LINE + 2, ssl=ssl_context
+            ),
+            "connect",
+        )
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - platform-dependent
+                pass
+        self._reader, self._writer = reader, writer
+        self._reusable = True
+
+    async def _wait(self, awaitable, what: str):
+        try:
+            return await asyncio.wait_for(awaitable, self._timeout)
+        except asyncio.TimeoutError:
+            # Same retry class as a blocking-socket timeout: drop + retry.
+            raise _WireError(f"timed out during {what}") from None
+
+    @property
+    def reusable(self) -> bool:
+        return self._reusable and self._writer is not None
+
+    async def aclose(self) -> None:
+        writer = self._writer
+        self._reader = self._writer = None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):  # pragma: no cover
+                pass
+
+    async def send_request(self, method: str, path: str, body: Optional[bytes]) -> None:
+        if self._writer is None:
+            await self._connect()
+        head = (f"{method} {path} HTTP/1.1\r\nHost: {self._host_header}\r\n"
+                f"{self._extra_headers}")
+        if body is not None:
+            head += f"Content-Type: application/json\r\nContent-Length: {len(body)}\r\n"
+        self._writer.write(head.encode("ascii") + b"\r\n" + (body or b""))
+        await self._wait(self._writer.drain(), "send")
+
+    async def read_response(self) -> Tuple[int, bytes]:
+        if self._reader is None:
+            raise _WireError("connection is not open")
+        try:
+            status_line = await self._wait(self._reader.readline(), "status line")
+        except ValueError:
+            # The stream limit tripped: same refusal as the threaded client's
+            # readline cap, same message (the regression tests pin it).
+            raise _WireError("oversized status line") from None
+        if not status_line:
+            raise _WireError("connection closed before the status line")
+        if len(status_line) > self._MAX_LINE:
+            raise _WireError("oversized status line")
+        parts = status_line.split(None, 2)
+        if len(parts) < 2 or not parts[0].startswith(b"HTTP/"):
+            raise _WireError(f"malformed status line {status_line!r}")
+        try:
+            status = int(parts[1])
+        except ValueError:
+            raise _WireError(f"malformed status code in {status_line!r}") from None
+        will_close = parts[0] == b"HTTP/1.0"
+        content_length: Optional[int] = None
+        header_count = 0
+        while True:
+            try:
+                line = await self._wait(self._reader.readline(), "headers")
+            except ValueError:
+                raise _WireError("oversized response header line") from None
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                raise _WireError("connection closed inside the response headers")
+            if len(line) > self._MAX_LINE:
+                raise _WireError("oversized response header line")
+            header_count += 1
+            if header_count > 100:
+                raise _WireError("got more than 100 response headers")
+            name, separator, value = line.partition(b":")
+            if not separator:
+                raise _WireError(f"malformed header line {line!r}")
+            name = name.strip().lower()
+            if name == b"content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _WireError(f"malformed Content-Length {value!r}") from None
+            elif name == b"connection":
+                token = value.strip().lower()
+                if token == b"close":
+                    will_close = True
+                elif token == b"keep-alive":
+                    will_close = False
+            elif name == b"transfer-encoding":
+                raise _WireError("unsupported Transfer-Encoding response")
+        if content_length is None:
+            if not will_close:
+                raise _WireError("keep-alive response without Content-Length")
+            body = await self._wait(self._reader.read(-1), "body")
+        else:
+            try:
+                body = await self._wait(
+                    self._reader.readexactly(content_length), "body"
+                )
+            except asyncio.IncompleteReadError as error:
+                raise _WireError(
+                    f"response body truncated at {len(error.partial)}/"
+                    f"{content_length} bytes"
+                ) from None
+        if will_close:
+            self._reusable = False
+        return status, body
+
+
+class AsyncHTTPGraphBackend(HTTPGraphBackend):
+    """The remote graph backend over an asyncio transport (sync facade).
+
+    Drop-in for :class:`~repro.api.remote.HTTPGraphBackend` — same
+    constructor, same blocking :class:`~repro.api.backend.GraphBackend`
+    surface, same typed errors — with the socket work running on a private
+    event loop.  ``close()`` stops that loop and joins its thread; the client
+    stays usable afterwards (the loop restarts on the next request), matching
+    the threaded client's "close the connection, keep the client" contract.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._aio_loop: Optional[asyncio.AbstractEventLoop] = None
+        self._aio_thread: Optional[threading.Thread] = None
+        self._aio_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Event-loop plumbing
+    # ------------------------------------------------------------------
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        with self._aio_lock:
+            if self._aio_loop is None or self._aio_loop.is_closed():
+                loop = asyncio.new_event_loop()
+                thread = threading.Thread(
+                    target=loop.run_forever, name="repro-aio-client", daemon=True
+                )
+                thread.start()
+                self._aio_loop, self._aio_thread = loop, thread
+            return self._aio_loop
+
+    def _call(self, coroutine):
+        return asyncio.run_coroutine_threadsafe(coroutine, self._ensure_loop()).result()
+
+    # ------------------------------------------------------------------
+    # Transport overrides (everything above _send is inherited)
+    # ------------------------------------------------------------------
+    def _connect(self) -> _AsyncLeanConnection:
+        return _AsyncLeanConnection(
+            self._scheme, self._host, self._port, self._timeout, self._netloc,
+            extra_headers=self._extra_headers,
+        )
+
+    def _send(self, method: str, path: str, body: Optional[bytes]):
+        return self._call(self._asend(method, path, body))
+
+    async def _asend(self, method: str, path: str, body: Optional[bytes]):
+        connection = self._connection
+        if connection is None:
+            connection = self._connect()
+            self._connection = connection
+        await connection.send_request(method, path, body)
+        status, data = await connection.read_response()
+        if not connection.reusable:
+            self._connection = None
+            await connection.aclose()
+        return status, data
+
+    def _drop_connection(self) -> None:
+        connection, self._connection = self._connection, None
+        if connection is None:
+            return
+        with self._aio_lock:
+            loop = self._aio_loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            asyncio.run_coroutine_threadsafe(connection.aclose(), loop).result(5)
+        except Exception:  # noqa: BLE001 - best-effort cleanup
+            pass
+
+    def begin_fetch_many(self, nodes):
+        """Validate the batch but do not pipeline (no split-exchange here).
+
+        The threaded client pipelines by splitting send and receive on a raw
+        socket; the async facade keeps each exchange a single coroutine, so
+        ``begin`` just validates and the inherited :meth:`end_fetch_many`
+        falls through to a plain :meth:`fetch_many` — same records, same
+        errors, one extra nothing.
+        """
+        order, _body = self._encode_batch(nodes)
+        return order, False
+
+    def close(self) -> None:
+        """Drop the connection and stop the private event loop."""
+        self._drop_connection()
+        with self._aio_lock:
+            loop, thread = self._aio_loop, self._aio_thread
+            self._aio_loop = self._aio_thread = None
+        if loop is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(loop.stop)
+            if thread is not None:
+                thread.join(timeout=10)
+            loop.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"AsyncHTTPGraphBackend(base_url={self.base_url!r}, name={self.name!r})"

@@ -41,7 +41,14 @@ dump — as a JSON-over-HTTP graph service (see :mod:`repro.server`)::
 
 A ``walk --source URL`` drives the remote service through
 :class:`~repro.api.remote.HTTPGraphBackend` and is bit-identical to the same
-walk over the served files locally.
+walk over the served files locally.  ``serve --async`` swaps in the asyncio
+frontend (one event loop instead of one thread per connection) and adds
+``POST /walk`` (whole walks run server-side in one round trip) plus
+``GET /stats``; ``--tenants tenants.json`` maps API keys to per-tenant
+query budgets and rate limits, and ``--access-log FILE`` appends one JSON
+line per request::
+
+    python -m repro.cli serve --source snapshots/fb --port 8642 --async --tenants tenants.json
 
 The cluster commands scale the service tier horizontally (see
 :mod:`repro.cluster`): ``partition`` splits a CSR snapshot into N per-shard
@@ -340,8 +347,14 @@ def _run_serve(args: argparse.Namespace) -> None:
     """Serve a graph source over JSON/HTTP until interrupted."""
     from .api import as_backend
     from .graphs import load_dataset
-    from .server import serve_backend
+    from .server import serve_backend, serve_backend_async
 
+    if not args.async_server:
+        if args.tenants is not None:
+            raise ValueError("--tenants requires --async (the threaded "
+                             "frontend has no tenant policy layer)")
+        if args.access_log is not None:
+            raise ValueError("--access-log requires --async")
     if args.source is not None:
         _reject_source_conflicts(args)
         backend = as_backend(args.source)
@@ -349,22 +362,40 @@ def _run_serve(args: argparse.Namespace) -> None:
         graph = load_dataset(args.dataset or "facebook_like", seed=args.seed,
                              scale=args.scale or 1.0)
         backend = as_backend(graph)
-    server = serve_backend(backend, host=args.host, port=args.port)
+    if args.async_server:
+        import time
+
+        server = serve_backend_async(
+            backend, host=args.host, port=args.port,
+            tenants=args.tenants, access_log=args.access_log,
+        ).start()
+        endpoints = ("endpoints: GET /info  GET /node/<id>  POST /nodes  "
+                     "GET /meta/<id>  GET /node-ids  POST /walk  GET /stats")
+    else:
+        server = serve_backend(backend, host=args.host, port=args.port)
+        endpoints = ("endpoints: GET /info  GET /node/<id>  POST /nodes  "
+                     "GET /meta/<id>  GET /node-ids")
     # Handlers go in before the readiness banner: a supervisor (or CI) may
     # send SIGTERM the moment the banner appears.
     with _graceful_signals():
         try:
             print(f"Serving {backend.name} ({len(backend)} nodes) at {server.url}",
                   flush=True)
-            print("endpoints: GET /info  GET /node/<id>  POST /nodes  "
-                  "GET /meta/<id>  GET /node-ids", flush=True)
+            print(endpoints, flush=True)
+            if args.async_server and args.tenants is not None:
+                print(f"tenants: {len(server.tenants)} "
+                      f"(requests need an X-Api-Key header)", flush=True)
             # A wildcard bind address is not connectable; suggest a URL that is.
             port = server.server_address[1]
             reach = (f"http://<this-host>:{port}"
                      if args.host in ("0.0.0.0", "::") else server.url)
             print(f"walk it remotely with: python -m repro.cli walk "
                   f"--source {reach}", flush=True)
-            server.serve_forever()
+            if args.async_server:
+                while True:
+                    time.sleep(3600)
+            else:
+                server.serve_forever()
         except (KeyboardInterrupt, SystemExit):
             print("\nstopping (draining connections)", flush=True)
         finally:
@@ -816,6 +847,22 @@ def build_parser() -> argparse.ArgumentParser:
         "printed at startup); for 'serve-cluster' the base port — shard i "
         "binds port+i (0 gives every shard its own ephemeral port)",
     )
+    serve.add_argument(
+        "--async", dest="async_server", action="store_true",
+        help="use the asyncio frontend for 'serve': one event loop instead "
+        "of one thread per connection, plus POST /walk (server-side walks) "
+        "and GET /stats (per-tenant usage)",
+    )
+    serve.add_argument(
+        "--tenants", type=Path, default=None,
+        help="tenants.json policy file for 'serve --async': maps API keys "
+        "to named tenants with per-tenant query budgets and rate limits "
+        "(requests then need a matching X-Api-Key header)",
+    )
+    serve.add_argument(
+        "--access-log", type=Path, default=None,
+        help="append one JSON line per request here ('serve --async' only)",
+    )
     cluster = parser.add_argument_group("partition options")
     cluster.add_argument(
         "--shards", type=int, default=None,
@@ -871,7 +918,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("  sweep (custom cost sweep; see --sweep-walkers/--budgets/--trials/--jobs)")
         print("  snapshot (persist a dataset as a mmap CSR snapshot; see --dataset/--out)")
         print("  replay (record a traced crawl to --dump with --record, or replay one)")
-        print("  serve (expose a graph source over JSON/HTTP; see --source/--host/--port)")
+        print("  serve (expose a graph source over JSON/HTTP; see --source/--host/"
+              "--port, and --async/--tenants/--access-log for the multi-tenant "
+              "asyncio frontend)")
         print("  partition (split a snapshot into consistent-hashed shards; "
               "see --source/--out/--shards/--replicas)")
         print("  repartition (re-balance an existing cluster dir and bump its "

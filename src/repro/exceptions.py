@@ -212,6 +212,28 @@ class StaleManifestError(ShardError):
     """
 
 
+class TenantError(ReproError):
+    """Base class for multi-tenant service-policy errors."""
+
+
+class TenantConfigError(TenantError):
+    """Raised when a ``tenants.json`` policy file is missing or malformed.
+
+    Covers files that are not ``repro-graph-tenants`` JSON, version
+    mismatches, duplicate tenant names, and per-tenant policy specs that do
+    not describe a budget / rate limit the middleware can build.
+    """
+
+
+class TenantAuthError(TenantError):
+    """Raised when a request carries no (or an unknown) tenant API key.
+
+    Only raised server-side, where the asyncio frontend maps it to an HTTP
+    401; a client sees that as a :class:`RemoteBackendError` with
+    ``status=401`` and the server's message.
+    """
+
+
 class APIError(ReproError):
     """Base class for simulated-API errors."""
 

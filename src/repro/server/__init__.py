@@ -1,14 +1,46 @@
 """HTTP server tier: serve any :class:`GraphBackend` as a JSON graph service.
 
-The client/server split of the access layer: :func:`serve_backend` puts any
-existing backend — in-memory graph, CSR, mmap snapshot, crawl-dump replay —
-behind a stdlib ``http.server`` service speaking the crawl-record JSON wire
-format, and :class:`~repro.api.remote.HTTPGraphBackend` (the client half, in
-:mod:`repro.api`) drives it through the unchanged two-method backend
-protocol.  ``python -m repro.cli serve --source PATH --port N`` is the
-command-line entry point.
+The client/server split of the access layer, with two frontends over the same
+``repro-graph-http`` wire:
+
+* :func:`serve_backend` — the thread-per-connection stdlib ``http.server``
+  frontend (:class:`GraphHTTPServer`);
+* :func:`serve_backend_async` — the asyncio multi-tenant frontend
+  (:class:`AsyncGraphServer`): one event loop for every connection, per-tenant
+  API-key policy (:mod:`repro.server.tenants`), server-side ``POST /walk``
+  and a ``GET /stats`` usage surface.
+
+:class:`~repro.api.remote.HTTPGraphBackend` and
+:class:`~repro.api.remote_async.AsyncHTTPGraphBackend` (the client halves, in
+:mod:`repro.api`) drive either frontend through the unchanged two-method
+backend protocol.  ``python -m repro.cli serve --source PATH --port N`` is
+the command-line entry point (``--async --tenants tenants.json`` for the
+multi-tenant frontend).
 """
 
+from .aio import AsyncGraphServer, serve_backend_async
 from .app import GraphHTTPServer, GraphRequestHandler, serve_backend
+from .tenants import (
+    TENANTS_FORMAT,
+    TENANTS_VERSION,
+    TenantPolicy,
+    TenantRegistry,
+    WallClock,
+    load_tenants,
+    parse_tenants,
+)
 
-__all__ = ["GraphHTTPServer", "GraphRequestHandler", "serve_backend"]
+__all__ = [
+    "AsyncGraphServer",
+    "GraphHTTPServer",
+    "GraphRequestHandler",
+    "TENANTS_FORMAT",
+    "TENANTS_VERSION",
+    "TenantPolicy",
+    "TenantRegistry",
+    "WallClock",
+    "load_tenants",
+    "parse_tenants",
+    "serve_backend",
+    "serve_backend_async",
+]

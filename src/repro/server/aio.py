@@ -1,0 +1,739 @@
+"""Asyncio multi-tenant graph service speaking the ``repro-graph-http`` wire.
+
+:class:`AsyncGraphServer` is the second frontend over the same wire the
+thread-per-connection :class:`~repro.server.app.GraphHTTPServer` serves — one
+event loop instead of one thread per connection, so thousands of idle
+keep-alive crawler connections cost a coroutine each rather than a stack
+each.  The parser is the asyncio port of the PR-5 lean HTTP/1.1 path (shared
+rules in :mod:`repro.server.wire`), and the endpoint surface is a strict
+superset of the threaded server's:
+
+* everything in :mod:`repro.server.app` (``/info``, ``/node/<id>``,
+  ``/nodes``, ``/meta/<id>``, ``/node-ids``), wire-identical;
+* ``POST /walk`` — run a whole random walk *server-side* (kernel, seed,
+  steps, start -> path + fingerprint), collapsing a crawl's
+  O(steps) round trips into one;
+* ``GET /stats`` — per-tenant usage: endpoint counts, nodes served, budget
+  remaining, rate-limit denials.
+
+Multi-tenancy promotes the PR-1 middleware to *server-side policy*: a
+``tenants.json`` file (:mod:`repro.server.tenants`) maps API keys to named
+tenants, each with its own unique-node budget and rolling rate limit.
+Budget exhaustion and throttling answer HTTP 429 with typed bodies
+(``budget_exhausted`` / ``rate_limited``) that the client maps back to the
+exact local exceptions, so a remote crawl against a restricted tenant fails
+identically to a local crawl under the same middleware.
+
+The server runs its event loop on one named daemon thread
+(``repro-aio-server``); :meth:`start` / :meth:`close` and the stats surface
+mirror the threaded server so fixtures, benchmarks and the CLI treat the two
+interchangeably.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+import time
+import urllib.parse
+import weakref
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..api.backend import GraphBackend, as_backend
+from ..api.builder import build_api
+from ..api.remote import (
+    WIRE_FORMAT,
+    WIRE_VERSION,
+    decode_node_id,
+    record_to_wire,
+    walk_fingerprint,
+)
+from ..exceptions import (
+    DeadEndError,
+    InvalidConfigurationError,
+    InvalidStartNodeError,
+    NodeNotFoundError,
+    QueryBudgetExceededError,
+    RateLimitExceededError,
+    ReplayMissError,
+    TenantAuthError,
+)
+from ..walks.factory import make_walker
+from .tenants import API_KEY_HEADER, TenantPolicy, WallClock, build_registry
+from .wire import (
+    MAX_HEADERS,
+    MAX_LINE,
+    HeaderLineError,
+    LeanHeaders,
+    reachable_url,
+    store_header_line,
+)
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    401: "Unauthorized",
+    404: "Not Found",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+}
+
+#: Endpoints billed against a tenant's rate limit: the ones that cost the
+#: upstream service work per the paper's cost model (neighborhood queries and
+#: server-side walks).  ``/info``, ``/meta``, ``/node-ids`` and ``/stats``
+#: stay free, like profile peeks in the paper.
+_BILLABLE = {"/node", "/nodes", "/walk"}
+
+#: Cap on a server-side walk when the request names neither steps nor budget
+#: and the tenant is unlimited; without it one request could walk forever.
+_MAX_FREE_WALK_STEPS = 100_000
+
+
+class _BadRequest(Exception):
+    """Internal: a request the server rejects with HTTP 400."""
+
+
+class _ParseError(Exception):
+    """A request the parser must refuse, with the HTTP status to answer."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class _Request:
+    method: str
+    target: str
+    headers: LeanHeaders
+    body: bytes
+    close: bool = False
+
+    @property
+    def path(self) -> str:
+        return urllib.parse.urlsplit(self.target).path
+
+
+def _node_error_payload(error: NodeNotFoundError) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "error": "replay_miss" if isinstance(error, ReplayMissError) else "not_found",
+        "message": str(error),
+    }
+    try:
+        json.dumps(error.node)
+        payload["node"] = error.node
+    except (TypeError, ValueError):
+        payload["node"] = repr(error.node)
+    source = getattr(error, "source", None)
+    if source is not None:
+        payload["source"] = str(source)
+    return payload
+
+
+class AsyncGraphServer:
+    """An asyncio graph service bound to one :class:`GraphBackend`.
+
+    The listening socket is bound eagerly in the constructor (so
+    ``server_address`` / ``url`` exist before :meth:`start`), and the event
+    loop runs on a named daemon thread once started.  :meth:`close` stops the
+    loop, force-closes every open connection and joins the thread; the test
+    suite asserts no server outlives its fixture, exactly as for the threaded
+    frontend.
+
+    Args:
+        source: Anything :func:`~repro.api.backend.as_backend` accepts.
+        host / port: Bind address; ``port=0`` picks an ephemeral port.
+        tenants: ``None`` (open service), a ``tenants.json`` path, a decoded
+            tenants document, or a :class:`~repro.server.tenants.TenantRegistry`.
+        clock: Clock for rate-limit windows (defaults to the wall clock;
+            tests inject a :class:`~repro.api.ratelimit.SimulatedClock`).
+        access_log: Optional path; one JSON line is appended per request.
+        timeout: Seconds a started request may dawdle mid-headers/body.
+    """
+
+    #: Every not-yet-closed server, so the test suite can assert zero leaks.
+    _live: "weakref.WeakSet[AsyncGraphServer]" = weakref.WeakSet()
+
+    def __init__(
+        self,
+        source,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        tenants=None,
+        clock=None,
+        access_log=None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.graph_backend: GraphBackend = as_backend(source)
+        self.tenants = build_registry(tenants)
+        self._clock = clock if clock is not None else WallClock()
+        self.timeout = timeout
+        family = socket.AF_INET6 if ":" in str(host) else socket.AF_INET
+        self._socket = socket.create_server((host, port), family=family)
+        self.server_address = self._socket.getsockname()[:2]
+        self._access_log_path = Path(access_log) if access_log is not None else None
+        self._access_log = None
+        self.endpoint_counts: Counter = Counter()
+        self._nodes_served = 0
+        self._stats_lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._boot_error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._writers: set = set()
+        self._closed = False
+        AsyncGraphServer._live.add(self)
+
+    # ------------------------------------------------------------------
+    # Request accounting (same surface as GraphHTTPServer)
+    # ------------------------------------------------------------------
+    def note_request(self, method: str, path: str) -> None:  # noqa: ARG002
+        endpoint = "/" + path.lstrip("/").split("/", 1)[0] if path.strip("/") else "/"
+        with self._stats_lock:
+            self.endpoint_counts[endpoint] += 1
+
+    def note_served(self, count: int) -> None:
+        with self._stats_lock:
+            self._nodes_served += count
+
+    @property
+    def nodes_served(self) -> int:
+        """Total node records served across ``/node``, ``/nodes`` and ``/walk``."""
+        with self._stats_lock:
+            return self._nodes_served
+
+    def reset_stats(self) -> None:
+        with self._stats_lock:
+            self.endpoint_counts.clear()
+            self._nodes_served = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        """A client-connectable URL for the bound address."""
+        host, port = self.server_address[:2]
+        return reachable_url(host, port)
+
+    def start(self) -> "AsyncGraphServer":
+        """Run the event loop from a background daemon thread; returns self."""
+        if self._thread is not None:
+            raise RuntimeError("server is already started")
+        if self._closed:
+            raise RuntimeError("server is closed")
+        if self._access_log_path is not None:
+            self._access_log = self._access_log_path.open("a", encoding="utf-8")
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-aio-server", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=10)
+        if self._boot_error is not None:
+            error, self._boot_error = self._boot_error, None
+            self.close()
+            raise error
+        return self
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # noqa: BLE001 - surfaced by start()
+            self._boot_error = error
+        finally:
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_connection, sock=self._socket, limit=MAX_LINE + 2
+        )
+        self._ready.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            server.close()
+            # Force-close open keep-alive connections first: since 3.12
+            # wait_closed() really waits for every connection handler, and an
+            # idle crawler socket would otherwise pin the shutdown.
+            for writer in list(self._writers):
+                writer.close()
+            await server.wait_closed()
+
+    def close(self) -> None:
+        """Stop serving, close every open connection, join the loop thread."""
+        if self._closed:
+            return
+        self._closed = True
+        AsyncGraphServer._live.discard(self)
+        if self._thread is not None:
+            self._ready.wait(timeout=10)
+            loop, stop = self._loop, self._stop_event
+            if loop is not None and stop is not None:
+                try:
+                    loop.call_soon_threadsafe(stop.set)
+                except RuntimeError:  # loop already gone
+                    pass
+            self._thread.join(timeout=10)
+            self._thread = None
+        else:
+            self._socket.close()
+        if self._access_log is not None:
+            self._access_log.close()
+            self._access_log = None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @classmethod
+    def live_servers(cls) -> List["AsyncGraphServer"]:
+        """Every server not yet closed (leak detection in the test suite)."""
+        return list(cls._live)
+
+    def __enter__(self) -> "AsyncGraphServer":
+        if self._thread is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - platform-dependent
+                pass
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _ParseError as error:
+                    # Answer the refusal with ``Connection: close`` so a
+                    # smuggling probe can never leave ambiguous framing on a
+                    # kept-alive socket, then drop the connection.
+                    await self._write_response(
+                        writer,
+                        error.status,
+                        {"error": "bad_request", "message": error.message},
+                        close=True,
+                    )
+                    break
+                if request is None:
+                    # Clean EOF between requests, or EOF mid-request (the
+                    # async port of the half-sent-request fix): nobody is
+                    # left to receive a response, so send none.
+                    break
+                keep_alive = await self._respond(writer, request)
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, TimeoutError):
+            pass
+        except asyncio.CancelledError:
+            # Event-loop teardown (asyncio.run cancelling leftover tasks)
+            # caught us mid-read.  Exit through the close path below so the
+            # task finishes normally instead of surfacing the cancellation
+            # through the stream protocol's done-callback.
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            except asyncio.CancelledError:
+                # Shutdown cancelled us while draining the transport.  The
+                # writer is already closed; finishing normally here keeps
+                # the stream protocol's done-callback from logging a
+                # spurious "Exception in callback ... CancelledError".
+                pass
+
+    async def _read_request(self, reader) -> Optional[_Request]:
+        """Read one request; ``None`` on EOF, :class:`_ParseError` on refuse.
+
+        The wait for the *first* byte is unbounded — an idle keep-alive
+        connection costs this server nothing — but once a request line has
+        arrived the rest of the request must land within ``timeout`` seconds,
+        so a stalled half-request cannot pin parser state forever.
+        """
+        try:
+            request_line = await reader.readline()
+        except ValueError:
+            raise _ParseError(431, "Line too long") from None
+        if not request_line:
+            return None
+        try:
+            return await asyncio.wait_for(
+                self._read_rest(reader, request_line), self.timeout
+            )
+        except (TimeoutError, asyncio.IncompleteReadError):
+            return None
+
+    async def _read_rest(self, reader, request_line: bytes) -> Optional[_Request]:
+        words = request_line.decode("iso-8859-1").rstrip("\r\n").split()
+        if len(words) != 3 or words[2] != "HTTP/1.1":
+            raise _ParseError(
+                400, f"this server speaks HTTP/1.1 only, got {words!r}"
+            )
+        method, target, _version = words
+        raw: Dict[bytes, bytes] = {}
+        while True:
+            try:
+                line = await reader.readline()
+            except ValueError:
+                raise _ParseError(431, "Line too long") from None
+            if not line:
+                # EOF mid-headers: the client died before finishing the
+                # request — not the blank line that ends a header block.
+                # Dispatching the half-sent request would serve a response
+                # nobody can receive; close without responding instead.
+                return None
+            if line in (b"\r\n", b"\n"):
+                break
+            if len(raw) >= MAX_HEADERS:
+                raise _ParseError(431, "Too many headers")
+            try:
+                store_header_line(raw, line)
+            except HeaderLineError as error:
+                raise _ParseError(error.status, error.message) from None
+        headers = LeanHeaders(raw)
+        body = b""
+        length_header = headers.get("Content-Length")
+        if length_header is not None:
+            try:
+                length = int(length_header)
+            except ValueError:
+                length = -1
+            if length < 0:
+                raise _ParseError(400, "Content-Length is not a non-negative integer")
+            if length:
+                body = await reader.readexactly(length)
+        close = raw.get(b"connection", b"").lower() == b"close"
+        return _Request(method, target, headers, body, close)
+
+    async def _write_response(
+        self, writer, status: int, payload: Dict[str, Any], *, close: bool = False
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Status')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+        )
+        if close:
+            head += "Connection: close\r\n"
+        writer.write(head.encode("iso-8859-1") + b"\r\n" + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _respond(self, writer, request: _Request) -> bool:
+        started = time.perf_counter()
+        path = request.path
+        self.note_request(request.method, path)
+        endpoint = "/" + path.lstrip("/").split("/", 1)[0] if path.strip("/") else "/"
+        tenant: Optional[TenantPolicy] = None
+        try:
+            tenant = self.tenants.resolve(request.headers.get(API_KEY_HEADER))
+        except TenantAuthError as error:
+            status, payload, served = 401, {"error": "unauthorized", "message": str(error)}, 0
+        else:
+            tenant.charge_request(endpoint)
+            status, payload, served = await self._dispatch(request, endpoint, tenant)
+        if served:
+            self.note_served(served)
+        await self._write_response(writer, status, payload, close=request.close)
+        self._log_access(
+            tenant.name if tenant is not None else None,
+            request.method,
+            path,
+            status,
+            served,
+            (time.perf_counter() - started) * 1000.0,
+        )
+        return not request.close
+
+    async def _dispatch(
+        self, request: _Request, endpoint: str, tenant: TenantPolicy
+    ) -> Tuple[int, Dict[str, Any], int]:
+        try:
+            if endpoint in _BILLABLE:
+                tenant.acquire_slot(self._clock)
+            if request.method == "GET":
+                return await self._route_get(request, tenant)
+            if request.method == "POST":
+                return await self._route_post(request, tenant)
+            return 400, {
+                "error": "bad_request",
+                "message": f"unsupported method {request.method}",
+            }, 0
+        except _BadRequest as error:
+            return 400, {"error": "bad_request", "message": str(error)}, 0
+        except RateLimitExceededError as error:
+            return 429, {
+                "error": "rate_limited",
+                "message": str(error),
+                "retry_after": error.retry_after,
+            }, 0
+        except QueryBudgetExceededError as error:
+            return 429, {
+                "error": "budget_exhausted",
+                "message": str(error),
+                "limit": error.budget,
+                "spent": error.spent,
+            }, 0
+        except NodeNotFoundError as error:
+            return 404, _node_error_payload(error), 0
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 - surface as HTTP 500
+            return 500, {
+                "error": "server_error",
+                "message": f"{type(error).__name__}: {error}",
+            }, 0
+
+    @staticmethod
+    def _decode_node(segment: str):
+        try:
+            return decode_node_id(segment)
+        except ValueError:
+            raise _BadRequest(
+                f"node id path segment {segment!r} is not JSON "
+                f"(ids travel JSON-encoded, percent-escaped)"
+            ) from None
+
+    async def _route_get(
+        self, request: _Request, tenant: TenantPolicy
+    ) -> Tuple[int, Dict[str, Any], int]:
+        path = request.path
+        backend = self.graph_backend
+        if path == "/info":
+            descriptor: Dict[str, Any] = {
+                "format": WIRE_FORMAT,
+                "version": WIRE_VERSION,
+                "name": backend.name,
+                "nodes": len(backend),
+                "backend": type(backend).__name__,
+                "server": "async",
+            }
+            for key in ("recorded_start", "epoch", "shard", "replicas"):
+                value = getattr(backend, key, None)
+                if value is not None:
+                    descriptor["start" if key == "recorded_start" else key] = value
+            return 200, descriptor, 0
+        if path == "/node-ids":
+            return 200, {"nodes": backend.node_ids()}, 0
+        if path == "/stats":
+            return 200, self._stats_payload(), 0
+        if path.startswith("/node/"):
+            node = self._decode_node(path[len("/node/"):])
+            fresh = tenant.reserve_nodes([node])
+            record = backend.fetch(node)
+            tenant.commit_nodes(fresh, 1)
+            return 200, record_to_wire(record), 1
+        if path.startswith("/meta/"):
+            node = self._decode_node(path[len("/meta/"):])
+            payload: Dict[str, Any] = {
+                "meta": node,
+                "contains": bool(backend.contains(node)),
+            }
+            summary = backend.metadata(node)
+            if summary is not None:
+                payload["degree"] = summary.get("degree")
+                payload["attributes"] = summary.get("attributes", {})
+            return 200, payload, 0
+        return 404, {
+            "error": "unknown_endpoint",
+            "message": f"no endpoint at {path}",
+        }, 0
+
+    async def _route_post(
+        self, request: _Request, tenant: TenantPolicy
+    ) -> Tuple[int, Dict[str, Any], int]:
+        path = request.path
+        if path == "/nodes":
+            payload = self._json_body(request)
+            nodes = payload.get("nodes") if isinstance(payload, dict) else None
+            if not isinstance(nodes, list):
+                raise _BadRequest('request body must be {"nodes": [...]}')
+            fresh = tenant.reserve_nodes(nodes)
+            records = self.graph_backend.fetch_many(nodes)
+            tenant.commit_nodes(fresh, len(records))
+            return 200, {
+                "records": [record_to_wire(record) for record in records]
+            }, len(records)
+        if path == "/walk":
+            return await self._route_walk(request, tenant)
+        return 404, {
+            "error": "unknown_endpoint",
+            "message": f"no endpoint at {path}",
+        }, 0
+
+    @staticmethod
+    def _json_body(request: _Request) -> Any:
+        try:
+            return json.loads(request.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise _BadRequest(f"request body is not JSON: {error}") from None
+
+    # ------------------------------------------------------------------
+    # Server-side walks
+    # ------------------------------------------------------------------
+    async def _route_walk(
+        self, request: _Request, tenant: TenantPolicy
+    ) -> Tuple[int, Dict[str, Any], int]:
+        payload = self._json_body(request)
+        if not isinstance(payload, dict):
+            raise _BadRequest('request body must be {"kernel": ..., "start": ...}')
+        kernel = payload.get("kernel")
+        if not isinstance(kernel, str):
+            raise _BadRequest('walk request needs a string "kernel"')
+        if "start" not in payload:
+            raise _BadRequest('walk request needs a "start" node id')
+        start = payload["start"]
+        seed = payload.get("seed", 0)
+        steps = payload.get("steps")
+        budget = payload.get("budget")
+        burn_in = payload.get("burn_in", 0)
+        thinning = payload.get("thinning", 1)
+        for name, value, optional in (
+            ("steps", steps, True),
+            ("budget", budget, True),
+            ("burn_in", burn_in, False),
+            ("thinning", thinning, False),
+        ):
+            if value is None and optional:
+                continue
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise _BadRequest(f'walk "{name}" must be a non-negative integer')
+        # Cap the walk's budget by what the tenant has left, so one request
+        # cannot crawl past its allowance; billing happens after the walk
+        # from its *unique* query count, matching the paper's cost model.
+        remaining = tenant.budget.remaining
+        if remaining is not None:
+            if remaining <= 0:
+                raise QueryBudgetExceededError(
+                    tenant.budget.limit, spent=tenant.budget.spent
+                )
+            budget = remaining if budget is None else min(budget, remaining)
+        if steps is None and budget is None:
+            steps = _MAX_FREE_WALK_STEPS
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                None,
+                self._run_walk,
+                kernel, start, seed, steps, budget, burn_in, thinning,
+            )
+        except (InvalidConfigurationError, InvalidStartNodeError, DeadEndError,
+                ValueError) as error:
+            raise _BadRequest(str(error)) from error
+        tenant.bill_walk(result.unique_queries)
+        path = list(result.path)
+        return 200, {
+            "path": path,
+            "fingerprint": walk_fingerprint(path),
+            "steps": result.steps,
+            "unique_queries": result.unique_queries,
+            "total_queries": result.total_queries,
+            "stopped_by_budget": result.stopped_by_budget,
+            "samples": len(result.samples),
+        }, result.unique_queries
+
+    def _run_walk(self, kernel, start, seed, steps, budget, burn_in, thinning):
+        """Run one walk on an executor thread, off the event loop.
+
+        The walk gets the same default middleware stack a local crawl builds
+        (:func:`~repro.api.builder.build_api` with a fresh budget), so a
+        server-side walk is bit-identical to the client-driven walk with the
+        same kernel, seed and budget — the conformance suite pins this.
+        """
+        api = build_api(self.graph_backend, budget=budget)
+        walker = make_walker(kernel, api=api, seed=seed)
+        return walker.run(start, max_steps=steps, burn_in=burn_in, thinning=thinning)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _stats_payload(self) -> Dict[str, Any]:
+        with self._stats_lock:
+            endpoints = dict(self.endpoint_counts)
+            nodes_served = self._nodes_served
+        return {
+            "format": WIRE_FORMAT,
+            "version": WIRE_VERSION,
+            "server": "async",
+            "endpoints": endpoints,
+            "nodes_served": nodes_served,
+            "tenants": {
+                policy.name: policy.stats_payload()
+                for policy in self.tenants.policies()
+            },
+        }
+
+    def _log_access(
+        self,
+        tenant: Optional[str],
+        method: str,
+        path: str,
+        status: int,
+        nodes: int,
+        duration_ms: float,
+    ) -> None:
+        if self._access_log is None:
+            return
+        line = json.dumps(
+            {
+                "ts": round(time.time(), 6),
+                "tenant": tenant,
+                "method": method,
+                "path": path,
+                "status": status,
+                "nodes": nodes,
+                "ms": round(duration_ms, 3),
+            }
+        )
+        try:
+            self._access_log.write(line + "\n")
+            self._access_log.flush()
+        except ValueError:  # pragma: no cover - log closed mid-shutdown
+            pass
+
+
+def serve_backend_async(
+    source,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    tenants=None,
+    clock=None,
+    access_log=None,
+) -> AsyncGraphServer:
+    """Bind an :class:`AsyncGraphServer` over ``source`` and return it (not serving).
+
+    The asyncio twin of :func:`~repro.server.app.serve_backend`: ``source``
+    is anything :func:`~repro.api.backend.as_backend` accepts, ``port=0``
+    binds an ephemeral port, and :meth:`~AsyncGraphServer.start` (or the
+    context manager) serves from a background thread.
+    """
+    return AsyncGraphServer(
+        source, host, port, tenants=tenants, clock=clock, access_log=access_log
+    )

@@ -38,30 +38,22 @@ from typing import Any, Dict, List, Optional
 from ..api.backend import GraphBackend, as_backend
 from ..api.remote import WIRE_FORMAT, WIRE_VERSION, decode_node_id, record_to_wire
 from ..exceptions import NodeNotFoundError, ReplayMissError
+from .wire import (
+    MAX_HEADERS,
+    MAX_LINE,
+    HeaderLineError,
+    LeanHeaders,
+    reachable_url,
+    store_header_line,
+)
+
+#: Back-compat alias: the header map moved to :mod:`repro.server.wire` so the
+#: asyncio frontend shares it.
+_LeanHeaders = LeanHeaders
 
 
 class _BadRequest(Exception):
     """Internal: a request the handler rejects with HTTP 400."""
-
-
-class _LeanHeaders:
-    """Case-insensitive header lookup over raw ``bytes`` pairs.
-
-    The fast-path request parser (see
-    :meth:`GraphRequestHandler.parse_request`) stores headers as lowercased
-    ``bytes -> bytes``; this wrapper answers the one call the handlers make
-    — ``self.headers.get("Content-Length")`` — without ever building an
-    ``email.message.Message``.
-    """
-
-    __slots__ = ("_raw",)
-
-    def __init__(self, raw: Dict[bytes, bytes]) -> None:
-        self._raw = raw
-
-    def get(self, name: str, default=None):
-        value = self._raw.get(name.lower().encode("iso-8859-1"))
-        return value.decode("iso-8859-1") if value is not None else default
 
 
 class GraphRequestHandler(BaseHTTPRequestHandler):
@@ -108,22 +100,34 @@ class GraphRequestHandler(BaseHTTPRequestHandler):
         self.close_connection = False
         raw: Dict[bytes, bytes] = {}
         while True:
-            line = self.rfile.readline(65537)
-            if len(line) > 65536:
+            line = self.rfile.readline(MAX_LINE + 1)
+            if len(line) > MAX_LINE:
                 self.send_error(431, "Line too long")
                 return False
-            if line in (b"\r\n", b"\n", b""):
+            if not line:
+                # EOF mid-headers: the client died (or shut its write side)
+                # before finishing the request.  This is *not* the blank line
+                # that ends a header block — dispatching the half-sent
+                # request would serve a response nobody can receive, and for
+                # a POST it would misread whatever never arrived.  Drop the
+                # connection without responding.
+                self.close_connection = True
+                return False
+            if line in (b"\r\n", b"\n"):
                 break
-            if len(raw) >= 100:
+            if len(raw) >= MAX_HEADERS:
                 # Mirror http.client's _MAXHEADERS: without a cap one
                 # connection could grow the dict without bound.
                 self.send_error(431, "Too many headers")
                 return False
-            name, separator, value = line.partition(b":")
-            if not separator:
-                self.send_error(400, f"Malformed header line {line!r}")
+            try:
+                store_header_line(raw, line)
+            except HeaderLineError as error:
+                # send_error answers with ``Connection: close``, so a
+                # conflicting-duplicate probe can never leave ambiguous
+                # framing on a kept-alive socket.
+                self.send_error(error.status, error.message)
                 return False
-            raw[name.strip().lower()] = value.strip()
         self.headers = _LeanHeaders(raw)
         if raw.get(b"connection", b"").lower() == b"close":
             self.close_connection = True
@@ -404,8 +408,14 @@ class GraphHTTPServer(ThreadingHTTPServer):
     # ------------------------------------------------------------------
     @property
     def url(self) -> str:
+        """A client-connectable URL for the bound address.
+
+        Wildcard binds (``0.0.0.0`` / ``::``) resolve to the matching
+        loopback — the literal wildcard is not connectable — and IPv6 hosts
+        are bracketed so the URL authority parses.
+        """
         host, port = self.server_address[:2]
-        return f"http://{host}:{port}"
+        return reachable_url(host, port)
 
     def start(self) -> "GraphHTTPServer":
         """Serve from a background daemon thread; returns self."""

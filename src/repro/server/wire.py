@@ -1,0 +1,99 @@
+"""Shared pieces of the lean HTTP/1.1 wire, used by both server frontends.
+
+The thread-per-connection :mod:`repro.server.app` and the asyncio
+:mod:`repro.server.aio` frontends speak the exact same ``repro-graph-http``
+wire, so the parsing rules that carry correctness weight live here once:
+
+* :class:`LeanHeaders` — the case-insensitive raw-bytes header map the fast
+  request path builds instead of an ``email.message.Message``;
+* :func:`store_header_line` — one header line into that map, rejecting
+  malformed lines *and conflicting duplicates* (two different
+  ``Content-Length`` values is the classic request-smuggling shape: whichever
+  copy a proxy honours, this service must refuse rather than pick one);
+* :func:`reachable_url` — a client-connectable URL for a bound address
+  (wildcard binds resolved to loopback, IPv6 hosts bracketed).
+
+Both frontends also share the stdlib sanity caps: :data:`MAX_LINE` bytes per
+line and :data:`MAX_HEADERS` header lines per request.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Hard cap on one request/status/header line (mirrors http.client).
+MAX_LINE = 65536
+#: Hard cap on header lines per request (mirrors http.client's _MAXHEADERS).
+MAX_HEADERS = 100
+
+
+class LeanHeaders:
+    """Case-insensitive header lookup over raw ``bytes`` pairs.
+
+    The fast-path request parsers store headers as lowercased
+    ``bytes -> bytes``; this wrapper answers the one call the handlers make
+    — ``self.headers.get("Content-Length")`` — without ever building an
+    ``email.message.Message``.
+    """
+
+    __slots__ = ("_raw",)
+
+    def __init__(self, raw: Dict[bytes, bytes]) -> None:
+        self._raw = raw
+
+    def get(self, name: str, default=None):
+        value = self._raw.get(name.lower().encode("iso-8859-1"))
+        return value.decode("iso-8859-1") if value is not None else default
+
+
+class HeaderLineError(Exception):
+    """A header line the server must refuse, with the HTTP status to answer."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def store_header_line(raw: Dict[bytes, bytes], line: bytes) -> None:
+    """Parse one raw header ``line`` into the lowercased ``raw`` map.
+
+    Raises :class:`HeaderLineError` (status 400) on a line without a colon
+    and on *conflicting duplicates* — the same header name arriving twice
+    with different values.  Two ``Content-Length`` headers that disagree are
+    a request-smuggling probe, not a client bug to paper over; refusing every
+    conflicting duplicate (not just Content-Length) keeps the rule simple
+    and the parser state canonical.  Repeats with the *same* value stay
+    accepted, as retrying proxies occasionally produce them harmlessly.
+    """
+    name, separator, value = line.partition(b":")
+    if not separator:
+        raise HeaderLineError(400, f"Malformed header line {line!r}")
+    key = name.strip().lower()
+    value = value.strip()
+    previous = raw.get(key)
+    if previous is not None and previous != value:
+        raise HeaderLineError(
+            400,
+            f"Conflicting duplicate header {key.decode('iso-8859-1')!r}",
+        )
+    raw[key] = value
+
+
+def reachable_url(host, port) -> str:
+    """A URL a client on this machine can actually connect to.
+
+    A server bound to a wildcard address (``0.0.0.0`` / ``::``) reports that
+    literal address back from ``getsockname``, but connecting to it is
+    platform-dependent at best; resolve to the matching loopback.  IPv6
+    literals must travel bracketed inside a URL authority, or the colons
+    parse as a port separator.
+    """
+    host = str(host)
+    if host == "0.0.0.0":
+        host = "127.0.0.1"
+    elif host == "::":
+        host = "::1"
+    if ":" in host:
+        host = f"[{host}]"
+    return f"http://{host}:{port}"

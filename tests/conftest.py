@@ -106,17 +106,43 @@ def graph_server():
         assert server.socket.fileno() == -1
 
 
+@pytest.fixture(scope="module")
+def async_graph_server():
+    """Factory booting in-process *asyncio* graph servers, torn down per module.
+
+    The asyncio twin of :func:`graph_server`: yields
+    ``serve(source, **kwargs) -> AsyncGraphServer`` (``tenants=`` /
+    ``access_log=`` / ``clock=`` pass through).  Teardown closes every server
+    and asserts its event-loop thread and listening socket are gone.
+    """
+    from repro.server import serve_backend_async
+
+    servers = []
+
+    def serve(source, **kwargs):
+        server = serve_backend_async(source, **kwargs).start()
+        servers.append(server)
+        return server
+
+    yield serve
+    for server in servers:
+        server.close()
+        assert server.closed
+
+
 @pytest.fixture(autouse=True, scope="session")
 def no_graph_server_leaks():
-    """Assert no graph HTTP server (or its threads) outlives the suite."""
+    """Assert no graph server (threaded or asyncio) outlives the suite."""
     yield
-    from repro.server import GraphHTTPServer
+    from repro.server import AsyncGraphServer, GraphHTTPServer
 
-    leaked = GraphHTTPServer.live_servers()
+    leaked = GraphHTTPServer.live_servers() + AsyncGraphServer.live_servers()
     assert not leaked, f"graph servers never closed: {leaked}"
     lingering = [
         thread for thread in threading.enumerate()
-        if thread.name.startswith("repro-http") and thread.is_alive()
+        if (thread.name.startswith("repro-http")
+            or thread.name.startswith("repro-aio"))
+        and thread.is_alive()
     ]
     assert not lingering, f"graph server threads leaked: {lingering}"
 

@@ -34,6 +34,7 @@ FAULT_500 = "500"
 FAULT_GARBAGE = "garbage"
 FAULT_CLOSE = "close"
 FAULT_TIMEOUT = "timeout"
+FAULT_LONG_STATUS = "long-status"
 
 
 class FlakyBackend(GraphBackend):
@@ -120,6 +121,15 @@ class FlakyHTTPHandler(GraphRequestHandler):
             # Stall past the client's socket timeout, then give up on the
             # connection (the client has long since abandoned it).
             time.sleep(getattr(self.server, "fault_stall", 0.5))
+            self.close_connection = True
+            return True
+        if fault == FAULT_LONG_STATUS:
+            # A status line past the client's 64 KiB line cap, written raw:
+            # the client must refuse it as "oversized status line" (and drop
+            # the connection), never hand back a silent truncation.
+            self.wfile.write(
+                b"HTTP/1.1 200 " + b"x" * (64 * 1024 + 64) + b"\r\n\r\n"
+            )
             self.close_connection = True
             return True
         raise AssertionError(f"unknown fault token {fault!r}")

@@ -28,6 +28,7 @@ from pathlib import Path
 import pytest
 
 from repro.api import (
+    AsyncHTTPGraphBackend,
     CSRBackend,
     GraphBackend,
     HTTPGraphBackend,
@@ -55,8 +56,8 @@ from repro.walks import make_walker
 
 #: Every backend the library ships; the whole suite runs once per entry.
 BACKEND_KINDS = (
-    "memory", "csr", "mmap", "replay", "http", "sharded", "replicated",
-    "warehouse",
+    "memory", "csr", "mmap", "replay", "http", "async", "sharded",
+    "replicated", "warehouse",
 )
 
 #: Kernels whose walks must fingerprint identically on every backend.
@@ -124,6 +125,12 @@ def http_server(conformance_graph, graph_server):
 
 
 @pytest.fixture(scope="module")
+def async_http_server(conformance_graph, async_graph_server):
+    """One live in-process *asyncio* server over the conformance graph."""
+    return async_graph_server(InMemoryBackend(conformance_graph))
+
+
+@pytest.fixture(scope="module")
 def remote_cluster_manifest(snapshot_dir, graph_server, tmp_path_factory) -> Path:
     """Partition the conformance snapshot, serve every shard, point a
     ``cluster.json`` at the three live servers."""
@@ -164,7 +171,8 @@ def replicated_cluster_manifest(snapshot_dir, graph_server, tmp_path_factory) ->
 @pytest.fixture(params=BACKEND_KINDS)
 def backend(
     request, conformance_graph, snapshot_dir, dump_path, http_server,
-    remote_cluster_manifest, replicated_cluster_manifest, warehouse_path,
+    async_http_server, remote_cluster_manifest, replicated_cluster_manifest,
+    warehouse_path,
 ):
     kind = request.param
     if kind == "memory":
@@ -177,6 +185,10 @@ def backend(
         made = load_crawl(dump_path)
     elif kind == "http":
         made = HTTPGraphBackend(http_server.url, timeout=10.0)
+    elif kind == "async":
+        # The asyncio client against the asyncio multi-tenant server: both
+        # halves of the PR-9 frontend must be invisible above the protocol.
+        made = AsyncHTTPGraphBackend(async_http_server.url, timeout=10.0)
     elif kind == "warehouse":
         from repro.warehouse import WarehouseBackend
 

@@ -1,0 +1,232 @@
+"""Fault-injection regressions for the four PR-9 wire bugfixes.
+
+Each test class pins one fix by reproducing the pre-fix failure mode at the
+socket level, against *both* server frontends where the bug lived in shared
+code:
+
+1. **EOF mid-headers** — a half-sent request (client shut its write side
+   before the blank line) used to parse as a complete header block and get
+   dispatched; now the server closes without responding and without counting
+   an endpoint hit.
+2. **Conflicting duplicate headers** — duplicate ``Content-Length`` lines
+   used to be last-wins (the request-smuggling shape, and a phantom-body
+   hang on a GET); now they answer 400 with ``Connection: close``.
+3. **Reachable URLs** — ``server.url`` used to echo wildcard binds
+   (``http://0.0.0.0:p``) and unbracketed IPv6 literals; now wildcards
+   resolve to loopback and IPv6 hosts are bracketed.
+4. **Oversized status line** — the lean client capped header lines but let
+   ``readline`` silently truncate a 64 KiB+ *status* line, misparsing the
+   remainder as headers; now it refuses with ``oversized status line``.
+"""
+
+from __future__ import annotations
+
+import socket
+from collections import deque
+
+import pytest
+
+from fakes import FAULT_LONG_STATUS, FlakyHTTPHandler
+from repro.api import AsyncHTTPGraphBackend, HTTPGraphBackend, InMemoryBackend
+from repro.exceptions import RemoteBackendError
+from repro.graphs import complete_graph
+from repro.server.wire import reachable_url
+
+
+@pytest.fixture(scope="module")
+def backend_graph():
+    return complete_graph(6)
+
+
+@pytest.fixture(scope="module")
+def threaded_server(backend_graph, graph_server):
+    return graph_server(InMemoryBackend(backend_graph))
+
+
+@pytest.fixture(scope="module")
+def async_server(backend_graph, async_graph_server):
+    return async_graph_server(InMemoryBackend(backend_graph))
+
+
+def _raw_exchange(server, payload: bytes, *, shut_wr: bool = False) -> bytes:
+    """Write raw bytes to the server, return everything it answers until EOF."""
+    host, port = server.server_address[:2]
+    with socket.create_connection((host, port), timeout=5) as sock:
+        sock.sendall(payload)
+        if shut_wr:
+            sock.shutdown(socket.SHUT_WR)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    return b"".join(chunks)
+
+
+# ----------------------------------------------------------------------
+# Fix 1: EOF mid-headers is not a blank line
+# ----------------------------------------------------------------------
+class TestHalfSentRequest:
+    HALF_REQUEST = b"GET /info HTTP/1.1\r\nHost: x\r\n"  # no terminating CRLF
+
+    @pytest.mark.parametrize("frontend", ["threaded", "async"])
+    def test_half_sent_request_gets_no_response_and_no_dispatch(
+        self, frontend, threaded_server, async_server
+    ):
+        server = threaded_server if frontend == "threaded" else async_server
+        server.reset_stats()
+        answer = _raw_exchange(server, self.HALF_REQUEST, shut_wr=True)
+        # Pre-fix the EOF parsed like the end-of-headers blank line: the
+        # request was dispatched and a full /info response came back.
+        assert answer == b""
+        assert sum(server.endpoint_counts.values()) == 0
+
+    @pytest.mark.parametrize("frontend", ["threaded", "async"])
+    def test_immediate_disconnect_is_silent_too(
+        self, frontend, threaded_server, async_server
+    ):
+        server = threaded_server if frontend == "threaded" else async_server
+        server.reset_stats()
+        answer = _raw_exchange(server, b"", shut_wr=True)
+        assert answer == b""
+        assert sum(server.endpoint_counts.values()) == 0
+
+
+# ----------------------------------------------------------------------
+# Fix 2: conflicting duplicate headers answer 400 + Connection: close
+# ----------------------------------------------------------------------
+class TestDuplicateHeaders:
+    @pytest.mark.parametrize("frontend", ["threaded", "async"])
+    def test_conflicting_content_length_is_refused(
+        self, frontend, threaded_server, async_server
+    ):
+        server = threaded_server if frontend == "threaded" else async_server
+        # Pre-fix: last-wins kept Content-Length 5 and the server hung
+        # reading a phantom body off a GET (the smuggling shape).  Post-fix
+        # the refusal is immediate — the 5-second socket timeout in
+        # _raw_exchange is the hang detector.
+        probe = (
+            b"GET /info HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: 0\r\nContent-Length: 5\r\n\r\n"
+        )
+        answer = _raw_exchange(server, probe)
+        status_line = answer.split(b"\r\n", 1)[0]
+        assert b"400" in status_line
+        assert b"connection: close" in answer.lower()
+
+    @pytest.mark.parametrize("frontend", ["threaded", "async"])
+    def test_conflicting_duplicates_of_any_header_are_refused(
+        self, frontend, threaded_server, async_server
+    ):
+        server = threaded_server if frontend == "threaded" else async_server
+        probe = (
+            b"GET /info HTTP/1.1\r\nHost: x\r\n"
+            b"X-Api-Key: alice\r\nX-Api-Key: bob\r\n\r\n"
+        )
+        answer = _raw_exchange(server, probe)
+        assert b"400" in answer.split(b"\r\n", 1)[0]
+
+    @pytest.mark.parametrize("frontend", ["threaded", "async"])
+    def test_repeated_identical_headers_stay_accepted(
+        self, frontend, threaded_server, async_server
+    ):
+        server = threaded_server if frontend == "threaded" else async_server
+        probe = (
+            b"GET /info HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: 0\r\nContent-Length: 0\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        answer = _raw_exchange(server, probe)
+        assert b"200" in answer.split(b"\r\n", 1)[0]
+        assert b"repro-graph-http" in answer
+
+
+# ----------------------------------------------------------------------
+# Fix 3: server.url is always client-connectable
+# ----------------------------------------------------------------------
+class TestReachableUrl:
+    def test_wildcard_ipv4_resolves_to_loopback(self):
+        assert reachable_url("0.0.0.0", 8000) == "http://127.0.0.1:8000"
+
+    def test_wildcard_ipv6_resolves_to_bracketed_loopback(self):
+        assert reachable_url("::", 8000) == "http://[::1]:8000"
+
+    def test_ipv6_literal_is_bracketed(self):
+        assert reachable_url("::1", 8000) == "http://[::1]:8000"
+        assert reachable_url("fe80::2", 80) == "http://[fe80::2]:80"
+
+    def test_plain_hosts_pass_through(self):
+        assert reachable_url("127.0.0.1", 1234) == "http://127.0.0.1:1234"
+        assert reachable_url("example.org", 80) == "http://example.org:80"
+
+    @pytest.mark.parametrize("serve_fixture", ["graph_server", "async_graph_server"])
+    def test_wildcard_bound_server_publishes_connectable_url(
+        self, serve_fixture, backend_graph, request
+    ):
+        serve = request.getfixturevalue(serve_fixture)
+        server = serve(InMemoryBackend(backend_graph), host="0.0.0.0")
+        assert server.url.startswith("http://127.0.0.1:")
+        # The published URL must actually answer: pre-fix it embedded the
+        # literal wildcard, which is not connectable on every platform.
+        with HTTPGraphBackend(server.url, timeout=5.0) as client:
+            assert client.info()["nodes"] == len(backend_graph.nodes())
+
+    @pytest.mark.skipif(not socket.has_ipv6, reason="IPv6 unavailable")
+    @pytest.mark.parametrize("serve_fixture", ["graph_server", "async_graph_server"])
+    def test_ipv6_bound_server_publishes_bracketed_url(
+        self, serve_fixture, backend_graph, request
+    ):
+        serve = request.getfixturevalue(serve_fixture)
+        try:
+            server = serve(InMemoryBackend(backend_graph), host="::1")
+        except OSError:
+            pytest.skip("IPv6 loopback not bindable here")
+        assert server.url.startswith("http://[::1]:")
+        with HTTPGraphBackend(server.url, timeout=5.0) as client:
+            assert client.info()["nodes"] == len(backend_graph.nodes())
+
+
+# ----------------------------------------------------------------------
+# Fix 4: oversized status lines are refused, not truncated
+# ----------------------------------------------------------------------
+class TestOversizedStatusLine:
+    @pytest.fixture()
+    def flaky_server(self, backend_graph, graph_server):
+        server = graph_server(
+            InMemoryBackend(backend_graph), handler_class=FlakyHTTPHandler
+        )
+        server.fault_plan = deque()
+        return server
+
+    @pytest.mark.parametrize("client_class", [HTTPGraphBackend, AsyncHTTPGraphBackend])
+    def test_oversized_status_line_raises_typed_wire_error(
+        self, flaky_server, client_class
+    ):
+        flaky_server.fault_plan.clear()
+        flaky_server.fault_plan.append(FAULT_LONG_STATUS)
+        client = client_class(flaky_server.url, timeout=5.0, retries=0)
+        try:
+            with pytest.raises(RemoteBackendError) as excinfo:
+                client.fetch(0)
+            # Pre-fix the 64 KiB readline truncation surfaced as a confusing
+            # "malformed header line" on the *next* read; the refusal must
+            # name the actual problem.
+            assert "oversized status line" in str(excinfo.value)
+        finally:
+            client.close()
+
+    @pytest.mark.parametrize("client_class", [HTTPGraphBackend, AsyncHTTPGraphBackend])
+    def test_client_recovers_on_retry_after_oversized_status(
+        self, flaky_server, client_class
+    ):
+        flaky_server.fault_plan.clear()
+        flaky_server.fault_plan.append(FAULT_LONG_STATUS)
+        client = client_class(
+            flaky_server.url, timeout=5.0, retries=2, sleep=lambda _s: None
+        )
+        try:
+            record = client.fetch(0)
+            assert record.node == 0
+        finally:
+            client.close()
