@@ -23,6 +23,10 @@ Faster Sampling of Online Social Networks* (VLDB 2015).  The library provides:
 * :mod:`repro.estimation` — aggregate queries, reweighted estimators and
   variance diagnostics;
 * :mod:`repro.metrics` — sampling-bias and convergence metrics;
+* :mod:`repro.obs` — opt-in telemetry: a process-wide metrics registry
+  (scraped as Prometheus text at ``GET /metrics``) and span-based tracing
+  whose context propagates over the wire through retries, failover and
+  shard fan-out;
 * :mod:`repro.experiments` — the harness regenerating every paper table and
   figure.
 
@@ -118,6 +122,17 @@ from .metrics import (
     symmetric_kl_divergence,
     theoretical_distribution,
 )
+from .obs import (
+    MetricsRegistry,
+    Span,
+    Tracer,
+    disable_telemetry,
+    enable_telemetry,
+    global_registry,
+    render_trace_tree,
+    telemetry,
+    telemetry_enabled,
+)
 from .engine import (
     SchedulerPolicy,
     VectorEnsembleResult,
@@ -182,6 +197,7 @@ __all__ = [
     "InMemoryBackend",
     "InstrumentedAPI",
     "MHRW",
+    "MetricsRegistry",
     "MetropolisHastingsRandomWalk",
     "MmapCSRBackend",
     "NBCNRW",
@@ -207,9 +223,11 @@ __all__ = [
     "ShardError",
     "ShardedBackend",
     "SimpleRandomWalk",
+    "Span",
     "StaleManifestError",
     "SocialNetworkAPI",
     "TraceLayer",
+    "Tracer",
     "WalkError",
     "WalkResult",
     "WalkScheduler",
@@ -219,10 +237,13 @@ __all__ = [
     "barbell_graph",
     "build_api",
     "clustered_cliques_graph",
+    "disable_telemetry",
     "dump_crawl",
     "empirical_distribution",
+    "enable_telemetry",
     "estimate",
     "estimate_crawl_time",
+    "global_registry",
     "ground_truth",
     "kl_divergence",
     "l2_distance",
@@ -237,6 +258,7 @@ __all__ = [
     "make_walker",
     "partition_snapshot",
     "relative_error",
+    "render_trace_tree",
     "repartition",
     "save_snapshot",
     "serve_backend",
@@ -244,6 +266,8 @@ __all__ = [
     "walk_fingerprint",
     "summarize",
     "symmetric_kl_divergence",
+    "telemetry",
+    "telemetry_enabled",
     "theoretical_distribution",
     "twitter_policy",
     "yelp_policy",

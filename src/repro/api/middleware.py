@@ -26,6 +26,7 @@ from collections import Counter
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence
 
+from .. import obs
 from ..exceptions import NodeNotFoundError, QueryBudgetExceededError
 from ..rng import SeedLike, make_rng
 from ..types import NodeId
@@ -211,11 +212,16 @@ class CacheLayer(APILayer):
 
     def query(self, node: NodeId) -> NodeView:
         cached = self.cache.get(node)
+        registry = obs.metrics()
         if cached is not None:
             self._stats.total += 1
+            if registry is not None:
+                registry.inc("repro_cache_hits_total")
             return cached
         view = self._inner.query(node)
         self.cache.put(node, view)
+        if registry is not None:
+            registry.inc("repro_cache_misses_total")
         return view
 
     def query_many(self, nodes: Sequence[NodeId]) -> List[NodeView]:
@@ -283,6 +289,9 @@ class CacheLayer(APILayer):
                 for node, view in zip(misses, fetched):
                     put(node, view)
                 self.cache.stats.misses += len(misses)
+                registry = obs.metrics()
+                if registry is not None:
+                    registry.inc("repro_cache_misses_total", len(misses))
                 return fetched
             for node, view in zip(misses, fetched):
                 put(node, view)
@@ -303,6 +312,12 @@ class CacheLayer(APILayer):
         cache_stats = self.cache.stats
         cache_stats.hits += hits
         cache_stats.misses += len(misses)
+        registry = obs.metrics()
+        if registry is not None:
+            if hits:
+                registry.inc("repro_cache_hits_total", hits)
+            if misses:
+                registry.inc("repro_cache_misses_total", len(misses))
         return results
 
     def reset_counters(self) -> None:
@@ -336,6 +351,9 @@ class BudgetLayer(APILayer):
             # incremented total_queries before the budget raised).
             if self._stats is not None:
                 self._stats.total += 1
+            registry = obs.metrics()
+            if registry is not None:
+                registry.inc("repro_budget_denied_total")
             raise QueryBudgetExceededError(budget.limit, spent=budget.spent)
         view = self._inner.query(node)
         budget.spend(1)

@@ -64,6 +64,8 @@ from ..exceptions import (
     RemoteBackendError,
     ReplayMissError,
 )
+from .. import obs
+from ..obs import TRACE_HEADER, format_trace_header
 from ..types import NodeId
 from .backend import GraphBackend, RawRecord
 
@@ -206,6 +208,9 @@ class _LeanHTTPConnection:
         self._sock: Optional[socket.socket] = None
         self._file = None
         self._reusable = True
+        #: Raw ``X-Repro-Span`` value of the last response (trace echo),
+        #: ``None`` when the server sent none.
+        self.span_echo: Optional[str] = None
 
     def _connect(self) -> None:
         sock = socket.create_connection((self._host, self._port), timeout=self._timeout)
@@ -239,13 +244,19 @@ class _LeanHTTPConnection:
                 except OSError:  # pragma: no cover - best-effort cleanup
                     pass
 
-    def send_request(self, method: str, path: str, body: Optional[bytes]) -> None:
-        """Send one request (connecting lazily); does not read the response."""
+    def send_request(self, method: str, path: str, body: Optional[bytes],
+                     headers: str = "") -> None:
+        """Send one request (connecting lazily); does not read the response.
+
+        ``headers`` is an optional preformatted per-request addition (the
+        ``X-Repro-Trace`` propagation header), appended after the
+        per-connection extras.
+        """
         if self._sock is None:
             self._connect()
         # Minimal headers: every line costs parse time on both ends.
         head = (f"{method} {path} HTTP/1.1\r\nHost: {self._host_header}\r\n"
-                f"{self._extra_headers}")
+                f"{self._extra_headers}{headers}")
         if body is not None:
             head += f"Content-Type: application/json\r\nContent-Length: {len(body)}\r\n"
         self._sock.sendall(head.encode("ascii") + b"\r\n" + (body or b""))
@@ -260,6 +271,7 @@ class _LeanHTTPConnection:
         """
         if self._file is None:
             raise _WireError("connection is not open")
+        self.span_echo = None
         status_line = self._file.readline(self._MAX_LINE + 1)
         if not status_line:
             raise _WireError("connection closed before the status line")
@@ -310,6 +322,9 @@ class _LeanHTTPConnection:
                 # The graph service always frames with Content-Length; a
                 # chunked body means this is not a graph service.
                 raise _WireError("unsupported Transfer-Encoding response")
+            elif name == b"x-repro-span":
+                # Trace echo: the server's completed span (repro-trace v1).
+                self.span_echo = value.strip().decode("iso-8859-1")
         if content_length is None:
             if not will_close:
                 raise _WireError("keep-alive response without Content-Length")
@@ -391,6 +406,8 @@ class HTTPGraphBackend(GraphBackend):
         if api_key is not None and not api_key.isprintable():
             raise ValueError("api_key must be a printable string")
         self._extra_headers = f"X-Api-Key: {api_key}\r\n" if api_key else ""
+        #: ``X-Repro-Span`` echo of the most recent response (trace fold-in).
+        self._last_span_echo: Optional[str] = None
         self._connection: Optional[_LeanHTTPConnection] = None
         self._info: Optional[Dict[str, Any]] = None
         self._node_ids: Optional[List[NodeId]] = None
@@ -422,13 +439,15 @@ class HTTPGraphBackend(GraphBackend):
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _send(self, method: str, path: str, body: Optional[bytes]):
+    def _send(self, method: str, path: str, body: Optional[bytes],
+              headers: str = ""):
         connection = self._connection
         if connection is None:
             connection = self._connect()
             self._connection = connection
-        connection.send_request(method, path, body)
+        connection.send_request(method, path, body, headers)
         status, data = connection.read_response()
+        self._last_span_echo = connection.span_echo
         if not connection.reusable:
             self._drop_connection()
         return status, data
@@ -496,27 +515,112 @@ class HTTPGraphBackend(GraphBackend):
             raise _TransientResponse(f"malformed JSON response body ({error})") from None
 
     def _request(self, method: str, path: str, body: Optional[bytes] = None):
-        """One logical request: retries, backoff and error mapping live here."""
+        """One logical request: retries, backoff and error mapping live here.
+
+        Telemetry rides along without changing the schedule: when a tracer
+        is active, the logical request gets one ``client.request`` span
+        whose context the first attempt carries over the wire (the common
+        case pays for exactly one span), and each *retry* gets its own
+        ``client.attempt`` child span carrying that attempt's wire context
+        — so a retried request keeps its trace id and every server echo
+        hangs off the span that was on the wire for its attempt.  Echo
+        values are buffered raw and parsed at export, off the hot path.
+        When the global metrics registry is enabled, requests, retries and
+        latency are counted.
+        """
+        return self._request_attempts(method, path, body, obs.current_tracer())
+
+    def _request_attempts(self, method, path, body, tracer):
+        registry = obs.metrics()
         attempts = self._retries + 1
         failure = "no attempt made"
+        started = 0.0
+        endpoint = "/"
+        if registry is not None:
+            started = time.perf_counter()
+            if path.strip("/"):
+                endpoint = "/" + path.lstrip("/").split("/", 1)[0]
+            registry.inc("repro_http_requests_total", endpoint=endpoint)
+        span = None
+        if tracer is not None:
+            span = tracer.start_span(
+                "client.request", kind="client", method=method, path=path,
+                backend=self.name,
+            )
+        try:
+            return self._run_attempts(
+                method, path, body, tracer, registry, span,
+                attempts, failure, started, endpoint,
+            )
+        finally:
+            # Non-transient outcomes (404 -> NodeNotFoundError, bad batch
+            # payloads) propagate from _interpret; the request span must
+            # still land in the trace.
+            if span is not None and span.duration_ms is None:
+                tracer.finish(span)
+
+    def _run_attempts(
+        self, method, path, body, tracer, registry, span,
+        attempts, failure, started, endpoint,
+    ):
         for attempt in range(attempts):
             if attempt:
                 # Deterministic exponential backoff: 1x, 2x, 4x, ... the base.
                 self._sleep(self._backoff * (2 ** (attempt - 1)))
+                if registry is not None:
+                    registry.inc("repro_http_retries_total", endpoint=endpoint)
+            attempt_span = None
+            headers = ""
+            if span is not None:
+                if attempt:
+                    attempt_span = tracer.start_span(
+                        "client.attempt", kind="client",
+                        parent=(span.trace_id, span.span_id),
+                        attempt=attempt + 1,
+                    )
+                    wire_span_id = attempt_span.span_id
+                else:
+                    wire_span_id = span.span_id
+                headers = f"{TRACE_HEADER}: " + format_trace_header(
+                    span.trace_id, wire_span_id
+                ) + "\r\n"
             try:
-                status, data = self._send(method, path, body)
+                status, data = self._send(method, path, body, headers)
             except (_WireError, OSError) as error:
                 # Timeout, refused connection, reset mid-response, stale
                 # keep-alive socket, malformed framing: drop the connection
                 # and retry.
                 self._drop_connection()
                 failure = f"{type(error).__name__}: {error}"
+                if span is not None:
+                    (attempt_span or span).tags["error"] = failure
+                    if attempt_span is not None:
+                        tracer.finish(attempt_span)
                 continue
+            if span is not None:
+                if attempt_span is not None:
+                    tracer.finish(attempt_span)
+                tracer.record_echo_raw(self._last_span_echo)
             try:
-                return self._interpret(method, path, status, data)
+                result = self._interpret(method, path, status, data)
             except _TransientResponse as error:
                 failure = str(error)
+                if span is not None:
+                    (attempt_span or span).tags["transient"] = failure
                 continue
+            if registry is not None:
+                registry.observe(
+                    "repro_http_request_ms",
+                    (time.perf_counter() - started) * 1000.0,
+                    endpoint=endpoint,
+                )
+            if span is not None:
+                tracer.finish(span)
+            return result
+        if registry is not None:
+            registry.inc("repro_http_failures_total", endpoint=endpoint)
+        if span is not None:
+            span.tags["failed"] = failure
         raise RemoteBackendError(
             f"{method} {path} failed after {attempts} attempt"
             f"{'s' if attempts != 1 else ''}: {failure}",
@@ -576,19 +680,30 @@ class HTTPGraphBackend(GraphBackend):
         """
         order, body = self._encode_batch(nodes)
         sent = False
+        span = None
         if order:
+            tracer = obs.current_tracer()
+            headers = ""
+            if tracer is not None:
+                span = tracer.start_span(
+                    "client.request", kind="client", method="POST",
+                    path="/nodes", pipelined=True, backend=self.name,
+                )
+                headers = f"{TRACE_HEADER}: " + format_trace_header(
+                    span.trace_id, span.span_id
+                ) + "\r\n"
             connection = self._connection
             if connection is None:
                 connection = self._connect()
                 self._connection = connection
             try:
-                connection.send_request("POST", f"{self._prefix}/nodes", body)
+                connection.send_request("POST", f"{self._prefix}/nodes", body, headers)
                 sent = True
             except (_WireError, OSError):
                 # Stale keep-alive socket, refused connection: drop it and
                 # let end_fetch_many's fallback re-send with retries.
                 self._drop_connection()
-        return order, sent
+        return order, sent, span
 
     def end_fetch_many(self, handle) -> List[RawRecord]:
         """Collect the response of a :meth:`begin_fetch_many` call.
@@ -598,19 +713,24 @@ class HTTPGraphBackend(GraphBackend):
         :meth:`fetch_many`, which re-sends the batch with the full bounded
         retry schedule.
         """
-        order, sent = handle
+        order, sent, span = handle
         if not order:
             return []
         # ``sent`` with no live connection means something dropped it between
         # begin and end (it shouldn't happen in the strict begin/end pairing,
         # but a None here must degrade to the re-send path, not AttributeError).
         connection = self._connection
+        tracer = obs.current_tracer() if span is not None else None
         if sent and connection is not None:
             path = f"{self._prefix}/nodes"
             try:
                 status, data = connection.read_response()
                 if not connection.reusable:
                     self._drop_connection()
+                if tracer is not None:
+                    tracer.finish(span)
+                    tracer.record_echo_raw(connection.span_echo)
+                    span = None
                 return self._decode_batch(
                     self._interpret("POST", path, status, data), len(order)
                 )
@@ -618,6 +738,9 @@ class HTTPGraphBackend(GraphBackend):
                 self._drop_connection()
             except _TransientResponse:
                 pass
+        if tracer is not None and span is not None:
+            span.tags["fallback"] = True
+            tracer.finish(span)
         return self.fetch_many(order)
 
     # ------------------------------------------------------------------

@@ -55,6 +55,8 @@ class _AsyncLeanConnection:
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._reusable = True
+        #: Raw ``X-Repro-Span`` value of the last response (trace echo).
+        self.span_echo: Optional[str] = None
 
     async def _connect(self) -> None:
         ssl_context = None
@@ -98,11 +100,12 @@ class _AsyncLeanConnection:
             except (OSError, asyncio.CancelledError):  # pragma: no cover
                 pass
 
-    async def send_request(self, method: str, path: str, body: Optional[bytes]) -> None:
+    async def send_request(self, method: str, path: str, body: Optional[bytes],
+                           headers: str = "") -> None:
         if self._writer is None:
             await self._connect()
         head = (f"{method} {path} HTTP/1.1\r\nHost: {self._host_header}\r\n"
-                f"{self._extra_headers}")
+                f"{self._extra_headers}{headers}")
         if body is not None:
             head += f"Content-Type: application/json\r\nContent-Length: {len(body)}\r\n"
         self._writer.write(head.encode("ascii") + b"\r\n" + (body or b""))
@@ -111,6 +114,7 @@ class _AsyncLeanConnection:
     async def read_response(self) -> Tuple[int, bytes]:
         if self._reader is None:
             raise _WireError("connection is not open")
+        self.span_echo = None
         try:
             status_line = await self._wait(self._reader.readline(), "status line")
         except ValueError:
@@ -162,6 +166,8 @@ class _AsyncLeanConnection:
                     will_close = False
             elif name == b"transfer-encoding":
                 raise _WireError("unsupported Transfer-Encoding response")
+            elif name == b"x-repro-span":
+                self.span_echo = value.strip().decode("iso-8859-1")
         if content_length is None:
             if not will_close:
                 raise _WireError("keep-alive response without Content-Length")
@@ -224,16 +230,19 @@ class AsyncHTTPGraphBackend(HTTPGraphBackend):
             extra_headers=self._extra_headers,
         )
 
-    def _send(self, method: str, path: str, body: Optional[bytes]):
-        return self._call(self._asend(method, path, body))
+    def _send(self, method: str, path: str, body: Optional[bytes],
+              headers: str = ""):
+        return self._call(self._asend(method, path, body, headers))
 
-    async def _asend(self, method: str, path: str, body: Optional[bytes]):
+    async def _asend(self, method: str, path: str, body: Optional[bytes],
+                     headers: str = ""):
         connection = self._connection
         if connection is None:
             connection = self._connect()
             self._connection = connection
-        await connection.send_request(method, path, body)
+        await connection.send_request(method, path, body, headers)
         status, data = await connection.read_response()
+        self._last_span_echo = connection.span_echo
         if not connection.reusable:
             self._connection = None
             await connection.aclose()
@@ -262,7 +271,7 @@ class AsyncHTTPGraphBackend(HTTPGraphBackend):
         errors, one extra nothing.
         """
         order, _body = self._encode_batch(nodes)
-        return order, False
+        return order, False, None
 
     def close(self) -> None:
         """Drop the connection and stop the private event loop."""

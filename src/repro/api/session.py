@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from .. import obs
 from ..exceptions import VectorizationError
 from ..graphs.graph import Graph
 from ..rng import SeedLike, derive_seed, make_rng
@@ -91,6 +92,7 @@ class SamplingSession:
         self._walker_seed: SeedLike = None
         self._walker_options: Dict[str, object] = {}
         self._api: Optional[SocialNetworkAPI] = None
+        self._tracer: Optional[obs.Tracer] = None
         self.last_result = None
 
     # ------------------------------------------------------------------
@@ -136,6 +138,25 @@ class SamplingSession:
         self._walker_name = name
         self._walker_seed = seed
         self._walker_options = options
+        return self
+
+    def telemetry(self, enabled: bool = True) -> "SamplingSession":
+        """Turn end-to-end telemetry on for this session's runs.
+
+        Enables the global metrics registry (:func:`repro.obs.metrics`) and
+        gives the session a :class:`~repro.obs.Tracer`: every :meth:`run` /
+        :meth:`run_ensemble` executes under that tracer, so client requests
+        carry ``X-Repro-Trace`` headers and server span echoes fold back into
+        one trace tree per run — export it with :meth:`trace_export`.  Does
+        not touch the walk rng lineages or the stack's accounting: traced
+        runs stay bit-identical to untraced ones.
+        """
+        if enabled:
+            if self._tracer is None:
+                self._tracer = obs.Tracer()
+            obs.enable_telemetry()
+        else:
+            self._tracer = None
         return self
 
     def _invalidate(self) -> "SamplingSession":
@@ -202,13 +223,14 @@ class SamplingSession:
         walker = self.build_walker()
         if start is None:
             start = self._pick_start()
-        result = walker.run(
-            start,
-            max_steps=max_steps,
-            burn_in=burn_in,
-            thinning=thinning,
-            max_samples=max_samples,
-        )
+        with self._traced("session.run", walker=self._walker_name):
+            result = walker.run(
+                start,
+                max_steps=max_steps,
+                burn_in=burn_in,
+                thinning=thinning,
+                max_samples=max_samples,
+            )
         self.last_result = result
         return result
 
@@ -261,30 +283,38 @@ class SamplingSession:
         if mode not in ("scalar", "vector"):
             raise ValueError(f"mode must be 'scalar' or 'vector', got {mode!r}")
         base_seed = seed if seed is not None else self._walker_seed
-        if mode == "vector":
-            results = self._run_vector_ensemble(
-                num_walks, steps, starts, base_seed, burn_in, thinning, policy
+        with self._traced("session.ensemble", walks=num_walks, mode=mode):
+            if mode == "vector":
+                results = self._run_vector_ensemble(
+                    num_walks, steps, starts, base_seed, burn_in, thinning, policy
+                )
+                if results is not None:
+                    self.last_result = results
+                    return results
+                # Fell back (warning already emitted): continue on the
+                # scalar path.
+            if isinstance(base_seed, (int, np.integer)):
+                walker_seeds = [
+                    derive_seed(int(base_seed), index) for index in range(num_walks)
+                ]
+            else:
+                # None (fresh entropy per walker) or a shared generator.
+                walker_seeds = [base_seed] * num_walks
+            walkers = [
+                self.build_walker(seed=walker_seed) for walker_seed in walker_seeds
+            ]
+            if starts is None:
+                start_nodes = [
+                    self._pick_start(offset=index) for index in range(num_walks)
+                ]
+            else:
+                start_nodes = list(starts)
+                if len(start_nodes) != num_walks:
+                    raise ValueError("starts must provide one node per walk")
+            scheduler = WalkScheduler(self.api, policy=policy)
+            results = scheduler.run(
+                walkers, start_nodes, steps=steps, burn_in=burn_in, thinning=thinning
             )
-            if results is not None:
-                self.last_result = results
-                return results
-            # Fell back (warning already emitted): continue on the scalar path.
-        if isinstance(base_seed, (int, np.integer)):
-            walker_seeds = [derive_seed(int(base_seed), index) for index in range(num_walks)]
-        else:
-            # None (fresh entropy per walker) or a shared generator.
-            walker_seeds = [base_seed] * num_walks
-        walkers = [self.build_walker(seed=walker_seed) for walker_seed in walker_seeds]
-        if starts is None:
-            start_nodes = [self._pick_start(offset=index) for index in range(num_walks)]
-        else:
-            start_nodes = list(starts)
-            if len(start_nodes) != num_walks:
-                raise ValueError("starts must provide one node per walk")
-        scheduler = WalkScheduler(self.api, policy=policy)
-        results = scheduler.run(
-            walkers, start_nodes, steps=steps, burn_in=burn_in, thinning=thinning
-        )
         self.last_result = results
         return results
 
@@ -383,6 +413,37 @@ class SamplingSession:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def _traced(self, name: str, **tags):
+        """Run a block under the session tracer with a root span (or not)."""
+        from contextlib import ExitStack
+
+        stack = ExitStack()
+        if self._tracer is not None:
+            stack.enter_context(obs.use_tracer(self._tracer))
+            stack.enter_context(self._tracer.span(name, kind="session", **tags))
+        return stack
+
+    @property
+    def tracer(self) -> Optional[obs.Tracer]:
+        """The session's span tracer (``None`` until :meth:`telemetry`)."""
+        return self._tracer
+
+    def trace_export(self, path: Union[str, Path, None] = None) -> str:
+        """The collected trace as JSONL (one span per line).
+
+        Requires :meth:`telemetry`.  With ``path`` the JSONL is also written
+        to disk, ready for ``python -m repro.cli trace <path>``.
+        """
+        if self._tracer is None:
+            raise ValueError(
+                "trace_export requires telemetry; enable it with .telemetry() "
+                "before the runs to be traced"
+            )
+        text = self._tracer.export_jsonl()
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
     @property
     def query_trace(self) -> Optional[QueryTrace]:
         """The query trace, when tracing is enabled."""

@@ -84,12 +84,18 @@ queryable WAL-mode SQLite store and take their own sub-arguments::
 across crawls and refusing contradictory ones; ``stats`` prints the
 aggregates and the per-crawl provenance log; ``export`` writes the merged
 store back out as a crawl dump or (for complete stores) a CSR snapshot.
+
+``trace`` pretty-prints a JSONL span trace captured through the telemetry
+layer (see :mod:`repro.obs`) as an indented per-trace tree::
+
+    python -m repro.cli trace ensemble-trace.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import signal
 import sys
 from pathlib import Path
@@ -721,6 +727,39 @@ def _run_warehouse(argv: Sequence[str]) -> int:
     return 0
 
 
+def _trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli trace",
+        description="Pretty-print a JSONL span trace exported by "
+        "SamplingSession.trace_export() as an indented per-trace tree.",
+    )
+    parser.add_argument(
+        "path", type=Path,
+        help="JSONL trace file (one span object per line, '-' for stdin)",
+    )
+    return parser
+
+
+def _run_trace(argv: Sequence[str]) -> int:
+    """Drive ``trace FILE`` (own sub-parser, exit code)."""
+    from . import obs
+
+    args = _trace_parser().parse_args(argv)
+    try:
+        if str(args.path) == "-":
+            lines = sys.stdin.read().splitlines()
+        else:
+            lines = args.path.read_text(encoding="utf-8").splitlines()
+        spans = [json.loads(line) for line in lines if line.strip()]
+        if not spans:
+            raise ValueError(f"no spans in {args.path}")
+        print(obs.render_trace_tree(spans))
+    except (ValueError, FileNotFoundError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _experiment_kwargs(name: str, args: argparse.Namespace) -> Dict[str, object]:
     """Build the keyword arguments accepted by a given experiment function."""
     kwargs: Dict[str, object] = {"seed": args.seed}
@@ -907,6 +946,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # (ingest SOURCE...), which the single-positional main parser cannot
         # express; route them to a dedicated parser before it runs.
         return _run_warehouse(list(argv[1:]))
+    if argv and argv[0] == "trace":
+        return _run_trace(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -929,6 +970,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               "see --source/--host/--port)")
         print("  warehouse (merge crawls into a queryable SQLite store; "
               "warehouse ingest|stats|export --help)")
+        print("  trace (pretty-print a JSONL span trace exported by "
+              "SamplingSession.trace_export)")
         return 0
 
     if args.experiment in ("walk", "snapshot", "replay", "serve", "partition",

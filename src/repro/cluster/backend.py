@@ -42,6 +42,7 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from .. import obs
 from ..api.backend import GraphBackend, RawRecord, as_backend
 from ..exceptions import (
     ClusterError,
@@ -87,6 +88,20 @@ def _collector(backend, handle):
     def collect():
         return backend.end_fetch_many(handle)
     return collect
+
+
+def _traced_collect(tracer, span, collect):
+    """Finish ``span`` when the shard's pipelined response is collected."""
+    def run():
+        try:
+            with tracer.scope(span.trace_id, span.span_id):
+                return collect()
+        except Exception:
+            span.tags["error"] = True
+            raise
+        finally:
+            tracer.finish(span)
+    return run
 
 
 class ShardedBackend(GraphBackend):
@@ -226,6 +241,11 @@ class ShardedBackend(GraphBackend):
 
     def _mark_dead(self, shard: int) -> None:
         self._dead_at[shard] = self._clock()
+        registry = obs.metrics()
+        if registry is not None:
+            registry.inc(
+                "repro_shard_dead_marks_total", shard=self._labels[shard]
+            )
 
     @property
     def dead_shards(self) -> List[int]:
@@ -279,22 +299,43 @@ class ShardedBackend(GraphBackend):
         Tries replicas (round-robin among live ones) until one answers; a
         failing shard is marked dead for the cool-down and the read moves to
         the next untried replica.  Node-level misses surface unchanged.
+        When a tracer is active the read carries a ``cluster.read`` span
+        whose tags record every replica tried, in order.
         """
-        tried: Set[int] = set()
-        last: Optional[ShardError] = None
-        while True:
-            shard = self._pick_shard(node, tried)
-            if shard is None:
-                raise self._replicas_exhausted(node, tried, last, doing)
-            try:
-                return call(self._shards[shard])
-            except NodeNotFoundError:
-                raise
-            except Exception as error:
-                self._mark_dead(shard)
-                tried.add(shard)
-                last = self._shard_error(shard, error, doing)
-                last.__cause__ = error
+        with obs.maybe_span("cluster.read", kind="shard", op=doing) as span:
+            tried: Set[int] = set()
+            attempts: List[str] = []
+            last: Optional[ShardError] = None
+            while True:
+                shard = self._pick_shard(node, tried)
+                if shard is None:
+                    if span is not None:
+                        span.tags["replicas_tried"] = attempts
+                        span.tags["error"] = True
+                    raise self._replicas_exhausted(node, tried, last, doing)
+                attempts.append(self._labels[shard])
+                try:
+                    result = call(self._shards[shard])
+                except NodeNotFoundError:
+                    if span is not None:
+                        span.tags["replicas_tried"] = attempts
+                    raise
+                except Exception as error:
+                    registry = obs.metrics()
+                    if registry is not None:
+                        registry.inc(
+                            "repro_shard_failover_reads_total",
+                            shard=self._labels[shard],
+                        )
+                    self._mark_dead(shard)
+                    tried.add(shard)
+                    last = self._shard_error(shard, error, doing)
+                    last.__cause__ = error
+                else:
+                    if span is not None:
+                        span.tags["replicas_tried"] = attempts
+                        span.tags["shard"] = self._labels[shard]
+                    return result
 
     def fetch(self, node: NodeId) -> RawRecord:
         return self._read(
@@ -351,6 +392,13 @@ class ShardedBackend(GraphBackend):
                         miss = error
                 except Exception as error:
                     self._mark_dead(shard)
+                    registry = obs.metrics()
+                    if registry is not None:
+                        registry.inc(
+                            "repro_shard_redispatch_total",
+                            len(positions),
+                            shard=self._labels[shard],
+                        )
                     failure = self._shard_error(
                         shard, error, f"fetch_many({len(positions)} nodes)"
                     )
@@ -377,10 +425,30 @@ class ShardedBackend(GraphBackend):
             return [(shard, positions, lambda: list(backend.fetch_many(batch)))]
         if self._pipelined:
             return self._dispatch_pipelined(sub_positions, order)
+        # Pool fan-out: worker threads have no span context of their own, so
+        # when a tracer is active the dispatching thread's (trace, span) pair
+        # is adopted inside each worker — shard spans stay in the one trace.
+        tracer = obs.current_tracer()
+        context = tracer.current() if tracer is not None else None
+
+        def submit(shard: int, batch: List[NodeId]):
+            backend = self._shards[shard]
+            if context is None:
+                return self._dispatch_pool().submit(backend.fetch_many, batch)
+
+            def run():
+                with tracer.scope(*context):
+                    with tracer.span(
+                        "shard.fetch", kind="shard", shard=self._labels[shard],
+                        nodes=len(batch),
+                    ):
+                        return backend.fetch_many(batch)
+
+            return self._dispatch_pool().submit(run)
+
         return [
-            (shard, positions, self._dispatch_pool().submit(
-                self._shards[shard].fetch_many,
-                [order[position] for position in positions]).result)
+            (shard, positions, submit(
+                shard, [order[position] for position in positions]).result)
             for shard, positions in sub_positions.items()
         ]
 
@@ -399,17 +467,39 @@ class ShardedBackend(GraphBackend):
         connection and touched nothing else, and the caller collects every
         task before acting on any failure — so an aborted batch still drains
         each posted response and leaves every connection reusable.
+
+        When a tracer is active each shard's sub-batch gets a
+        ``shard.fetch`` span opened when its request is posted and finished
+        when its response is collected, so the span covers the true
+        in-flight window of the pipelined round.
         """
+        tracer = obs.current_tracer()
         tasks = []
         for shard, positions in sub_positions.items():
             backend = self._shards[shard]
             batch = [order[position] for position in positions]
+            span = None
+            if tracer is not None:
+                span = tracer.start_span(
+                    "shard.fetch", kind="shard", shard=self._labels[shard],
+                    nodes=len(batch), pipelined=True,
+                )
             try:
-                handle = backend.begin_fetch_many(batch)
+                if span is not None:
+                    with tracer.scope(span.trace_id, span.span_id):
+                        handle = backend.begin_fetch_many(batch)
+                else:
+                    handle = backend.begin_fetch_many(batch)
             except Exception as error:
+                if span is not None:
+                    span.tags["error"] = True
+                    tracer.finish(span)
                 tasks.append((shard, positions, _raiser(error)))
             else:
-                tasks.append((shard, positions, _collector(backend, handle)))
+                collect = _collector(backend, handle)
+                if span is not None:
+                    collect = _traced_collect(tracer, span, collect)
+                tasks.append((shard, positions, collect))
         return tasks
 
     def node_ids(self) -> List[NodeId]:

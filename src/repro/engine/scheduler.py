@@ -33,9 +33,11 @@ with the ensemble size; ``benchmarks/bench_engine.py`` pins the speedup.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
+from .. import obs
 from ..api.interface import NodeView, SocialNetworkAPI
 from ..exceptions import (
     DeadEndError,
@@ -214,6 +216,7 @@ class WalkScheduler:
             stopped = self._run_lockstep(lanes, views, steps, burn_in, thinning)
             return self._finalize(lanes, stopped)
 
+        registry = obs.metrics()
         round_index = 0
         while not stopped:
             self._retire_finished(lanes)
@@ -226,6 +229,7 @@ class WalkScheduler:
                 stopped = True
                 break
             round_index += 1
+            round_started = time.perf_counter() if registry is not None else 0.0
 
             # 1. Advance every active lane off the views of the last batch.
             stepping = [lane for lane in active if lane.pending_restart is None]
@@ -261,6 +265,12 @@ class WalkScheduler:
             except QueryBudgetExceededError:
                 stopped = True
                 break
+            if registry is not None:
+                registry.observe("repro_scheduler_frontier_size", len(frontier))
+                registry.observe(
+                    "repro_scheduler_round_ms",
+                    (time.perf_counter() - round_started) * 1000.0,
+                )
 
             # 3. Replant restarted lanes and emit this round's samples.
             for lane in active:
@@ -296,6 +306,16 @@ class WalkScheduler:
         """
         unique = self.api.unique_queries
         total = self.api.total_queries
+        registry = obs.metrics()
+        if registry is not None:
+            registry.set_gauge("repro_scheduler_unique_queries", unique)
+            registry.set_gauge("repro_scheduler_total_queries", total)
+            if total:
+                # Dedupe ratio: how much of the issued query volume the
+                # frontier dedup + cache turned into free revisits.
+                registry.set_gauge(
+                    "repro_scheduler_dedupe_ratio", 1.0 - (unique / total)
+                )
         for lane in lanes:
             lane.result.unique_queries = unique
             lane.result.total_queries = total
@@ -339,8 +359,10 @@ class WalkScheduler:
              lane.result.samples.append)
             for lane in lanes
         ]
+        registry = obs.metrics()
         frontier: List[NodeId] = []
         for round_index in range(1, steps + 1):
+            round_started = time.perf_counter() if registry is not None else 0.0
             frontier.clear()
             try:
                 for kernel, rng, state, add_transition, add_path, _ in slots:
@@ -367,6 +389,12 @@ class WalkScheduler:
                         del views[node]
                     return True
                 views.update(zip(frontier, fetched))
+            if registry is not None:
+                registry.observe("repro_scheduler_frontier_size", len(frontier))
+                registry.observe(
+                    "repro_scheduler_round_ms",
+                    (time.perf_counter() - round_started) * 1000.0,
+                )
             if round_index >= burn_in and (round_index - burn_in) % thinning == 0:
                 query_cost = api.unique_queries
                 for _, _, state, _, _, add_sample in slots:

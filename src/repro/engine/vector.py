@@ -42,12 +42,14 @@ scalar golden paths, which remain the conformance reference.
 
 from __future__ import annotations
 
+import time
 import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import obs
 from ..api.backend import CSRBackend
 from ..api.interface import SocialNetworkAPI
 from ..api.middleware import BackendAPI, BudgetLayer, CacheLayer, QueryStats, iter_layers
@@ -561,7 +563,9 @@ class VectorScheduler:
         if burn_in == 0:
             sample_rounds.append((0, stats.unique))
 
+        registry = obs.metrics()
         for round_index in range(1, max_rounds + 1):
+            round_started = time.perf_counter() if registry is not None else 0.0
             if budget_driven and self._budget.exhausted:
                 stopped = True
                 break
@@ -579,9 +583,22 @@ class VectorScheduler:
                 # sample is emitted for it.
                 stopped = True
                 break
+            if registry is not None:
+                registry.observe(
+                    "repro_vector_round_ms",
+                    (time.perf_counter() - round_started) * 1000.0,
+                )
             if round_index >= burn_in and (round_index - burn_in) % thinning == 0:
                 sample_rounds.append((round_index, stats.unique))
 
+        if registry is not None:
+            registry.set_gauge("repro_vector_walkers", n)
+            registry.set_gauge("repro_vector_unique_queries", stats.unique)
+            registry.set_gauge("repro_vector_total_queries", stats.total)
+            if stats.total:
+                registry.set_gauge(
+                    "repro_vector_dedupe_ratio", 1.0 - (stats.unique / stats.total)
+                )
         return VectorEnsembleResult(
             paths=np.vstack(rows),
             sample_rounds=sample_rounds,

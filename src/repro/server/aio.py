@@ -63,6 +63,16 @@ from ..exceptions import (
     ReplayMissError,
     TenantAuthError,
 )
+from ..obs import (
+    SPAN_ECHO_HEADER,
+    TRACE_HEADER,
+    MetricsRegistry,
+    format_span_echo,
+    metrics as global_metrics,
+    new_span_id,
+    parse_trace_header,
+    suppress_metrics,
+)
 from ..walks.factory import make_walker
 from .tenants import API_KEY_HEADER, TenantPolicy, WallClock, build_registry
 from .wire import (
@@ -183,6 +193,9 @@ class AsyncGraphServer:
         self._access_log = None
         self.endpoint_counts: Counter = Counter()
         self._nodes_served = 0
+        #: Per-server registry: isolated from other servers in the process,
+        #: rendered by ``GET /metrics``, reset atomically by `reset_stats`.
+        self.metrics = MetricsRegistry()
         self._stats_lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()
@@ -204,6 +217,7 @@ class AsyncGraphServer:
     def note_served(self, count: int) -> None:
         with self._stats_lock:
             self._nodes_served += count
+        self.metrics.inc("repro_server_nodes_served_total", count)
 
     @property
     def nodes_served(self) -> int:
@@ -212,9 +226,20 @@ class AsyncGraphServer:
             return self._nodes_served
 
     def reset_stats(self) -> None:
+        """Zero every reported figure atomically: counts, registry, tenants.
+
+        Holding ``_stats_lock`` across all three makes the reset indivisible
+        with respect to `_stats_payload`; the registry's own lock makes it
+        indivisible with respect to a concurrent ``/metrics`` scrape.  Tenant
+        *enforcement* state (budget spent, rate windows) survives — only the
+        reported usage counters are cleared.
+        """
         with self._stats_lock:
             self.endpoint_counts.clear()
             self._nodes_served = 0
+            self.metrics.reset()
+            for policy in self.tenants.policies():
+                policy.reset_usage()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -232,7 +257,11 @@ class AsyncGraphServer:
         if self._closed:
             raise RuntimeError("server is closed")
         if self._access_log_path is not None:
-            self._access_log = self._access_log_path.open("a", encoding="utf-8")
+            # Line-buffered so every entry lands on disk as soon as its line
+            # is complete — ``tail -f`` on the log sees requests live.
+            self._access_log = self._access_log_path.open(
+                "a", encoding="utf-8", buffering=1
+            )
         self._thread = threading.Thread(
             target=self._thread_main, name="repro-aio-server", daemon=True
         )
@@ -429,13 +458,26 @@ class AsyncGraphServer:
         return _Request(method, target, headers, body, close)
 
     async def _write_response(
-        self, writer, status: int, payload: Dict[str, Any], *, close: bool = False
+        self,
+        writer,
+        status: int,
+        payload,
+        *,
+        close: bool = False,
+        extra_headers: str = "",
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):
+            # ``GET /metrics``: Prometheus text exposition, not JSON.
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Status')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra_headers}"
         )
         if close:
             head += "Connection: close\r\n"
@@ -450,6 +492,9 @@ class AsyncGraphServer:
         path = request.path
         self.note_request(request.method, path)
         endpoint = "/" + path.lstrip("/").split("/", 1)[0] if path.strip("/") else "/"
+        # Trace context travels as an additive header; malformed or absent
+        # values leave tracing off for this request (never a refusal).
+        trace_ctx = parse_trace_header(request.headers.get(TRACE_HEADER))
         tenant: Optional[TenantPolicy] = None
         try:
             tenant = self.tenants.resolve(request.headers.get(API_KEY_HEADER))
@@ -460,14 +505,35 @@ class AsyncGraphServer:
             status, payload, served = await self._dispatch(request, endpoint, tenant)
         if served:
             self.note_served(served)
-        await self._write_response(writer, status, payload, close=request.close)
+        duration_ms = (time.perf_counter() - started) * 1000.0
+        self.metrics.inc(
+            "repro_server_requests_total", endpoint=endpoint, status=status
+        )
+        self.metrics.observe("repro_server_request_ms", duration_ms, endpoint=endpoint)
+        if tenant is not None:
+            self.metrics.observe(
+                "repro_tenant_request_ms", duration_ms, tenant=tenant.name
+            )
+        extra_headers = ""
+        trace_id = None
+        if trace_ctx is not None:
+            trace_id, parent_span = trace_ctx
+            echo = format_span_echo(
+                trace_id, new_span_id(), parent_span, duration_ms,
+                "server" + endpoint,
+            )
+            extra_headers = f"{SPAN_ECHO_HEADER}: {echo}\r\n"
+        await self._write_response(
+            writer, status, payload, close=request.close, extra_headers=extra_headers
+        )
         self._log_access(
             tenant.name if tenant is not None else None,
             request.method,
             path,
             status,
             served,
-            (time.perf_counter() - started) * 1000.0,
+            duration_ms,
+            trace_id,
         )
         return not request.close
 
@@ -543,6 +609,8 @@ class AsyncGraphServer:
             return 200, {"nodes": backend.node_ids()}, 0
         if path == "/stats":
             return 200, self._stats_payload(), 0
+        if path == "/metrics":
+            return 200, self.metrics.render_prometheus(), 0
         if path.startswith("/node/"):
             node = self._decode_node(path[len("/node/"):])
             fresh = tenant.reserve_nodes([node])
@@ -647,6 +715,7 @@ class AsyncGraphServer:
                 ValueError) as error:
             raise _BadRequest(str(error)) from error
         tenant.bill_walk(result.unique_queries)
+        self.metrics.inc("repro_server_walks_total")
         path = list(result.path)
         return 200, {
             "path": path,
@@ -668,24 +737,49 @@ class AsyncGraphServer:
         """
         api = build_api(self.graph_backend, budget=budget)
         walker = make_walker(kernel, api=api, seed=seed)
-        return walker.run(start, max_steps=steps, burn_in=burn_in, thinning=thinning)
+        # Per-query registry adds would tax the walk by more than the graph
+        # work itself; report the walk's cache traffic in aggregate instead
+        # (every repeated query is a hit, every unique one a miss).
+        with suppress_metrics():
+            result = walker.run(
+                start, max_steps=steps, burn_in=burn_in, thinning=thinning
+            )
+        registry = global_metrics()
+        if registry is not None:
+            registry.inc(
+                "repro_cache_hits_total",
+                result.total_queries - result.unique_queries,
+            )
+            registry.inc("repro_cache_misses_total", result.unique_queries)
+        return result
 
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
     def _stats_payload(self) -> Dict[str, Any]:
+        # Tenants are read under the same lock `reset_stats` holds, so a
+        # stats read never interleaves with a reset (half-zeroed figures).
         with self._stats_lock:
             endpoints = dict(self.endpoint_counts)
             nodes_served = self._nodes_served
+            tenants = {
+                policy.name: policy.stats_payload()
+                for policy in self.tenants.policies()
+            }
         return {
             "format": WIRE_FORMAT,
             "version": WIRE_VERSION,
             "server": "async",
             "endpoints": endpoints,
             "nodes_served": nodes_served,
-            "tenants": {
-                policy.name: policy.stats_payload()
-                for policy in self.tenants.policies()
+            "tenants": tenants,
+            "latency": {
+                "endpoints": self.metrics.histogram_family(
+                    "repro_server_request_ms", "endpoint"
+                ),
+                "tenants": self.metrics.histogram_family(
+                    "repro_tenant_request_ms", "tenant"
+                ),
             },
         }
 
@@ -697,20 +791,23 @@ class AsyncGraphServer:
         status: int,
         nodes: int,
         duration_ms: float,
+        trace_id: Optional[str] = None,
     ) -> None:
         if self._access_log is None:
             return
-        line = json.dumps(
-            {
-                "ts": round(time.time(), 6),
-                "tenant": tenant,
-                "method": method,
-                "path": path,
-                "status": status,
-                "nodes": nodes,
-                "ms": round(duration_ms, 3),
-            }
-        )
+        entry = {
+            "ts": round(time.time(), 6),
+            "tenant": tenant,
+            "method": method,
+            "path": path,
+            "status": status,
+            "nodes": nodes,
+            "ms": round(duration_ms, 3),
+            "duration_ms": round(duration_ms, 3),
+        }
+        if trace_id is not None:
+            entry["trace_id"] = trace_id
+        line = json.dumps(entry)
         try:
             self._access_log.write(line + "\n")
             self._access_log.flush()

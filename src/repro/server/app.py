@@ -29,6 +29,7 @@ from __future__ import annotations
 import json
 import socket
 import threading
+import time
 import urllib.parse
 import weakref
 from collections import Counter
@@ -38,6 +39,14 @@ from typing import Any, Dict, List, Optional
 from ..api.backend import GraphBackend, as_backend
 from ..api.remote import WIRE_FORMAT, WIRE_VERSION, decode_node_id, record_to_wire
 from ..exceptions import NodeNotFoundError, ReplayMissError
+from ..obs import (
+    SPAN_ECHO_HEADER,
+    TRACE_HEADER,
+    MetricsRegistry,
+    format_span_echo,
+    new_span_id,
+    parse_trace_header,
+)
 from .wire import (
     MAX_HEADERS,
     MAX_LINE,
@@ -162,9 +171,33 @@ class GraphRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._send_body(status, body, "application/json")
+
+    def _send_text(self, status: int, text: str) -> None:
+        """A text/plain response (the Prometheus ``/metrics`` exposition)."""
+        self._send_body(
+            status, text.encode("utf-8"), "text/plain; version=0.0.4; charset=utf-8"
+        )
+
+    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
+        self._status_sent = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        trace_ctx = getattr(self, "_trace_ctx", None)
+        if trace_ctx is not None:
+            # Trace echo: the server's completed span, duration measured from
+            # dispatch start to the response header write (the residual body
+            # write is a few microseconds on loopback).
+            trace_id, parent_span = trace_ctx
+            duration_ms = (time.perf_counter() - self._dispatch_started) * 1000.0
+            self.send_header(
+                SPAN_ECHO_HEADER,
+                format_span_echo(
+                    trace_id, self._server_span_id, parent_span, duration_ms,
+                    "server" + getattr(self, "_endpoint", "/"),
+                ),
+            )
         if self.close_connection:
             # Tell the client the keep-alive ends here (e.g. after a request
             # whose body could not be drained), so it reconnects cleanly
@@ -227,7 +260,17 @@ class GraphRequestHandler(BaseHTTPRequestHandler):
         return self.rfile.read(length)
 
     def _dispatch(self, route) -> None:
-        self.server.note_request(self.command, urllib.parse.urlsplit(self.path).path)
+        self._dispatch_started = time.perf_counter()
+        path = urllib.parse.urlsplit(self.path).path
+        self._endpoint = (
+            "/" + path.lstrip("/").split("/", 1)[0] if path.strip("/") else "/"
+        )
+        # Trace context travels as an additive header; malformed or absent
+        # values leave tracing off for this request (never a refusal).
+        self._trace_ctx = parse_trace_header(self.headers.get(TRACE_HEADER))
+        self._server_span_id = new_span_id() if self._trace_ctx is not None else ""
+        self._status_sent = 0
+        self.server.note_request(self.command, path)
         self._body = self._read_body()
         if self.inject_fault():
             return
@@ -244,6 +287,10 @@ class GraphRequestHandler(BaseHTTPRequestHandler):
                 500,
                 {"error": "server_error", "message": f"{type(error).__name__}: {error}"},
             )
+        finally:
+            if self._status_sent:
+                duration_ms = (time.perf_counter() - self._dispatch_started) * 1000.0
+                self.server.note_response(self._endpoint, self._status_sent, duration_ms)
 
     def do_GET(self) -> None:
         self._dispatch(self._route_get)
@@ -283,6 +330,10 @@ class GraphRequestHandler(BaseHTTPRequestHandler):
             self._send_json(200, descriptor)
         elif path == "/node-ids":
             self._send_json(200, {"nodes": backend.node_ids()})
+        elif path == "/stats":
+            self._send_json(200, self.server.stats_payload())
+        elif path == "/metrics":
+            self._send_text(200, self.server.metrics.render_prometheus())
         elif path.startswith("/node/"):
             node = self._decode_node(path[len("/node/"):])
             record = backend.fetch(node)
@@ -342,6 +393,9 @@ class GraphHTTPServer(ThreadingHTTPServer):
         self.graph_backend = backend
         self.endpoint_counts: Counter = Counter()
         self._nodes_served = 0
+        #: Per-server registry: isolated from other servers in the process,
+        #: rendered by ``GET /metrics``, reset atomically by `reset_stats`.
+        self.metrics = MetricsRegistry()
         self._stats_lock = threading.Lock()
         self._connections_lock = threading.Lock()
         self._connections: set = set()
@@ -361,6 +415,14 @@ class GraphHTTPServer(ThreadingHTTPServer):
     def note_served(self, count: int) -> None:
         with self._stats_lock:
             self._nodes_served += count
+        self.metrics.inc("repro_server_nodes_served_total", count)
+
+    def note_response(self, endpoint: str, status: int, duration_ms: float) -> None:
+        """Fold one completed exchange into the registry (handler threads)."""
+        self.metrics.inc(
+            "repro_server_requests_total", endpoint=endpoint, status=status
+        )
+        self.metrics.observe("repro_server_request_ms", duration_ms, endpoint=endpoint)
 
     @property
     def nodes_served(self) -> int:
@@ -368,10 +430,35 @@ class GraphHTTPServer(ThreadingHTTPServer):
         with self._stats_lock:
             return self._nodes_served
 
+    def stats_payload(self) -> Dict[str, Any]:
+        """The ``GET /stats`` body — same shape as the asyncio frontend's."""
+        with self._stats_lock:
+            payload: Dict[str, Any] = {
+                "format": WIRE_FORMAT,
+                "version": WIRE_VERSION,
+                "server": "threaded",
+                "endpoints": dict(self.endpoint_counts),
+                "nodes_served": self._nodes_served,
+                "tenants": {},
+            }
+        payload["latency"] = {
+            "endpoints": self.metrics.histogram_family(
+                "repro_server_request_ms", "endpoint"
+            ),
+        }
+        return payload
+
     def reset_stats(self) -> None:
+        """Zero every reported figure — counts and registry — atomically.
+
+        Holding ``_stats_lock`` across both makes the reset indivisible with
+        respect to `stats_payload`; the registry's own lock makes it
+        indivisible with respect to a concurrent ``/metrics`` scrape.
+        """
         with self._stats_lock:
             self.endpoint_counts.clear()
             self._nodes_served = 0
+            self.metrics.reset()
 
     # ------------------------------------------------------------------
     # Connection tracking (so close() never hangs on a keep-alive socket)

@@ -173,6 +173,19 @@ class TenantPolicy:
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
+    def reset_usage(self) -> None:
+        """Zero the *reported* usage counters; enforcement state survives.
+
+        Budget spend, billed-node tracking and rate-limit windows are policy
+        — resetting them on a stats reset would hand a tenant its allowance
+        back.  Only the figures `stats_payload` reports as usage are cleared.
+        """
+        self.endpoint_counts.clear()
+        self.nodes_served = 0
+        self.walks = 0
+        self.rate_limited = 0
+        self.budget_denied = 0
+
     def stats_payload(self) -> Dict[str, Any]:
         """The tenant's ``GET /stats`` entry (JSON-ready)."""
         payload: Dict[str, Any] = {

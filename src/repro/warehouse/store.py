@@ -53,10 +53,12 @@ from __future__ import annotations
 
 import json
 import sqlite3
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from .. import obs
 from ..api.backend import GraphBackend, RawRecord, as_backend
 from ..exceptions import IngestConflictError, WarehouseError
 from ..graphs.graph import Graph
@@ -400,6 +402,7 @@ class CrawlWarehouse:
         else:
             kind = type(backend).__name__
         crawl_name = name or getattr(backend, "name", "crawl")
+        started = time.perf_counter()
         order = backend.node_ids()
         records = backend.fetch_many(order) if order else []
 
@@ -411,6 +414,17 @@ class CrawlWarehouse:
             conn.rollback()
             raise
         conn.commit()
+        registry = obs.metrics()
+        if registry is not None:
+            registry.observe(
+                "repro_warehouse_ingest_ms",
+                (time.perf_counter() - started) * 1000.0,
+            )
+            registry.inc("repro_warehouse_ingests_total")
+            registry.inc("repro_warehouse_ingest_records_total", report.records)
+            registry.inc(
+                "repro_warehouse_ingest_duplicates_total", report.duplicate_nodes
+            )
         return report
 
     def _merge_records(

@@ -53,6 +53,7 @@ from repro.storage import (
     save_snapshot,
 )
 from repro.walks import make_walker
+import repro.obs as obs
 
 #: Every backend the library ships; the whole suite runs once per entry.
 BACKEND_KINDS = (
@@ -81,6 +82,24 @@ GOLDEN_SEED = 7
 
 def _path_crc(path):
     return zlib.crc32(",".join(map(str, path)).encode())
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _telemetry_on():
+    """The whole conformance suite runs with telemetry enabled.
+
+    The golden fingerprints are the proof that tracing is inert: every
+    backend must reproduce the exact pre-telemetry walks while a live
+    tracer collects spans and the global registry counts every query.
+    """
+    tracer = obs.Tracer()
+    obs.enable_telemetry()
+    try:
+        with obs.use_tracer(tracer):
+            yield
+    finally:
+        obs.disable_telemetry()
+        obs.global_registry().reset()
 
 
 @pytest.fixture(scope="module")
